@@ -1,0 +1,113 @@
+// Ablation: Theorem 6 (the approximate FCFS R/W queue analysis of the
+// appendix) against a direct discrete-event simulation of a single
+// reader/writer lock queue. This isolates the innermost layer of the
+// framework from the B-tree-specific modeling above it.
+
+#include <iostream>
+
+#include "bench/figure_common.h"
+#include "core/level_solver.h"
+#include "core/rw_queue.h"
+#include "sim/event_queue.h"
+#include "sim/lock_manager.h"
+#include "stats/distributions.h"
+
+using namespace cbtree;
+using namespace cbtree::bench;
+
+namespace {
+
+struct QueueSim {
+  double rho_w = 0.0;
+  double wait_r = 0.0;
+  double wait_w = 0.0;
+};
+
+// Simulates one FCFS R/W lock queue: Poisson reader/writer arrivals with
+// exponential hold times, long enough to average out.
+QueueSim SimulateQueue(double lambda_r, double lambda_w, double mu_r,
+                       double mu_w, uint64_t customers, uint64_t seed) {
+  EventQueue events;
+  LockManager locks([&events] { return events.now(); });
+  const NodeId kNode = 1;
+  locks.TrackWriterPresence(kNode);
+  Rng rng(seed);
+  Accumulator wait_r, wait_w;
+  uint64_t completed = 0;
+  uint64_t next_op = 1;
+
+  std::function<void(bool)> arrive = [&](bool writer) {
+    OpId op = next_op++;
+    double requested = events.now();
+    LockMode mode = writer ? LockMode::kWrite : LockMode::kRead;
+    double hold = SampleExponential(rng, writer ? 1.0 / mu_w : 1.0 / mu_r);
+    locks.Request(kNode, mode, op, [&, op, requested, writer, hold] {
+      (writer ? wait_w : wait_r).Add(events.now() - requested);
+      events.ScheduleAfter(hold, [&, op] {
+        locks.Release(kNode, op);
+        ++completed;
+      });
+    });
+  };
+  // Two independent Poisson streams.
+  std::function<void()> reader_arrivals = [&] {
+    arrive(false);
+    events.ScheduleAfter(SampleExponential(rng, 1.0 / lambda_r),
+                         reader_arrivals);
+  };
+  std::function<void()> writer_arrivals = [&] {
+    arrive(true);
+    events.ScheduleAfter(SampleExponential(rng, 1.0 / lambda_w),
+                         writer_arrivals);
+  };
+  events.ScheduleAfter(SampleExponential(rng, 1.0 / lambda_r),
+                       reader_arrivals);
+  events.ScheduleAfter(SampleExponential(rng, 1.0 / lambda_w),
+                       writer_arrivals);
+  while (completed < customers && events.RunNext()) {
+  }
+  QueueSim result;
+  result.rho_w = locks.TrackedWriterPresence();
+  result.wait_r = wait_r.mean();
+  result.wait_w = wait_w.mean();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FigureOptions options;
+  options.Parse(argc, argv);
+
+  if (!options.csv) {
+    PrintBanner(std::cout,
+                "Ablation: Theorem 6 vs direct R/W lock-queue simulation");
+    std::cout << "mu_r = mu_w = 1, lambda_r = 2 * lambda_w, 200k customers "
+                 "per point\n\n";
+  }
+
+  Table table({"lambda_w", "model_rho_w", "sim_rho_w", "model_wait_r",
+               "sim_wait_r", "model_wait_w", "sim_wait_w"});
+  for (double lambda_w : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
+    double lambda_r = 2.0 * lambda_w;
+    RwQueueResult model = SolveRwQueue({lambda_r, lambda_w, 1.0, 1.0});
+    WaitTimes waits = ExponentialServerWaits(model);
+    QueueSim sim = SimulateQueue(lambda_r, lambda_w, 1.0, 1.0, 200000, 1);
+    table.NewRow().Add(lambda_w);
+    table.Add(model.rho_w).Add(sim.rho_w);
+    if (model.stable) {
+      table.Add(waits.r).Add(sim.wait_r);
+      table.Add(waits.w).Add(sim.wait_w);
+    } else {
+      // Saturated: the open queue has no steady-state waiting time; the
+      // simulated numbers just grow with the run length.
+      table.AddNA().Add(sim.wait_r);
+      table.AddNA().Add(sim.wait_w);
+    }
+  }
+  table.Print(std::cout, options.csv);
+  std::cout << "\nExpected shape: the approximation tracks the simulation "
+               "closely at low-to-moderate\nload and degrades gracefully as "
+               "rho_w approaches 1 (it is an approximation).\n";
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Regenerates Figure 03 of the paper: Naive Lock-coupling insert response time vs. arrival rate (Figure 3).
+
+#include "bench/response_figure.h"
+
+int main(int argc, char** argv) {
+  return cbtree::bench::RunResponseFigure(
+      argc, argv, "Naive Lock-coupling insert response time vs. arrival rate (Figure 3)",
+      cbtree::Algorithm::kNaiveLockCoupling,
+      cbtree::bench::ResponseKind::kInsert, 0.9);
+}

@@ -1,0 +1,10 @@
+// Regenerates Figure 04 of the paper: Naive Lock-coupling search response time vs. arrival rate (Figure 4).
+
+#include "bench/response_figure.h"
+
+int main(int argc, char** argv) {
+  return cbtree::bench::RunResponseFigure(
+      argc, argv, "Naive Lock-coupling search response time vs. arrival rate (Figure 4)",
+      cbtree::Algorithm::kNaiveLockCoupling,
+      cbtree::bench::ResponseKind::kSearch, 0.9);
+}

@@ -1,0 +1,10 @@
+// Regenerates Figure 05 of the paper: Optimistic Descent insert response time vs. arrival rate (Figure 5).
+
+#include "bench/response_figure.h"
+
+int main(int argc, char** argv) {
+  return cbtree::bench::RunResponseFigure(
+      argc, argv, "Optimistic Descent insert response time vs. arrival rate (Figure 5)",
+      cbtree::Algorithm::kOptimisticDescent,
+      cbtree::bench::ResponseKind::kInsert, 0.9);
+}

@@ -1,0 +1,10 @@
+// Regenerates Figure 06 of the paper: Optimistic Descent search response time vs. arrival rate (Figure 6).
+
+#include "bench/response_figure.h"
+
+int main(int argc, char** argv) {
+  return cbtree::bench::RunResponseFigure(
+      argc, argv, "Optimistic Descent search response time vs. arrival rate (Figure 6)",
+      cbtree::Algorithm::kOptimisticDescent,
+      cbtree::bench::ResponseKind::kSearch, 0.9);
+}

@@ -1,0 +1,10 @@
+// Regenerates Figure 07 of the paper: Link-type insert response time vs. arrival rate (Figure 7).
+
+#include "bench/response_figure.h"
+
+int main(int argc, char** argv) {
+  return cbtree::bench::RunResponseFigure(
+      argc, argv, "Link-type insert response time vs. arrival rate (Figure 7)",
+      cbtree::Algorithm::kLinkType,
+      cbtree::bench::ResponseKind::kInsert, 0.25);
+}

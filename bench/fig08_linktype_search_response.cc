@@ -1,0 +1,10 @@
+// Regenerates Figure 08 of the paper: Link-type search response time vs. arrival rate (Figure 8).
+
+#include "bench/response_figure.h"
+
+int main(int argc, char** argv) {
+  return cbtree::bench::RunResponseFigure(
+      argc, argv, "Link-type search response time vs. arrival rate (Figure 8)",
+      cbtree::Algorithm::kLinkType,
+      cbtree::bench::ResponseKind::kSearch, 0.25);
+}

@@ -1,0 +1,46 @@
+// Regenerates Figure 9: Link-type link-crossing rate vs arrival rate
+// (disk cost 10). The paper's point: crossings are rare enough to have a
+// negligible effect on performance, which justifies ignoring them in the
+// Link-type analysis.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/figure_common.h"
+
+using namespace cbtree;
+using namespace cbtree::bench;
+
+int main(int argc, char** argv) {
+  FigureOptions options;
+  options.disk_cost = 10.0;  // the figure's configuration
+  options.Parse(argc, argv);
+
+  auto analyzer = MakeAnalyzer(Algorithm::kLinkType,
+                               MakeModelParams(options));
+  double max_rate = analyzer->MaxThroughput(/*cap=*/1e6);
+  if (!std::isfinite(max_rate)) max_rate = 1e6;
+
+  if (!options.csv) {
+    PrintBanner(std::cout,
+                "Link-type link-crossing rate vs. arrival rate (Figure 9)");
+    std::cout << "N=" << options.node_size << " items=" << options.items
+              << " D=" << options.disk_cost << "\n\n";
+  }
+
+  Table table({"lambda", "sim_crossings_per_op", "sim_restarts_per_op",
+               "sim_insert_resp"});
+  for (double lambda :
+       LambdaGrid(max_rate, options.sweep_points, /*max_fraction=*/0.5)) {
+    SimPoint point = RunSimPoint(options, Algorithm::kLinkType, lambda);
+    table.NewRow().Add(lambda);
+    AddSimCell(&table, point, &SimPoint::crossings_per_op);
+    AddSimCell(&table, point, &SimPoint::restarts_per_op);
+    AddSimCell(&table, point, &SimPoint::insert);
+  }
+  table.Print(std::cout, options.csv);
+  std::cout << "\nExpected shape: crossings/op stays well below 1 even as "
+               "the arrival rate\ngrows — link crossings are negligible, as "
+               "the paper asserts.\n";
+  return 0;
+}

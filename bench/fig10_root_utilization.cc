@@ -1,0 +1,53 @@
+// Regenerates Figure 10: the Naive Lock-coupling root writer utilization
+// rho_w(h) vs arrival rate. The paper's point: the utilization rises
+// non-linearly — going from .5 to 1 takes less than a 50% rate increase,
+// which is the hidden cost of lock-coupling.
+
+#include <iostream>
+
+#include "bench/figure_common.h"
+
+using namespace cbtree;
+using namespace cbtree::bench;
+
+int main(int argc, char** argv) {
+  FigureOptions options;
+  options.Parse(argc, argv);
+
+  auto analyzer = MakeAnalyzer(Algorithm::kNaiveLockCoupling,
+                               MakeModelParams(options));
+  double max_rate = analyzer->MaxThroughput();
+
+  if (!options.csv) {
+    PrintBanner(std::cout,
+                "Naive Lock-coupling root writer utilization (Figure 10)");
+    std::cout << "model_max_throughput=" << max_rate << "\n\n";
+  }
+
+  Table table({"lambda", "lambda_over_max", "model_rho_w_root",
+               "sim_rho_w_root"});
+  for (double lambda :
+       LambdaGrid(max_rate, options.sweep_points, /*max_fraction=*/0.97)) {
+    AnalysisResult analysis = analyzer->Analyze(lambda);
+    table.NewRow().Add(lambda).Add(lambda / max_rate);
+    table.Add(analysis.root_writer_utilization());
+    if (options.run_sim) {
+      SimPoint point = RunSimPoint(options, Algorithm::kNaiveLockCoupling,
+                                   lambda);
+      AddSimCell(&table, point, &SimPoint::root_utilization);
+    } else {
+      table.AddNA();
+    }
+  }
+  table.Print(std::cout, options.csv);
+
+  // The headline number: the rate ratio between rho_w = .5 and saturation.
+  auto half = analyzer->ArrivalRateForRootUtilization(0.5);
+  if (half.has_value()) {
+    std::cout << "\nlambda at rho_w=.5: " << *half
+              << ";  max throughput: " << max_rate
+              << ";  ratio: " << max_rate / *half
+              << " (the paper: < 1.5 — a disproportionate rise)\n";
+  }
+  return 0;
+}

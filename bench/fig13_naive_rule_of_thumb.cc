@@ -1,0 +1,50 @@
+// Regenerates Figure 13: Rule of Thumb 1 (and the limit Rule of Thumb 2)
+// against the full model's lambda_{rho=.5} for Naive Lock-coupling, varying
+// the maximum node size, for an in-memory tree (D=1) and a D=10 tree.
+// The paper's points: (a) the rule tracks the model for in-memory trees;
+// (b) with expensive disk accesses it overestimates at small node sizes;
+// (c) the effective maximum does not improve with node size (the limit rule
+// is flat).
+
+#include <iostream>
+
+#include "bench/figure_common.h"
+#include "core/rules_of_thumb.h"
+
+using namespace cbtree;
+using namespace cbtree::bench;
+
+int main(int argc, char** argv) {
+  FigureOptions options;
+  options.Parse(argc, argv);
+
+  if (!options.csv) {
+    PrintBanner(std::cout,
+                "Naive Lock-coupling rule-of-thumb vs. model (Figure 13)");
+    std::cout << "items=" << options.items << " mix=" << options.q_s << "/"
+              << options.q_i << "/" << options.q_d << "\n\n";
+  }
+
+  Table table({"disk_cost", "node_size", "model_lambda_rho_half",
+               "rule_of_thumb_1", "rule_of_thumb_2_limit"});
+  for (double disk_cost : {1.0, 10.0}) {
+    for (int node_size : {7, 13, 21, 31, 43, 59, 83, 127, 199}) {
+      FigureOptions point = options;
+      point.disk_cost = disk_cost;
+      point.node_size = node_size;
+      ModelParams params = MakeModelParams(point);
+      auto analyzer = MakeAnalyzer(Algorithm::kNaiveLockCoupling, params);
+      auto half = analyzer->ArrivalRateForRootUtilization(0.5);
+      table.NewRow().Add(disk_cost).Add(node_size);
+      if (half.has_value()) {
+        table.Add(*half);
+      } else {
+        table.AddNA();
+      }
+      table.Add(NaiveRuleOfThumb(params));
+      table.Add(NaiveRuleOfThumbLimit(params));
+    }
+  }
+  table.Print(std::cout, options.csv);
+  return 0;
+}

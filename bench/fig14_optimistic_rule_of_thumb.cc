@@ -1,0 +1,48 @@
+// Regenerates Figure 14: Rule of Thumb 3 (and the limit Rule of Thumb 4)
+// against the full model's lambda_{rho=.5} for Optimistic Descent, varying
+// the maximum node size for D=1 and D=10. The paper's points: the rule
+// improves with node size, and Optimistic Descent's effective maximum
+// arrival rate grows ~ N / log^2 N — unlike Naive Lock-coupling's.
+
+#include <iostream>
+
+#include "bench/figure_common.h"
+#include "core/rules_of_thumb.h"
+
+using namespace cbtree;
+using namespace cbtree::bench;
+
+int main(int argc, char** argv) {
+  FigureOptions options;
+  options.Parse(argc, argv);
+
+  if (!options.csv) {
+    PrintBanner(std::cout,
+                "Optimistic Descent rule-of-thumb vs. model (Figure 14)");
+    std::cout << "items=" << options.items << " mix=" << options.q_s << "/"
+              << options.q_i << "/" << options.q_d << "\n\n";
+  }
+
+  Table table({"disk_cost", "node_size", "model_lambda_rho_half",
+               "rule_of_thumb_3", "rule_of_thumb_4_limit"});
+  for (double disk_cost : {1.0, 10.0}) {
+    for (int node_size : {7, 13, 21, 31, 43, 59, 83, 127, 199}) {
+      FigureOptions point = options;
+      point.disk_cost = disk_cost;
+      point.node_size = node_size;
+      ModelParams params = MakeModelParams(point);
+      auto analyzer = MakeAnalyzer(Algorithm::kOptimisticDescent, params);
+      auto half = analyzer->ArrivalRateForRootUtilization(0.5);
+      table.NewRow().Add(disk_cost).Add(node_size);
+      if (half.has_value()) {
+        table.Add(*half);
+      } else {
+        table.AddNA();
+      }
+      table.Add(OptimisticRuleOfThumb(params));
+      table.Add(OptimisticRuleOfThumbLimit(params));
+    }
+  }
+  table.Print(std::cout, options.csv);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates Figure 15: comparison of recovery algorithms on Optimistic
+// Descent insert response time, maximum node size 13 (the paper's 5-level
+// tree), D=10, T_trans=100.
+
+#include "bench/recovery_figure.h"
+
+int main(int argc, char** argv) {
+  return cbtree::bench::RunRecoveryFigure(
+      argc, argv,
+      "Comparison of recovery algorithms, max node size 13 (Figure 15)",
+      /*default_node_size=*/13, /*default_items=*/40000);
+}

@@ -1,0 +1,101 @@
+#include "bench/figure_common.h"
+
+#include "util/check.h"
+
+namespace cbtree {
+namespace bench {
+
+void FigureOptions::Register(FlagSet* flags) {
+  flags->Register("csv", &csv, "emit CSV instead of an aligned table");
+  flags->Register("sim", &run_sim, "run the simulator alongside the model");
+  flags->Register("seeds", &seeds, "simulator seeds per operating point");
+  flags->Register("ops", &ops, "concurrent operations per simulator run");
+  flags->Register("warmup", &warmup, "operations excluded from statistics");
+  flags->Register("items", &items, "tree size built before the run");
+  flags->Register("node_size", &node_size, "maximum entries per node (N)");
+  flags->Register("disk_cost", &disk_cost, "on-disk access multiplier (D)");
+  flags->Register("qs", &q_s, "search fraction");
+  flags->Register("qi", &q_i, "insert fraction");
+  flags->Register("qd", &q_d, "delete fraction");
+  flags->Register("points", &sweep_points, "operating points per curve");
+}
+
+void FigureOptions::Parse(int argc, char** argv) {
+  FlagSet flags;
+  Register(&flags);
+  flags.Parse(argc, argv);
+  mix().Validate();
+  CBTREE_CHECK_GE(seeds, 1);
+  CBTREE_CHECK_GT(ops, warmup);
+  CBTREE_CHECK_GE(sweep_points, 2);
+}
+
+ModelParams MakeModelParams(const FigureOptions& options) {
+  return ModelParams::ForTree(options.items, options.node_size,
+                              options.disk_cost, options.mix());
+}
+
+SimConfig MakeSimConfig(const FigureOptions& options, Algorithm algorithm,
+                        double lambda, uint64_t seed) {
+  SimConfig config;
+  config.algorithm = algorithm;
+  config.lambda = lambda;
+  config.mix = options.mix();
+  config.num_operations = options.ops;
+  config.warmup_operations = options.warmup;
+  config.num_items = options.items;
+  config.max_node_size = options.node_size;
+  config.disk_cost = options.disk_cost;
+  config.seed = seed;
+  return config;
+}
+
+SimPoint RunSimPoint(const FigureOptions& options, Algorithm algorithm,
+                     double lambda, RecoveryConfig recovery) {
+  SimPoint point;
+  point.ok = true;
+  for (int seed = 1; seed <= options.seeds; ++seed) {
+    SimConfig config = MakeSimConfig(options, algorithm, lambda, seed);
+    config.recovery = recovery;
+    Simulator sim(config);
+    SimResult result = sim.Run();
+    if (result.saturated) {
+      point.ok = false;
+      return point;
+    }
+    point.search.Add(result.resp_search.mean());
+    point.insert.Add(result.resp_insert.mean());
+    point.del.Add(result.resp_delete.mean());
+    point.all.Add(result.resp_all.mean());
+    point.root_utilization.Add(result.root_writer_utilization);
+    double measured = static_cast<double>(result.completed);
+    if (measured > 0) {
+      point.crossings_per_op.Add(result.link_crossings / measured);
+      point.restarts_per_op.Add(result.restarts / measured);
+    }
+  }
+  return point;
+}
+
+std::vector<double> LambdaGrid(double max_rate, int points,
+                               double max_fraction) {
+  CBTREE_CHECK_GT(max_rate, 0.0);
+  std::vector<double> grid;
+  grid.reserve(points);
+  for (int i = 1; i <= points; ++i) {
+    grid.push_back(max_rate * max_fraction * i / points);
+  }
+  return grid;
+}
+
+void AddSimCell(Table* table, const SimPoint& point,
+                const Accumulator SimPoint::* member) {
+  if (!point.ok) {
+    table->AddNA();
+    return;
+  }
+  table->Add((point.*member).mean());
+}
+
+}  // namespace bench
+}  // namespace cbtree

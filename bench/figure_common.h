@@ -1,0 +1,83 @@
+// Shared machinery of the figure-regeneration harnesses (bench/figNN_*).
+//
+// Every harness reproduces one figure of the paper's evaluation: it sweeps
+// the arrival rate (or node size / disk cost), evaluates the analytical
+// model, optionally runs the discrete-event simulator at the same operating
+// points (5 seeds, as in §5.3), and prints the series as an aligned table
+// (or CSV with --csv).
+
+#ifndef CBTREE_BENCH_FIGURE_COMMON_H_
+#define CBTREE_BENCH_FIGURE_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/optimistic_model.h"
+#include "sim/simulator.h"
+#include "stats/accumulator.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace cbtree {
+namespace bench {
+
+/// The paper's §5.3 reference configuration, overridable from the command
+/// line of every harness.
+struct FigureOptions {
+  bool csv = false;
+  bool run_sim = true;
+  int seeds = 5;           ///< simulator seeds per operating point
+  uint64_t ops = 10000;    ///< concurrent operations per run
+  uint64_t warmup = 1000;  ///< completions excluded from statistics
+  uint64_t items = 40000;
+  int node_size = 13;
+  double disk_cost = 5.0;
+  double q_s = 0.3;
+  double q_i = 0.5;
+  double q_d = 0.2;
+  int sweep_points = 8;  ///< operating points per curve
+
+  OperationMix mix() const { return OperationMix{q_s, q_i, q_d}; }
+
+  /// Registers the common flags on `flags`.
+  void Register(FlagSet* flags);
+  /// Registers, parses, and validates.
+  void Parse(int argc, char** argv);
+};
+
+/// Model parameters matching the harness options.
+ModelParams MakeModelParams(const FigureOptions& options);
+
+/// Simulator configuration matching the harness options.
+SimConfig MakeSimConfig(const FigureOptions& options, Algorithm algorithm,
+                        double lambda, uint64_t seed);
+
+/// One simulated operating point, aggregated over `options.seeds` seeds
+/// (each seed contributes its mean, as the paper's per-seed runs do).
+struct SimPoint {
+  bool ok = false;  ///< every seed ran to completion without saturating
+  Accumulator search;
+  Accumulator insert;
+  Accumulator del;
+  Accumulator all;
+  Accumulator root_utilization;
+  Accumulator crossings_per_op;
+  Accumulator restarts_per_op;
+};
+
+SimPoint RunSimPoint(const FigureOptions& options, Algorithm algorithm,
+                     double lambda, RecoveryConfig recovery = {});
+
+/// Arrival-rate grid from ~0 up to max_fraction * max_rate.
+std::vector<double> LambdaGrid(double max_rate, int points,
+                               double max_fraction = 0.95);
+
+/// Adds a mean cell or n/a.
+void AddSimCell(Table* table, const SimPoint& point,
+                const Accumulator SimPoint::* member);
+
+}  // namespace bench
+}  // namespace cbtree
+
+#endif  // CBTREE_BENCH_FIGURE_COMMON_H_

@@ -1,0 +1,113 @@
+// Microbenchmarks of the sequential B+-tree substrate (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "btree/btree.h"
+#include "stats/rng.h"
+
+namespace cbtree {
+namespace {
+
+BTree MakeTree(int node_size, MergePolicy policy = MergePolicy::kAtEmpty) {
+  return BTree(BTree::Options{node_size, policy});
+}
+
+void BM_SequentialInsert(benchmark::State& state) {
+  const int node_size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    BTree tree = MakeTree(node_size);
+    for (Key k = 0; k < 10000; ++k) tree.Insert(k, k);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SequentialInsert)->Arg(13)->Arg(64)->Arg(256);
+
+void BM_RandomInsert(benchmark::State& state) {
+  const int node_size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(1);
+    state.ResumeTiming();
+    BTree tree = MakeTree(node_size);
+    for (int i = 0; i < 10000; ++i) {
+      tree.Insert(static_cast<Key>(rng.Next() >> 2), i);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_RandomInsert)->Arg(13)->Arg(64)->Arg(256);
+
+void BM_SearchHit(benchmark::State& state) {
+  BTree tree = MakeTree(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  std::vector<Key> keys;
+  for (int i = 0; i < 100000; ++i) {
+    Key k = static_cast<Key>(rng.Next() >> 2);
+    tree.Insert(k, i);
+    keys.push_back(k);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Search(keys[i++ % keys.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SearchHit)->Arg(13)->Arg(64)->Arg(256);
+
+void BM_SearchMiss(benchmark::State& state) {
+  BTree tree = MakeTree(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    tree.Insert(static_cast<Key>(rng.Next() >> 2) * 2, i);
+  }
+  Key probe = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Search(probe));
+    probe += 2;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SearchMiss)->Arg(13)->Arg(256);
+
+void BM_DeleteMergeAtEmpty(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    BTree tree = MakeTree(13, MergePolicy::kAtEmpty);
+    for (Key k = 0; k < 10000; ++k) tree.Insert(k, k);
+    state.ResumeTiming();
+    for (Key k = 0; k < 10000; ++k) tree.Delete(k);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_DeleteMergeAtEmpty);
+
+void BM_DeleteMergeAtHalf(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    BTree tree = MakeTree(13, MergePolicy::kAtHalf);
+    for (Key k = 0; k < 10000; ++k) tree.Insert(k, k);
+    state.ResumeTiming();
+    for (Key k = 0; k < 10000; ++k) tree.Delete(k);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_DeleteMergeAtHalf);
+
+void BM_Scan(benchmark::State& state) {
+  BTree tree = MakeTree(64);
+  for (Key k = 0; k < 100000; ++k) tree.Insert(k, k);
+  for (auto _ : state) {
+    std::vector<std::pair<Key, Value>> out;
+    out.reserve(1000);
+    benchmark::DoNotOptimize(tree.Scan(50000, 51000, 1000, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_Scan);
+
+}  // namespace
+}  // namespace cbtree
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Microbenchmarks of the analytical framework itself: the Theorem 6 fixed
+// point, a full per-level solve for each algorithm, the max-throughput
+// search, and a complete simulator run (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "core/analyzer.h"
+#include "core/rw_queue.h"
+#include "sim/simulator.h"
+
+namespace cbtree {
+namespace {
+
+void BM_SolveRwQueue(benchmark::State& state) {
+  RwQueueInput input{0.5, 0.2, 1.0, 0.8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveRwQueue(input));
+  }
+}
+BENCHMARK(BM_SolveRwQueue);
+
+void BM_Analyze(benchmark::State& state) {
+  Algorithm algorithm = static_cast<Algorithm>(state.range(0));
+  auto analyzer = MakeAnalyzer(algorithm, ModelParams::PaperDefault());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer->Analyze(0.1));
+  }
+  state.SetLabel(analyzer->name());
+}
+BENCHMARK(BM_Analyze)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MaxThroughput(benchmark::State& state) {
+  auto analyzer = MakeAnalyzer(Algorithm::kNaiveLockCoupling,
+                               ModelParams::PaperDefault());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer->MaxThroughput());
+  }
+}
+BENCHMARK(BM_MaxThroughput);
+
+void BM_SimulatorRun(benchmark::State& state) {
+  for (auto _ : state) {
+    SimConfig config;
+    config.algorithm = Algorithm::kOptimisticDescent;
+    config.lambda = 0.05;
+    config.mix = OperationMix{0.3, 0.5, 0.2};
+    config.num_operations = 2000;
+    config.warmup_operations = 200;
+    config.num_items = 10000;
+    config.seed = 1;
+    Simulator sim(config);
+    benchmark::DoNotOptimize(sim.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_SimulatorRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cbtree
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+// Shared driver for Figures 15/16: Optimistic Descent insert response under
+// the three recovery protocols (none / leaf-only / naive), D=10,
+// T_trans=100.
+
+#ifndef CBTREE_BENCH_RECOVERY_FIGURE_H_
+#define CBTREE_BENCH_RECOVERY_FIGURE_H_
+
+#include <string>
+
+#include "bench/figure_common.h"
+
+namespace cbtree {
+namespace bench {
+
+int RunRecoveryFigure(int argc, char** argv, const std::string& title,
+                      int default_node_size, uint64_t default_items);
+
+}  // namespace bench
+}  // namespace cbtree
+
+#endif  // CBTREE_BENCH_RECOVERY_FIGURE_H_

@@ -1,0 +1,65 @@
+#include "bench/response_figure.h"
+
+#include <cmath>
+#include <iostream>
+
+namespace cbtree {
+namespace bench {
+
+int RunResponseFigure(int argc, char** argv, const std::string& title,
+                      Algorithm algorithm, ResponseKind kind,
+                      double max_fraction) {
+  FigureOptions options;
+  options.Parse(argc, argv);
+
+  auto analyzer = MakeAnalyzer(algorithm, MakeModelParams(options));
+  double max_rate = analyzer->MaxThroughput(/*cap=*/1e6);
+  if (!std::isfinite(max_rate)) max_rate = 1e6;
+
+  if (!options.csv) {
+    PrintBanner(std::cout, title);
+    std::cout << "algorithm=" << analyzer->name()
+              << " N=" << options.node_size << " items=" << options.items
+              << " D=" << options.disk_cost << " mix=" << options.q_s << "/"
+              << options.q_i << "/" << options.q_d
+              << " model_max_throughput=" << max_rate << "\n\n";
+  }
+
+  const char* which = kind == ResponseKind::kSearch ? "search" : "insert";
+  Table table({"lambda", std::string("model_") + which + "_resp",
+               std::string("sim_") + which + "_resp", "sim_ci95",
+               "model_root_rho_w"});
+  for (double lambda : LambdaGrid(max_rate, options.sweep_points,
+                                  max_fraction)) {
+    AnalysisResult analysis = analyzer->Analyze(lambda);
+    table.NewRow().Add(lambda);
+    double model_resp = kind == ResponseKind::kSearch ? analysis.per_search
+                                                      : analysis.per_insert;
+    if (analysis.stable) {
+      table.Add(model_resp);
+    } else {
+      table.AddNA();
+    }
+    if (options.run_sim) {
+      SimPoint point = RunSimPoint(options, algorithm, lambda);
+      const Accumulator& acc =
+          kind == ResponseKind::kSearch ? point.search : point.insert;
+      if (point.ok) {
+        table.Add(acc.mean());
+        table.Add(acc.ci95_halfwidth());
+      } else {
+        table.AddNA();
+        table.AddNA();
+      }
+    } else {
+      table.AddNA();
+      table.AddNA();
+    }
+    table.Add(analysis.root_writer_utilization());
+  }
+  table.Print(std::cout, options.csv);
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace cbtree

@@ -1,0 +1,27 @@
+// Shared driver for Figures 3-8: one algorithm, one operation class,
+// response time vs arrival rate, analytical model next to the simulator.
+
+#ifndef CBTREE_BENCH_RESPONSE_FIGURE_H_
+#define CBTREE_BENCH_RESPONSE_FIGURE_H_
+
+#include <string>
+
+#include "bench/figure_common.h"
+
+namespace cbtree {
+namespace bench {
+
+enum class ResponseKind { kSearch, kInsert };
+
+/// Runs the λ sweep and prints the figure's series. `max_fraction` bounds
+/// the sweep relative to the algorithm's analytical maximum throughput
+/// (Link-type figures stop at 0.5 — beyond that the open system leaves the
+/// steady-state regime the paper assumes).
+int RunResponseFigure(int argc, char** argv, const std::string& title,
+                      Algorithm algorithm, ResponseKind kind,
+                      double max_fraction = 0.9);
+
+}  // namespace bench
+}  // namespace cbtree
+
+#endif  // CBTREE_BENCH_RESPONSE_FIGURE_H_

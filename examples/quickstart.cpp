@@ -1,0 +1,67 @@
+// Quickstart: the whole library in one page.
+//
+// 1. Describe a B-tree deployment (size, node capacity, disk cost, mix).
+// 2. Ask the analytical framework for response times and the maximum
+//    throughput of each concurrency-control algorithm.
+// 3. Validate one operating point with the discrete-event simulator.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/analyzer.h"
+#include "sim/simulator.h"
+
+using namespace cbtree;
+
+int main() {
+  // A 40,000-key B-tree with 13-entry nodes, two in-memory levels, on-disk
+  // accesses 5x slower, and a 30/50/20 search/insert/delete mix — the
+  // paper's reference configuration.
+  ModelParams params = ModelParams::ForTree(
+      /*num_items=*/40000, /*max_node_size=*/13, /*disk_cost=*/5.0,
+      OperationMix{0.3, 0.5, 0.2});
+  std::printf("tree: height=%d, root fanout=%.1f, Pr[leaf split]=%.4f\n\n",
+              params.height(), params.structure.E(params.height()),
+              params.structure.PrF(1));
+
+  // Analyze each algorithm at a moderate arrival rate.
+  const double lambda = 0.3;  // operations per unit time (root search = 1)
+  std::printf("at arrival rate lambda = %.2f:\n", lambda);
+  std::printf("%-22s %10s %10s %10s %12s\n", "algorithm", "search",
+              "insert", "delete", "max rate");
+  for (Algorithm algorithm :
+       {Algorithm::kNaiveLockCoupling, Algorithm::kOptimisticDescent,
+        Algorithm::kLinkType}) {
+    auto analyzer = MakeAnalyzer(algorithm, params);
+    AnalysisResult result = analyzer->Analyze(lambda);
+    std::printf("%-22s %10.2f %10.2f %10.2f %12.2f\n",
+                analyzer->name().c_str(), result.per_search,
+                result.per_insert, result.per_delete,
+                analyzer->MaxThroughput(/*cap=*/1e6));
+  }
+
+  // Cross-check the Optimistic Descent prediction by simulation: build an
+  // actual B-tree and run 10,000 concurrent operations against it.
+  SimConfig config;
+  config.algorithm = Algorithm::kOptimisticDescent;
+  config.lambda = lambda;
+  config.mix = OperationMix{0.3, 0.5, 0.2};
+  config.num_items = 40000;
+  config.seed = 1;
+  SimResult sim = Simulator(config).Run();
+  auto od = MakeAnalyzer(Algorithm::kOptimisticDescent, params);
+  AnalysisResult model = od->Analyze(lambda);
+  std::printf(
+      "\nsimulated optimistic-descent at lambda=%.2f:\n"
+      "  search resp: %.2f (model %.2f)\n"
+      "  insert resp: %.2f (model %.2f)\n"
+      "  root writer utilization: %.3f (model %.3f)\n"
+      "  restarts/op: %.4f (model predicts q_i*Pr[F(1)] = %.4f)\n",
+      lambda, sim.resp_search.mean(), model.per_search,
+      sim.resp_insert.mean(), model.per_insert,
+      sim.root_writer_utilization, model.root_writer_utilization(),
+      static_cast<double>(sim.restarts) / sim.completed,
+      0.5 * params.structure.PrF(1));
+  return 0;
+}

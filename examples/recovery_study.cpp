@@ -1,0 +1,52 @@
+// Recovery study (§7 of the paper): how much B-tree concurrency does
+// transaction recovery cost, and is releasing non-leaf W locks early
+// ("Leaf-only" recovery, Shasha [24]) worth a separate index protocol?
+//
+// Build & run:  ./build/examples/recovery_study
+
+#include <cstdio>
+
+#include "core/optimistic_model.h"
+
+using namespace cbtree;
+
+int main() {
+  ModelParams params = ModelParams::PaperDefault(/*disk_cost=*/10.0);
+  const double t_trans = 100.0;  // remaining transaction time after the op
+
+  OptimisticDescentModel none(params, {RecoveryPolicy::kNone, 0.0});
+  OptimisticDescentModel leaf(params,
+                              {RecoveryPolicy::kLeafOnly, t_trans});
+  OptimisticDescentModel naive(params, {RecoveryPolicy::kNaive, t_trans});
+
+  std::printf("Optimistic Descent, D=10, T_trans=%.0f\n\n", t_trans);
+  std::printf("maximum throughput:\n");
+  std::printf("  no recovery:        %.3f\n", none.MaxThroughput());
+  std::printf("  leaf-only recovery: %.3f\n", leaf.MaxThroughput());
+  std::printf("  naive recovery:     %.3f\n\n", naive.MaxThroughput());
+
+  double probe = naive.MaxThroughput() * 0.9;
+  std::printf("insert response at lambda=%.3f (90%% of naive-recovery "
+              "capacity):\n", probe);
+  std::printf("  no recovery:        %.1f\n",
+              none.Analyze(probe).per_insert);
+  std::printf("  leaf-only recovery: %.1f\n",
+              leaf.Analyze(probe).per_insert);
+  std::printf("  naive recovery:     %.1f\n\n",
+              naive.Analyze(probe).per_insert);
+
+  // How does the verdict change with transaction length?
+  std::printf("%10s %18s %18s\n", "T_trans", "leaf-only max", "naive max");
+  for (double t : {10.0, 50.0, 100.0, 500.0, 2000.0}) {
+    OptimisticDescentModel l(params, {RecoveryPolicy::kLeafOnly, t});
+    OptimisticDescentModel n(params, {RecoveryPolicy::kNaive, t});
+    std::printf("%10.0f %18.3f %18.3f\n", t, l.MaxThroughput(),
+                n.MaxThroughput());
+  }
+  std::printf(
+      "\nConclusion (matches the paper): retaining only leaf W locks until\n"
+      "commit costs little even for long transactions, while retaining all\n"
+      "W locks cripples throughput — a separate index-locking protocol is\n"
+      "worth having.\n");
+  return 0;
+}

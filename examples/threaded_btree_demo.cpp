@@ -1,0 +1,84 @@
+// The three concurrency-control protocols on real threads: a mixed workload
+// hammered at each concurrent B-tree implementation, with consistency
+// verification and throughput/restructuring statistics.
+//
+// Build & run:  ./build/examples/threaded_btree_demo [--threads=4] ...
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "ctree/ctree.h"
+#include "stats/rng.h"
+#include "util/flags.h"
+
+using namespace cbtree;
+
+int main(int argc, char** argv) {
+  int threads = 4;
+  int node_size = 64;
+  int64_t ops_per_thread = 200000;
+  int64_t preload = 100000;
+  FlagSet flags;
+  flags.Register("threads", &threads, "worker threads");
+  flags.Register("node_size", &node_size, "max entries per node");
+  flags.Register("ops", &ops_per_thread, "operations per thread");
+  flags.Register("preload", &preload, "keys inserted before the run");
+  flags.Parse(argc, argv);
+
+  std::printf("%d threads x %ld ops, N=%d, %ld preloaded keys\n\n", threads,
+              static_cast<long>(ops_per_thread), node_size,
+              static_cast<long>(preload));
+  std::printf("%-26s %12s %10s %12s %12s %10s\n", "tree", "ops/sec",
+              "splits", "restarts", "crossings", "keys");
+
+  for (Algorithm algorithm :
+       {Algorithm::kNaiveLockCoupling, Algorithm::kOptimisticDescent,
+        Algorithm::kLinkType}) {
+    auto tree = MakeConcurrentBTree(algorithm, node_size);
+    Rng preload_rng(7);
+    for (int64_t i = 0; i < preload; ++i) {
+      tree->Insert(static_cast<Key>(preload_rng.NextBounded(1 << 22)), i);
+    }
+
+    auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&tree, t, ops_per_thread] {
+        Rng rng(100 + t);
+        for (int64_t i = 0; i < ops_per_thread; ++i) {
+          Key key = static_cast<Key>(rng.NextBounded(1 << 22));
+          uint64_t dice = rng.NextBounded(10);
+          if (dice < 3) {
+            tree->Insert(key, i);
+          } else if (dice < 5) {
+            tree->Delete(key);
+          } else {
+            tree->Search(key);
+          }
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+
+    // Quiescent verification: structure sound, counted keys match size().
+    tree->CheckInvariants();
+    CTreeStats stats = tree->stats();
+    std::printf("%-26s %12.0f %10lu %12lu %12lu %10zu\n",
+                tree->name().c_str(),
+                threads * ops_per_thread / seconds,
+                static_cast<unsigned long>(stats.splits),
+                static_cast<unsigned long>(stats.restarts),
+                static_cast<unsigned long>(stats.link_crossings),
+                tree->size());
+  }
+  std::printf(
+      "\nAll trees passed the post-run structural check. On a many-core\n"
+      "machine the ordering mirrors the paper: the B-link tree degrades\n"
+      "least with writer concurrency, lock-coupling most.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include <algorithm>
+#include <cmath>
+
+#include "btree/btree.h"
+#include "util/check.h"
+
+namespace cbtree {
+
+BTree BTree::BulkLoad(Options options,
+                      const std::vector<std::pair<Key, Value>>& entries,
+                      double fill) {
+  CBTREE_CHECK_GT(fill, 0.0);
+  CBTREE_CHECK_LE(fill, 1.0);
+  BTree tree(options);
+  if (entries.empty()) return tree;
+
+  const int per_node = std::clamp(
+      static_cast<int>(std::lround(fill * options.max_node_size)), 1,
+      options.max_node_size);
+
+  // Build the leaf level.
+  NodeStore& store = tree.store_;
+  std::vector<NodeId> level_nodes;
+  Key previous = std::numeric_limits<Key>::min();
+  bool first = true;
+  for (size_t begin = 0; begin < entries.size(); begin += per_node) {
+    size_t end = std::min(entries.size(), begin + per_node);
+    NodeId id = store.Allocate(/*level=*/1);
+    Node& leaf = store.Get(id);
+    for (size_t i = begin; i < end; ++i) {
+      CBTREE_CHECK(first || entries[i].first > previous)
+          << "bulk load requires sorted, duplicate-free input";
+      first = false;
+      previous = entries[i].first;
+      CBTREE_CHECK_LT(entries[i].first, kInfKey);
+      leaf.keys.push_back(entries[i].first);
+      leaf.values.push_back(entries[i].second);
+    }
+    leaf.high_key = leaf.keys.back();
+    if (!level_nodes.empty()) {
+      store.Get(level_nodes.back()).right = id;
+    }
+    level_nodes.push_back(id);
+  }
+  store.Get(level_nodes.back()).high_key = kInfKey;
+
+  // Stack internal levels until one node remains.
+  int level = 1;
+  while (level_nodes.size() > 1) {
+    ++level;
+    std::vector<NodeId> parents;
+    for (size_t begin = 0; begin < level_nodes.size(); begin += per_node) {
+      size_t end = std::min(level_nodes.size(), begin + per_node);
+      NodeId id = store.Allocate(level);
+      Node& parent = store.Get(id);
+      for (size_t i = begin; i < end; ++i) {
+        const Node& child = store.Get(level_nodes[i]);
+        parent.keys.push_back(child.high_key);
+        parent.children.push_back(level_nodes[i]);
+      }
+      parent.high_key = parent.keys.back();
+      if (!parents.empty()) store.Get(parents.back()).right = id;
+      parents.push_back(id);
+    }
+    level_nodes = std::move(parents);
+  }
+
+  // Install the single remaining node as the root: the tree's root id is
+  // stable, so move the built node's contents into the preallocated root.
+  NodeId built_root = level_nodes.front();
+  Node& src = store.Get(built_root);
+  Node& dst = store.Get(tree.root_);
+  dst.level = src.level;
+  dst.keys = std::move(src.keys);
+  dst.children = std::move(src.children);
+  dst.values = std::move(src.values);
+  dst.right = kInvalidNode;
+  dst.high_key = kInfKey;
+  if (!dst.is_leaf()) {
+    // The root's last bound widens to +inf (rightmost-spine invariant); the
+    // spine below keeps its exact bounds, which is fine: high keys may be
+    // tighter than the root's +inf.
+    dst.keys.back() = kInfKey;
+  }
+  store.Free(built_root);
+  tree.height_ = dst.level;
+  tree.size_ = entries.size();
+  return tree;
+}
+
+}  // namespace cbtree

@@ -1,0 +1,69 @@
+// B+-tree node representation shared by the sequential tree and the
+// discrete-event simulator.
+//
+// Nodes use the "max-key" layout: an internal node stores one (bound, child)
+// entry per child, where `bound` is the inclusive upper bound of the child's
+// key range. This makes leaf and internal splits uniform (move the upper half
+// of the entries to a new right sibling) — exactly the half-split the
+// Link-type algorithm of Lehman & Yao performs — and it makes the high key of
+// an internal node equal to its last bound.
+//
+// Every node carries a right link and a high key so the same structure
+// supports the Link-type algorithm; the lock-coupling algorithms simply do
+// not consult them. The rightmost node of each level has high key kInfKey and
+// (for internal nodes) a last bound of kInfKey.
+
+#ifndef CBTREE_BTREE_NODE_H_
+#define CBTREE_BTREE_NODE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace cbtree {
+
+using Key = int64_t;
+using Value = int64_t;
+
+/// Stable node identifier: index into the tree's NodeStore. Stays valid for
+/// the node's lifetime (until freed), which the lock manager relies on.
+using NodeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+/// Sentinel upper bound of the rightmost node on each level. User keys must
+/// be strictly smaller.
+inline constexpr Key kInfKey = std::numeric_limits<Key>::max();
+
+struct Node {
+  /// 1 for leaves, increasing towards the root (paper convention: leaves are
+  /// level 1, the root is level h).
+  int level = 1;
+
+  /// Sorted, strictly increasing. For a leaf these are the stored keys; for
+  /// an internal node keys[i] is the inclusive upper bound of children[i].
+  std::vector<Key> keys;
+
+  /// Internal nodes only; children.size() == keys.size().
+  std::vector<NodeId> children;
+
+  /// Leaves only; values.size() == keys.size().
+  std::vector<Value> values;
+
+  /// Right sibling on the same level (kInvalidNode for the rightmost node).
+  NodeId right = kInvalidNode;
+
+  /// Inclusive upper bound of the keys this node (and its subtree) may hold.
+  /// kInfKey for the rightmost node of a level. For internal nodes this
+  /// always equals keys.back().
+  Key high_key = kInfKey;
+
+  bool is_leaf() const { return level == 1; }
+  size_t size() const { return keys.size(); }
+  bool empty() const { return keys.empty(); }
+};
+
+}  // namespace cbtree
+
+#endif  // CBTREE_BTREE_NODE_H_

@@ -1,0 +1,30 @@
+#include "btree/node_store.h"
+
+namespace cbtree {
+
+NodeId NodeStore::Allocate(int level) {
+  ++total_allocated_;
+  ++live_count_;
+  NodeId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    slots_[id] = std::make_unique<Node>();
+  } else {
+    id = static_cast<NodeId>(slots_.size());
+    CBTREE_CHECK_LT(id, kInvalidNode);
+    slots_.push_back(std::make_unique<Node>());
+  }
+  slots_[id]->level = level;
+  return id;
+}
+
+void NodeStore::Free(NodeId id) {
+  CBTREE_CHECK(IsLive(id)) << "double free of node " << id;
+  slots_[id].reset();
+  free_list_.push_back(id);
+  ++total_freed_;
+  --live_count_;
+}
+
+}  // namespace cbtree

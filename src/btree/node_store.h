@@ -1,0 +1,62 @@
+// Arena of B+-tree nodes addressed by stable NodeIds.
+
+#ifndef CBTREE_BTREE_NODE_STORE_H_
+#define CBTREE_BTREE_NODE_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "btree/node.h"
+#include "util/check.h"
+
+namespace cbtree {
+
+/// Owns all nodes of one tree. Freed slots are recycled through a free list;
+/// accessing a freed id is a checked error.
+class NodeStore {
+ public:
+  NodeStore() = default;
+  NodeStore(const NodeStore&) = delete;
+  NodeStore& operator=(const NodeStore&) = delete;
+  NodeStore(NodeStore&&) = default;
+  NodeStore& operator=(NodeStore&&) = default;
+
+  /// Allocates a fresh node at the given level.
+  NodeId Allocate(int level);
+
+  /// Frees a node. The id may be recycled by a later Allocate.
+  void Free(NodeId id);
+
+  Node& Get(NodeId id) {
+    CBTREE_DCHECK(IsLive(id)) << "access to dead node " << id;
+    return *slots_[id];
+  }
+  const Node& Get(NodeId id) const {
+    CBTREE_DCHECK(IsLive(id)) << "access to dead node " << id;
+    return *slots_[id];
+  }
+
+  bool IsLive(NodeId id) const {
+    return id < slots_.size() && slots_[id] != nullptr;
+  }
+
+  /// Number of live nodes.
+  size_t live_count() const { return live_count_; }
+  /// Upper bound on ids ever handed out (for dense per-node side tables).
+  size_t capacity() const { return slots_.size(); }
+
+  /// Total nodes ever allocated / freed (restructuring counters).
+  uint64_t total_allocated() const { return total_allocated_; }
+  uint64_t total_freed() const { return total_freed_; }
+
+ private:
+  std::vector<std::unique_ptr<Node>> slots_;
+  std::vector<NodeId> free_list_;
+  size_t live_count_ = 0;
+  uint64_t total_allocated_ = 0;
+  uint64_t total_freed_ = 0;
+};
+
+}  // namespace cbtree
+
+#endif  // CBTREE_BTREE_NODE_STORE_H_

@@ -1,0 +1,64 @@
+#include "btree/tree_stats.h"
+
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cbtree {
+
+TreeShapeStats CollectTreeStats(const BTree& tree) {
+  TreeShapeStats stats;
+  stats.height = tree.height();
+  stats.num_keys = tree.size();
+  stats.levels.resize(stats.height + 1);
+  for (int level = 1; level <= stats.height; ++level) {
+    stats.levels[level].level = level;
+  }
+  // Breadth-first walk from the root.
+  std::vector<NodeId> frontier = {tree.root()};
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (NodeId id : frontier) {
+      const Node& n = tree.node(id);
+      CBTREE_CHECK_GE(n.level, 1);
+      CBTREE_CHECK_LE(n.level, stats.height);
+      LevelStats& ls = stats.levels[n.level];
+      ++ls.nodes;
+      ls.entries += n.size();
+      ++stats.num_nodes;
+      if (!n.is_leaf()) {
+        next.insert(next.end(), n.children.begin(), n.children.end());
+      }
+    }
+    frontier = std::move(next);
+  }
+  const double capacity = tree.options().max_node_size;
+  for (int level = 1; level <= stats.height; ++level) {
+    LevelStats& ls = stats.levels[level];
+    if (ls.nodes > 0) {
+      ls.mean_entries = static_cast<double>(ls.entries) /
+                        static_cast<double>(ls.nodes);
+      ls.utilization = ls.mean_entries / capacity;
+    }
+  }
+  stats.root_fanout = stats.levels[stats.height].mean_entries;
+  stats.leaf_utilization = stats.levels[1].utilization;
+  return stats;
+}
+
+std::string TreeShapeStats::ToString() const {
+  std::ostringstream out;
+  out << "height=" << height << " keys=" << num_keys << " nodes=" << num_nodes
+      << " root_fanout=" << root_fanout
+      << " leaf_util=" << leaf_utilization << "\n";
+  for (int level = height; level >= 1; --level) {
+    const LevelStats& ls = levels[level];
+    out << "  level " << level << ": nodes=" << ls.nodes
+        << " mean_entries=" << ls.mean_entries
+        << " utilization=" << ls.utilization << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cbtree

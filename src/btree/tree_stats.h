@@ -1,0 +1,45 @@
+// Shape and occupancy statistics of a B+-tree instance. The analytical
+// models need the empirical fanouts E(i) and node counts; the merge-policy
+// ablation compares utilizations.
+
+#ifndef CBTREE_BTREE_TREE_STATS_H_
+#define CBTREE_BTREE_TREE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+
+namespace cbtree {
+
+struct LevelStats {
+  int level = 0;
+  uint64_t nodes = 0;
+  uint64_t entries = 0;  ///< keys at leaves, children at internal levels
+  double mean_entries = 0.0;
+  /// entries / (nodes * max_node_size); the paper's space utilization.
+  double utilization = 0.0;
+};
+
+struct TreeShapeStats {
+  int height = 0;
+  uint64_t num_keys = 0;
+  uint64_t num_nodes = 0;
+  /// Indexed by level (1 = leaves, height = root; index 0 unused).
+  std::vector<LevelStats> levels;
+  /// Root fanout E(h): children of the root.
+  double root_fanout = 0.0;
+  /// Leaf-level utilization (paper expects ~ln 2 = .69 for pure inserts,
+  /// lower with deletes per Johnson & Shasha [10]).
+  double leaf_utilization = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Walks the tree once and collects per-level statistics.
+TreeShapeStats CollectTreeStats(const BTree& tree);
+
+}  // namespace cbtree
+
+#endif  // CBTREE_BTREE_TREE_STATS_H_

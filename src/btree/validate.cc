@@ -1,0 +1,150 @@
+#include "btree/validate.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace cbtree {
+
+namespace {
+
+class Validator {
+ public:
+  Validator(const BTree& tree, const ValidateOptions& options)
+      : tree_(tree), options_(options) {}
+
+  ValidateResult Run() {
+    const Node& root = tree_.node(tree_.root());
+    if (root.right != kInvalidNode) return Fail("root has a right link");
+    if (root.high_key != kInfKey) return Fail("root high key is not +inf");
+    if (root.level != tree_.height()) {
+      return Fail("root level disagrees with height()");
+    }
+    keys_seen_ = 0;
+    if (!CheckSubtree(tree_.root(), kInfKey)) return result_;
+    if (keys_seen_ != tree_.size()) {
+      std::ostringstream msg;
+      msg << "size() = " << tree_.size() << " but " << keys_seen_
+          << " keys reachable";
+      return Fail(msg.str());
+    }
+    if (visited_.size() != tree_.store().live_count()) {
+      std::ostringstream msg;
+      msg << tree_.store().live_count() << " live nodes but "
+          << visited_.size() << " reachable";
+      return Fail(msg.str());
+    }
+    if (options_.check_links && !CheckLinks()) return result_;
+    return result_;
+  }
+
+ private:
+  ValidateResult Fail(const std::string& message) {
+    result_.ok = false;
+    result_.error = message;
+    return result_;
+  }
+
+  bool FailNode(NodeId id, const std::string& message) {
+    std::ostringstream msg;
+    msg << "node " << id << ": " << message;
+    Fail(msg.str());
+    return false;
+  }
+
+  // Checks the subtree rooted at `id`, whose keys must be <= bound (and
+  // above the implicit lower bound enforced by sibling recursion order).
+  bool CheckSubtree(NodeId id, Key bound) {
+    if (!tree_.IsLive(id)) return FailNode(id, "dead node reachable");
+    if (!visited_.insert(id).second) return FailNode(id, "reached twice");
+    const Node& n = tree_.node(id);
+    const int max_size = tree_.options().max_node_size;
+    if (static_cast<int>(n.size()) > max_size) {
+      return FailNode(id, "over capacity");
+    }
+    if (options_.check_min_occupancy && id != tree_.root() &&
+        static_cast<int>(n.size()) < (max_size + 1) / 2) {
+      return FailNode(id, "under merge-at-half occupancy");
+    }
+    for (size_t i = 0; i + 1 < n.keys.size(); ++i) {
+      if (n.keys[i] >= n.keys[i + 1]) return FailNode(id, "keys out of order");
+    }
+    if (n.is_leaf()) {
+      if (!n.children.empty()) return FailNode(id, "leaf with children");
+      if (n.values.size() != n.keys.size()) {
+        return FailNode(id, "leaf keys/values size mismatch");
+      }
+      for (Key k : n.keys) {
+        if (k >= kInfKey) return FailNode(id, "leaf holds the +inf sentinel");
+        if (k > bound) return FailNode(id, "leaf key above parent bound");
+        if (k > n.high_key) return FailNode(id, "leaf key above high key");
+      }
+      keys_seen_ += n.keys.size();
+      per_level_[n.level].push_back(id);
+      return true;
+    }
+    if (!n.values.empty()) return FailNode(id, "internal node with values");
+    if (n.children.size() != n.keys.size()) {
+      return FailNode(id, "internal keys/children size mismatch");
+    }
+    if (n.empty()) return FailNode(id, "empty internal node");
+    if (n.keys.back() != n.high_key) {
+      return FailNode(id, "internal last bound != high key");
+    }
+    if (n.keys.back() > bound) {
+      return FailNode(id, "internal bound above parent bound");
+    }
+    per_level_[n.level].push_back(id);
+    for (size_t i = 0; i < n.children.size(); ++i) {
+      const Node& child = tree_.node(n.children[i]);
+      if (child.level != n.level - 1) {
+        return FailNode(n.children[i], "level is not parent level - 1");
+      }
+      if (child.high_key > n.keys[i]) {
+        return FailNode(n.children[i], "child high key above entry bound");
+      }
+      if (!CheckSubtree(n.children[i], n.keys[i])) return false;
+    }
+    return true;
+  }
+
+  // Each level's nodes, collected in key order by the subtree recursion,
+  // must form exactly the right-link chain.
+  bool CheckLinks() {
+    for (const auto& [level, nodes] : per_level_) {
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        const Node& n = tree_.node(nodes[i]);
+        NodeId expected_right =
+            (i + 1 < nodes.size()) ? nodes[i + 1] : kInvalidNode;
+        if (n.right != expected_right) {
+          return FailNode(nodes[i], "right link does not point to successor");
+        }
+        if (i + 1 < nodes.size()) {
+          const Node& next = tree_.node(nodes[i + 1]);
+          if (n.high_key >= next.high_key) {
+            return FailNode(nodes[i], "high keys not increasing along links");
+          }
+        } else if (n.high_key != kInfKey) {
+          return FailNode(nodes[i], "rightmost node high key is not +inf");
+        }
+      }
+    }
+    return true;
+  }
+
+  const BTree& tree_;
+  ValidateOptions options_;
+  ValidateResult result_;
+  std::set<NodeId> visited_;
+  size_t keys_seen_ = 0;
+  std::map<int, std::vector<NodeId>> per_level_;
+};
+
+}  // namespace
+
+ValidateResult ValidateTree(const BTree& tree, ValidateOptions options) {
+  return Validator(tree, options).Run();
+}
+
+}  // namespace cbtree

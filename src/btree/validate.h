@@ -1,0 +1,44 @@
+// Structural invariant checker for the B+-tree. Used heavily by the property
+// tests and (optionally) by the simulator between events.
+
+#ifndef CBTREE_BTREE_VALIDATE_H_
+#define CBTREE_BTREE_VALIDATE_H_
+
+#include <string>
+
+#include "btree/btree.h"
+
+namespace cbtree {
+
+struct ValidateOptions {
+  /// Check the right-link chain and high keys of every level (valid for
+  /// trees that never removed nodes outside merge-at-half, e.g. anything the
+  /// Link-type algorithm produced).
+  bool check_links = true;
+  /// Check per-node occupancy >= ceil(N/2) (merge-at-half trees only).
+  bool check_min_occupancy = false;
+};
+
+struct ValidateResult {
+  bool ok = true;
+  std::string error;  ///< first violated invariant, empty when ok
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Verifies, in one pass:
+///  * keys strictly increasing in every node, all < kInfKey,
+///  * every subtree's keys lie in its parent entry's (low, bound] range,
+///  * internal nodes have keys.size() == children.size() and their last
+///    bound equals their high key,
+///  * all levels decrease by exactly one along every path (uniform depth),
+///  * the stored size() matches the number of reachable leaf keys,
+///  * node occupancy <= max_node_size,
+///  * (optional) right links connect each level left-to-right with
+///    monotonically increasing high keys ending at kInfKey,
+///  * live node count in the store matches the number of reachable nodes.
+ValidateResult ValidateTree(const BTree& tree, ValidateOptions options = {});
+
+}  // namespace cbtree
+
+#endif  // CBTREE_BTREE_VALIDATE_H_

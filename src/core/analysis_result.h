@@ -1,0 +1,54 @@
+// Result structures shared by all analytical models.
+
+#ifndef CBTREE_CORE_ANALYSIS_RESULT_H_
+#define CBTREE_CORE_ANALYSIS_RESULT_H_
+
+#include <string>
+#include <vector>
+
+namespace cbtree {
+
+/// Per-level queue solution (paper §5 "Variables").
+struct LevelAnalysis {
+  int level = 0;
+  double lambda = 0.0;    ///< total operation arrival rate into this queue
+  double lambda_r = 0.0;  ///< R-lock arrival rate
+  double lambda_w = 0.0;  ///< W-lock arrival rate
+  double mu_r = 0.0;      ///< R-lock service rate
+  double mu_w = 0.0;      ///< W-lock service rate
+  double rho_w = 0.0;     ///< writer utilization (Theorem 6 fixed point)
+  double r_u = 0.0;       ///< reader wait, writer already queued
+  double r_e = 0.0;       ///< reader wait, queue writer-free at arrival
+  double wait_r = 0.0;    ///< R(i): expected time to obtain an R lock
+  double wait_w = 0.0;    ///< W(i): expected time to obtain a W lock
+  double t_s = 0.0;       ///< T(S,i): search lock hold time
+  double t_i = 0.0;       ///< T(I,i): insert (or redo-insert) hold time
+  double t_d = 0.0;       ///< T(D,i): delete hold time
+  bool stable = true;
+};
+
+/// Full solution of one algorithm at one arrival rate.
+struct AnalysisResult {
+  bool stable = false;
+  /// First saturated level when !stable (1 = leaves), 0 otherwise.
+  int bottleneck_level = 0;
+  /// Indexed by level, [1, h]; index 0 unused.
+  std::vector<LevelAnalysis> levels;
+
+  double per_search = 0.0;  ///< Per(S)
+  double per_insert = 0.0;  ///< Per(I)
+  double per_delete = 0.0;  ///< Per(D)
+  double mean_response = 0.0;  ///< mix-weighted response time
+
+  // Optimistic-Descent extras (zero elsewhere).
+  double per_first_descent = 0.0;  ///< update first-pass response
+  double per_redo_insert = 0.0;    ///< Per of the redo-insert pass
+
+  double root_writer_utilization() const {
+    return levels.empty() ? 0.0 : levels.back().rho_w;
+  }
+};
+
+}  // namespace cbtree
+
+#endif  // CBTREE_CORE_ANALYSIS_RESULT_H_

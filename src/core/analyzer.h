@@ -1,0 +1,62 @@
+// Uniform interface of the analytical models (paper §3.3: "the framework
+// allows concurrent algorithms to be analyzed in a uniform manner").
+
+#ifndef CBTREE_CORE_ANALYZER_H_
+#define CBTREE_CORE_ANALYZER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/analysis_result.h"
+#include "core/params.h"
+
+namespace cbtree {
+
+enum class Algorithm {
+  kNaiveLockCoupling,
+  kOptimisticDescent,
+  kLinkType,
+  kTwoPhaseLocking,
+};
+
+std::string AlgorithmName(Algorithm algorithm);
+
+/// Base of the three analytical models. Thread-compatible; Analyze is const
+/// and reentrant.
+class Analyzer {
+ public:
+  explicit Analyzer(ModelParams params);
+  virtual ~Analyzer() = default;
+
+  const ModelParams& params() const { return params_; }
+  virtual std::string name() const = 0;
+
+  /// Solves every level queue bottom-up at total arrival rate `lambda` and
+  /// derives the response times. result.stable is false past saturation (the
+  /// response times are then meaningless and reported as +inf).
+  virtual AnalysisResult Analyze(double lambda) const = 0;
+
+  /// Maximum throughput: the supremum of stable arrival rates (Theorem 2 for
+  /// Naive Lock-coupling: the rate at which rho_w(h) reaches 1). Returns
+  /// +infinity when no saturation is found below `cap` (the paper's
+  /// conclusion for the Link-type algorithm).
+  double MaxThroughput(double cap = 1e9, double tolerance = 1e-6) const;
+
+  /// The arrival rate at which the *root* writer utilization reaches
+  /// `target` (the rules of thumb predict this point for target = .5).
+  /// nullopt if the utilization never reaches the target while stable.
+  std::optional<double> ArrivalRateForRootUtilization(
+      double target, double cap = 1e9) const;
+
+ protected:
+  ModelParams params_;
+};
+
+/// Factory over the three algorithms.
+std::unique_ptr<Analyzer> MakeAnalyzer(Algorithm algorithm,
+                                       ModelParams params);
+
+}  // namespace cbtree
+
+#endif  // CBTREE_CORE_ANALYZER_H_

@@ -1,0 +1,40 @@
+#include "core/buffer_model.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cbtree {
+
+std::vector<double> BufferHitFractions(const StructureParams& structure,
+                                       double buffer_nodes) {
+  CBTREE_CHECK_GE(buffer_nodes, 0.0);
+  CBTREE_CHECK_GE(static_cast<int>(structure.nodes_per_level.size()),
+                  structure.height + 1)
+      << "structure lacks node counts (build it with MakeStructureParams)";
+  std::vector<double> hit(structure.height + 1, 0.0);
+  double remaining = buffer_nodes;
+  for (int level = structure.height; level >= 1; --level) {
+    double nodes = structure.nodes_per_level[level];
+    CBTREE_CHECK_GT(nodes, 0.0);
+    double cached = std::min(nodes, remaining);
+    hit[level] = cached / nodes;
+    remaining -= cached;
+    if (remaining <= 0.0) break;
+  }
+  return hit;
+}
+
+ModelParams WithBufferPool(ModelParams params, double buffer_nodes) {
+  std::vector<double> hit =
+      BufferHitFractions(params.structure, buffer_nodes);
+  std::vector<double> se(params.height() + 1, 0.0);
+  for (int level = 1; level <= params.height(); ++level) {
+    se[level] = params.cost.root_search_time *
+                (hit[level] + (1.0 - hit[level]) * params.cost.disk_cost);
+  }
+  params.cost.se_override = std::move(se);
+  return params;
+}
+
+}  // namespace cbtree

@@ -1,0 +1,35 @@
+// Analytical counterpart of the simulator's LRU buffer pool (the paper's
+// full-version "LRU buffering" discussion).
+//
+// Under LRU, per-node access frequency decreases down the tree (every
+// operation touches one node per level, but lower levels spread those
+// touches across many more nodes), so a buffer of B nodes effectively caches
+// the tree top-down: whole upper levels first, then a fraction of the first
+// level that does not fit. The expected access time of a level-i node
+// becomes
+//   Se(i) = root_search_time * (hit(i) + (1 - hit(i)) * disk_cost),
+// with hit(i) the cached fraction of level i.
+
+#ifndef CBTREE_CORE_BUFFER_MODEL_H_
+#define CBTREE_CORE_BUFFER_MODEL_H_
+
+#include <vector>
+
+#include "core/params.h"
+
+namespace cbtree {
+
+/// Per-level cache hit fractions for a buffer of `buffer_nodes` nodes,
+/// allocated top-down across structure.nodes_per_level. Index by level;
+/// index 0 unused.
+std::vector<double> BufferHitFractions(const StructureParams& structure,
+                                       double buffer_nodes);
+
+/// Returns `params` with the cost model's per-level access times replaced
+/// by the buffer-pool expectation (se_override). The in_memory_levels rule
+/// no longer applies.
+ModelParams WithBufferPool(ModelParams params, double buffer_nodes);
+
+}  // namespace cbtree
+
+#endif  // CBTREE_CORE_BUFFER_MODEL_H_

@@ -1,0 +1,43 @@
+#include "core/level_solver.h"
+
+#include "core/staged_server.h"
+#include "util/check.h"
+
+namespace cbtree {
+
+WaitTimes ExponentialServerWaits(const RwQueueResult& queue) {
+  WaitTimes waits;
+  if (!queue.stable) return waits;  // callers mark the level saturated
+  double rho = queue.rho_w;
+  waits.r = rho / (1.0 - rho) * queue.t_a;
+  waits.w = waits.r + queue.ReaderWait();
+  return waits;
+}
+
+WaitTimes CouplingLevelWaits(const CouplingLevelInput& in) {
+  WaitTimes waits;
+  if (!in.queue.stable) return waits;
+  const RwQueueResult& below = in.queue_below;
+
+  // Stage e: every writer searches the node and may wait out the readers
+  // granted just ahead of it.
+  double t_e = in.se + in.queue.ReaderWait();
+
+  // Stage o: wait to obtain the child's lock. With probability rho_w(i-1) a
+  // writer is below, and the conditional wait is R(i-1)/rho_w(i-1) + r_u;
+  // otherwise only the reader batch r_e(i-1) is ahead.
+  double rho_o = below.rho_w;
+  double mean_busy_wait =
+      rho_o > 0.0 ? in.wait_r_below / rho_o + below.r_u : 0.0;
+
+  StagedServer server;
+  server.AddExponentialStage(t_e);
+  server.AddStage({{rho_o, mean_busy_wait}, {1.0 - rho_o, below.r_e}});
+  server.AddStage({{in.p_f, in.t_f}});
+
+  waits.r = server.MG1Wait(in.lambda_w, in.queue.rho_w);
+  waits.w = waits.r + in.queue.ReaderWait();
+  return waits;
+}
+
+}  // namespace cbtree

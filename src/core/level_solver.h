@@ -1,0 +1,42 @@
+// Shared per-level waiting-time machinery: Theorem 4 (leaf queues, treated
+// as M/M/1 on aggregate customers) and Theorem 3 (upper-level queues with
+// the hyperexponential lock-coupling server of Figure 2).
+
+#ifndef CBTREE_CORE_LEVEL_SOLVER_H_
+#define CBTREE_CORE_LEVEL_SOLVER_H_
+
+#include "core/rw_queue.h"
+
+namespace cbtree {
+
+struct WaitTimes {
+  double r = 0.0;  ///< R(i): expected time to obtain an R lock
+  double w = 0.0;  ///< W(i): expected time to obtain a W lock
+};
+
+/// Theorem 4: waits at a queue whose W-lock service is modeled as a single
+/// exponential (the leaves, and every level of the Link-type algorithm).
+///   R = rho_w/(1-rho_w) * t_a,   W = R + rho_w*r_u + (1-rho_w)*r_e.
+WaitTimes ExponentialServerWaits(const RwQueueResult& queue);
+
+/// Theorem 3 inputs for an upper level i of a lock-coupling algorithm.
+struct CouplingLevelInput {
+  double lambda_w = 0.0;  ///< W-lock arrival rate at level i
+  double se = 0.0;        ///< Se(i)
+  double p_f = 0.0;       ///< probability the W lock finds an unsafe child
+  double t_f = 0.0;       ///< extra hold time when the child is unsafe
+  RwQueueResult queue;        ///< level i Theorem 6 solution
+  RwQueueResult queue_below;  ///< level i-1 Theorem 6 solution
+  double wait_r_below = 0.0;  ///< R(i-1)
+};
+
+/// Theorem 3: waits at an upper level of a lock-coupling algorithm, using
+/// the three-stage hyperexponential server of Figure 2:
+///   stage e — always: search + wait for preceding readers,
+///   stage o — wait for the child's lock (conditional on a writer below),
+///   stage f — hold while the unsafe child restructures (probability p_f).
+WaitTimes CouplingLevelWaits(const CouplingLevelInput& input);
+
+}  // namespace cbtree
+
+#endif  // CBTREE_CORE_LEVEL_SOLVER_H_

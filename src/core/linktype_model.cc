@@ -1,0 +1,110 @@
+#include "core/linktype_model.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/level_solver.h"
+#include "core/rw_queue.h"
+#include "util/check.h"
+
+namespace cbtree {
+
+AnalysisResult LinkTypeModel::Analyze(double lambda) const {
+  CBTREE_CHECK_GE(lambda, 0.0);
+  const CostModel& cost = params_.cost;
+  const StructureParams& st = params_.structure;
+  const OperationMix& mix = params_.mix;
+  const int h = params_.height();
+
+  AnalysisResult result;
+  result.levels.resize(h + 1);
+
+  std::vector<double> lambda_level(h + 1, 0.0);
+  lambda_level[h] = lambda;
+  for (int i = h - 1; i >= 1; --i) {
+    lambda_level[i] = lambda_level[i + 1] / st.E(i + 1);
+  }
+
+  const double update_fraction = mix.update_fraction();
+  const double insert_share =
+      update_fraction > 0.0 ? mix.q_i / update_fraction : 0.0;
+
+  bool stable = true;
+  int bottleneck = 0;
+  for (int i = 1; i <= h; ++i) {
+    LevelAnalysis& level = result.levels[i];
+    level.level = i;
+    level.lambda = lambda_level[i];
+    level.t_s = cost.Se(i);
+    level.mu_r = 1.0 / level.t_s;
+
+    if (i == 1) {
+      level.lambda_r = mix.q_s * lambda_level[1];
+      level.lambda_w = update_fraction * lambda_level[1];
+      // Updates modify the leaf; inserts additionally half-split it with
+      // probability Pr[F(1)].
+      double split_prob = insert_share * st.PrF(1);
+      level.t_i = cost.M() + st.PrF(1) * cost.Sp(1);
+      level.t_d = cost.M();
+      level.mu_w = 1.0 / (cost.M() + split_prob * cost.Sp(1));
+    } else {
+      // All descending operations read this level; W locks arrive at the
+      // rate its children split: q_i * lambda_i * prod_{k<i} Pr[F(k)].
+      level.lambda_r = lambda_level[i];
+      level.lambda_w =
+          mix.q_i * lambda_level[i] * st.PrFProduct(i - 1);
+      // The split-insertion modifies the node and may half-split it too.
+      level.t_i = cost.M(i) + st.PrF(i) * cost.Sp(i);
+      level.t_d = level.t_i;
+      level.mu_w = 1.0 / level.t_i;
+    }
+
+    RwQueueResult queue = SolveRwQueue(
+        {level.lambda_r, level.lambda_w, level.mu_r, level.mu_w});
+    level.rho_w = queue.rho_w;
+    level.r_u = queue.r_u;
+    level.r_e = queue.r_e;
+    level.stable = queue.stable;
+    if (!queue.stable && stable) {
+      stable = false;
+      bottleneck = i;
+    }
+
+    // No coupling: every level is an exponential-server R/W queue.
+    WaitTimes waits = ExponentialServerWaits(queue);
+    level.wait_r = waits.r;
+    level.wait_w = waits.w;
+  }
+
+  result.stable = stable;
+  result.bottleneck_level = bottleneck;
+  if (!stable) {
+    result.per_search = result.per_insert = result.per_delete =
+        result.mean_response = std::numeric_limits<double>::infinity();
+    return result;
+  }
+
+  // Response times. Descents hold one R lock at a time; updates then W-lock
+  // the leaf. A split at level j costs Sp(j) plus the wait for the W lock
+  // one level up, with probability prod_{k<=j} Pr[F(k)].
+  double per_s = 0.0;
+  double descent_upper = 0.0;
+  for (int i = 1; i <= h; ++i) {
+    per_s += cost.Se(i) + result.levels[i].wait_r;
+    if (i >= 2) descent_upper += cost.Se(i) + result.levels[i].wait_r;
+  }
+  double update_base = descent_upper + result.levels[1].wait_w + cost.M();
+  double per_i = update_base;
+  for (int j = 1; j <= h - 1; ++j) {
+    per_i += st.PrFProduct(j) *
+             (cost.Sp(j) + result.levels[j + 1].wait_w + cost.M(j + 1));
+  }
+  result.per_search = per_s;
+  result.per_insert = per_i;
+  result.per_delete = update_base;
+  result.mean_response = mix.q_s * per_s + mix.q_i * per_i +
+                         mix.q_d * result.per_delete;
+  return result;
+}
+
+}  // namespace cbtree

@@ -1,0 +1,129 @@
+#include "core/naive_model.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/level_solver.h"
+#include "core/rw_queue.h"
+#include "util/check.h"
+
+namespace cbtree {
+
+AnalysisResult NaiveLockCouplingModel::Analyze(double lambda) const {
+  CBTREE_CHECK_GE(lambda, 0.0);
+  const CostModel& cost = params_.cost;
+  const StructureParams& st = params_.structure;
+  const OperationMix& mix = params_.mix;
+  const int h = params_.height();
+
+  AnalysisResult result;
+  result.levels.resize(h + 1);
+
+  // Proposition 2: arrival rates per level, thinning by the fanout.
+  std::vector<double> lambda_level(h + 1, 0.0);
+  lambda_level[h] = lambda;
+  for (int i = h - 1; i >= 1; --i) {
+    lambda_level[i] = lambda_level[i + 1] / st.E(i + 1);
+  }
+
+  const double update_fraction = mix.update_fraction();
+  const double insert_share =
+      update_fraction > 0.0 ? mix.q_i / update_fraction : 0.0;
+  const double delete_share =
+      update_fraction > 0.0 ? mix.q_d / update_fraction : 0.0;
+
+  bool stable = true;
+  int bottleneck = 0;
+  for (int i = 1; i <= h; ++i) {
+    LevelAnalysis& level = result.levels[i];
+    level.level = i;
+    level.lambda = lambda_level[i];
+    level.lambda_r = mix.q_s * lambda_level[i];
+    level.lambda_w = update_fraction * lambda_level[i];
+
+    // Theorem 1: lock hold times (when another operation might wait).
+    if (i == 1) {
+      level.t_s = cost.Se(1);
+      level.t_i = cost.M();
+      level.t_d = cost.M();
+    } else {
+      const LevelAnalysis& below = result.levels[i - 1];
+      level.t_s = cost.Se(i) + below.wait_r;
+      level.t_i = cost.Se(i) + below.wait_w + st.PrF(i - 1) * below.t_i +
+                  cost.Sp(i - 1) * st.PrFProduct(i - 1);
+      double em_product = 1.0;
+      for (int k = 1; k <= i - 1; ++k) em_product *= st.PrEm(k);
+      level.t_d = cost.Se(i) + below.wait_w + st.PrEm(i - 1) * below.t_d +
+                  cost.Mg(i - 1) * em_product;
+    }
+
+    // Proposition 1: service rates of the R and W job classes.
+    level.mu_r = 1.0 / level.t_s;
+    double t_w = insert_share * level.t_i + delete_share * level.t_d;
+    level.mu_w = t_w > 0.0 ? 1.0 / t_w : std::numeric_limits<double>::max();
+
+    // Theorem 6 on this level's queue.
+    RwQueueResult queue = SolveRwQueue(
+        {level.lambda_r, level.lambda_w, level.mu_r, level.mu_w});
+    level.rho_w = queue.rho_w;
+    level.r_u = queue.r_u;
+    level.r_e = queue.r_e;
+    level.stable = queue.stable;
+    if (!queue.stable && stable) {
+      stable = false;
+      bottleneck = i;
+    }
+
+    // Theorems 4 (leaves) and 3 (upper levels): lock waiting times.
+    WaitTimes waits;
+    if (i == 1) {
+      waits = ExponentialServerWaits(queue);
+    } else {
+      const LevelAnalysis& below = result.levels[i - 1];
+      CouplingLevelInput input;
+      input.lambda_w = level.lambda_w;
+      input.se = cost.Se(i);
+      input.p_f = insert_share * st.PrF(i - 1);
+      input.t_f = below.t_i + cost.Sp(i - 1) * st.PrFProduct(i - 2);
+      input.queue = queue;
+      input.queue_below = RwQueueResult{below.stable, below.rho_w, below.r_u,
+                                        below.r_e, 0.0};
+      input.wait_r_below = below.wait_r;
+      waits = CouplingLevelWaits(input);
+    }
+    level.wait_r = waits.r;
+    level.wait_w = waits.w;
+  }
+
+  result.stable = stable;
+  result.bottleneck_level = bottleneck;
+  if (!stable) {
+    result.per_search = result.per_insert = result.per_delete =
+        result.mean_response = std::numeric_limits<double>::infinity();
+    return result;
+  }
+
+  // Theorem 5: response times.
+  double per_s = 0.0;
+  double per_d = cost.M() + result.levels[1].wait_w;
+  double per_i = cost.M();
+  for (int i = 1; i <= h; ++i) {
+    per_s += cost.Se(i) + result.levels[i].wait_r;
+    per_i += result.levels[i].wait_w;
+    if (i >= 2) {
+      per_d += cost.Se(i) + result.levels[i].wait_w;
+      per_i += cost.Se(i);
+    }
+  }
+  for (int j = 1; j <= h - 1; ++j) {
+    per_i += st.PrFProduct(j) * cost.Sp(j);
+  }
+  result.per_search = per_s;
+  result.per_insert = per_i;
+  result.per_delete = per_d;
+  result.mean_response =
+      mix.q_s * per_s + mix.q_i * per_i + mix.q_d * per_d;
+  return result;
+}
+
+}  // namespace cbtree

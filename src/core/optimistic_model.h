@@ -1,0 +1,55 @@
+// Analytical model of the Optimistic Descent algorithm (paper §5.1), with
+// the recovery extension of §7.
+//
+// Update operations descend once with R locks and W-lock only the leaf; when
+// the leaf turns out to be unsafe they restart as "redo-insert" operations
+// that follow the Naive Lock-coupling insert protocol. The redo arrival rate
+// is q_i * Pr[F(1)] * lambda. (Redo-deletes are vanishingly rare under
+// merge-at-empty with more inserts than deletes and are ignored, as in the
+// paper.)
+//
+// Recovery (§7): W locks may be retained until the transaction commits,
+// T_trans after the B-tree work. Under Leaf-only recovery just the leaf
+// W lock is retained; under Naive recovery every W lock is, which the paper
+// models by extending the upper-level hold times by Pr[F(i)] * T_trans.
+
+#ifndef CBTREE_CORE_OPTIMISTIC_MODEL_H_
+#define CBTREE_CORE_OPTIMISTIC_MODEL_H_
+
+#include "core/analyzer.h"
+
+namespace cbtree {
+
+enum class RecoveryPolicy {
+  kNone,      ///< locks released as soon as the operation is done
+  kLeafOnly,  ///< leaf W locks retained until commit (Shasha [24])
+  kNaive,     ///< every W lock retained until commit
+};
+
+std::string RecoveryPolicyName(RecoveryPolicy policy);
+
+struct RecoveryConfig {
+  RecoveryPolicy policy = RecoveryPolicy::kNone;
+  /// Expected remaining transaction time after the index operation
+  /// completes (the paper uses 100 in Figures 15/16).
+  double t_trans = 0.0;
+};
+
+class OptimisticDescentModel : public Analyzer {
+ public:
+  explicit OptimisticDescentModel(ModelParams params,
+                                  RecoveryConfig recovery = {})
+      : Analyzer(std::move(params)), recovery_(recovery) {}
+
+  std::string name() const override;
+  AnalysisResult Analyze(double lambda) const override;
+
+  const RecoveryConfig& recovery() const { return recovery_; }
+
+ private:
+  RecoveryConfig recovery_;
+};
+
+}  // namespace cbtree
+
+#endif  // CBTREE_CORE_OPTIMISTIC_MODEL_H_

@@ -1,0 +1,135 @@
+#include "core/params.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cbtree {
+
+void OperationMix::Validate() const {
+  CBTREE_CHECK_GE(q_s, 0.0);
+  CBTREE_CHECK_GE(q_i, 0.0);
+  CBTREE_CHECK_GE(q_d, 0.0);
+  CBTREE_CHECK_LT(std::fabs(q_s + q_i + q_d - 1.0), 1e-9)
+      << "operation mix must sum to 1";
+}
+
+void CostModel::Validate() const {
+  CBTREE_CHECK_GE(height, 1);
+  CBTREE_CHECK_GE(in_memory_levels, 0);
+  CBTREE_CHECK_GE(disk_cost, 1.0);
+  CBTREE_CHECK_GT(root_search_time, 0.0);
+  CBTREE_CHECK_GT(modify_factor, 0.0);
+  CBTREE_CHECK_GT(split_factor, 0.0);
+}
+
+void StructureParams::Validate() const {
+  CBTREE_CHECK_GE(height, 1);
+  CBTREE_CHECK_GE(max_node_size, 3);
+  CBTREE_CHECK_GE(static_cast<int>(fanout.size()), height + 1);
+  CBTREE_CHECK_GE(static_cast<int>(prob_full.size()), height + 1);
+  CBTREE_CHECK_GE(static_cast<int>(prob_empty.size()), height + 1);
+  for (int i = 2; i <= height; ++i) {
+    CBTREE_CHECK_GT(fanout[i], 1.0) << "degenerate fanout at level " << i;
+  }
+  for (int i = 1; i <= height; ++i) {
+    CBTREE_CHECK_GE(prob_full[i], 0.0);
+    CBTREE_CHECK_LE(prob_full[i], 1.0);
+    CBTREE_CHECK_GE(prob_empty[i], 0.0);
+    CBTREE_CHECK_LE(prob_empty[i], 1.0);
+  }
+}
+
+double StructureParams::PrFProduct(int levels) const {
+  double product = 1.0;
+  for (int k = 1; k <= levels; ++k) product *= prob_full[k];
+  return product;
+}
+
+StructureParams MakeStructureParams(uint64_t num_items, int max_node_size,
+                                    const OperationMix& mix) {
+  mix.Validate();
+  CBTREE_CHECK_GE(max_node_size, 3);
+  CBTREE_CHECK_GE(num_items, 1u);
+  const double n = static_cast<double>(max_node_size);
+  const double fanout_below_root = kBTreeUtilization * n;
+  CBTREE_CHECK_GT(fanout_below_root, 1.0)
+      << "node size too small for the .69N fanout model";
+
+  // Per-level (fractional) node counts as in [9]: each level packs the one
+  // below at ~.69 utilization. The root is the first level whose count drops
+  // to one node or fewer; its fanout is the count of the level below (about
+  // 6 for the paper's 40,000-item, N=13 tree).
+  std::vector<double> nodes_at_level = {0.0};  // index 0 unused
+  nodes_at_level.push_back(
+      static_cast<double>(num_items) / fanout_below_root);
+  while (nodes_at_level.back() > 1.0) {
+    nodes_at_level.push_back(nodes_at_level.back() / fanout_below_root);
+  }
+  int height = static_cast<int>(nodes_at_level.size()) - 1;
+  if (height < 2) height = 2;  // model the root as its own queue
+
+  StructureParams params;
+  params.height = height;
+  params.max_node_size = max_node_size;
+  params.fanout.assign(height + 1, 0.0);
+  params.prob_full.assign(height + 1, 0.0);
+  params.prob_empty.assign(height + 1, 0.0);
+  for (int level = 2; level < height; ++level) {
+    params.fanout[level] = fanout_below_root;
+  }
+  // Root fanout E(h): the number of level h-1 nodes, at least 2.
+  double below_root = height - 1 < static_cast<int>(nodes_at_level.size())
+                          ? nodes_at_level[height - 1]
+                          : 2.0;
+  params.fanout[height] =
+      std::min(static_cast<double>(max_node_size),
+               std::max(2.0, below_root));
+  params.nodes_per_level.assign(height + 1, 1.0);
+  for (int level = 1; level < height; ++level) {
+    params.nodes_per_level[level] =
+        level < static_cast<int>(nodes_at_level.size())
+            ? std::max(1.0, nodes_at_level[level])
+            : 1.0;
+  }
+
+  // Corollary 1. q is the delete share of updates; with >= ~5% more inserts
+  // than deletes merges essentially never happen, so Pr[Em] = 0.
+  const double q = mix.delete_share_of_updates();
+  CBTREE_CHECK_LT(q, 0.5)
+      << "Corollary 1 requires more inserts than deletes in the mix";
+  params.prob_full[1] =
+      (1.0 - 2.0 * q) / ((1.0 - q) * kLeafSplitUtilization * n);
+  for (int level = 2; level <= height; ++level) {
+    params.prob_full[level] = 1.0 / (kBTreeUtilization * n);
+  }
+  return params;
+}
+
+void ModelParams::Validate() const {
+  cost.Validate();
+  structure.Validate();
+  mix.Validate();
+  CBTREE_CHECK_EQ(cost.height, structure.height)
+      << "cost model and structure model disagree on tree height";
+}
+
+ModelParams ModelParams::PaperDefault(double disk_cost) {
+  return ForTree(/*num_items=*/40000, /*max_node_size=*/13, disk_cost,
+                 OperationMix{0.3, 0.5, 0.2});
+}
+
+ModelParams ModelParams::ForTree(uint64_t num_items, int max_node_size,
+                                 double disk_cost, const OperationMix& mix,
+                                 int in_memory_levels) {
+  ModelParams params;
+  params.mix = mix;
+  params.structure = MakeStructureParams(num_items, max_node_size, mix);
+  params.cost.height = params.structure.height;
+  params.cost.in_memory_levels = in_memory_levels;
+  params.cost.disk_cost = disk_cost;
+  params.Validate();
+  return params;
+}
+
+}  // namespace cbtree

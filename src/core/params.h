@@ -1,0 +1,133 @@
+// Model parameters of the analytical framework (paper §5, "Parameters").
+//
+// All times are in the paper's unit: the time to search an in-memory node is
+// root_search_time (1.0 by default), an on-disk node costs disk_cost times
+// that, modifying a node costs modify_factor times its search, and splitting
+// costs split_factor times its search (and includes modifying the parent,
+// per §5.3).
+
+#ifndef CBTREE_CORE_PARAMS_H_
+#define CBTREE_CORE_PARAMS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cbtree {
+
+/// Proportions of search / insert / delete operations (q_s + q_i + q_d = 1).
+struct OperationMix {
+  double q_s = 0.3;
+  double q_i = 0.5;
+  double q_d = 0.2;
+
+  double update_fraction() const { return q_i + q_d; }
+  /// q in Corollary 1: deletes as a fraction of updates.
+  double delete_share_of_updates() const {
+    double u = update_fraction();
+    return u > 0.0 ? q_d / u : 0.0;
+  }
+  /// Aborts if the mix is not a distribution.
+  void Validate() const;
+};
+
+/// Deterministic access-cost model (paper §5.3): the two top levels live in
+/// memory, the rest on disk.
+struct CostModel {
+  int height = 5;             ///< h: number of levels, leaves = 1, root = h
+  int in_memory_levels = 2;   ///< top levels with unit access cost
+  /// When non-empty (size height+1), se_override[level] replaces the
+  /// in-memory-levels rule for Se(level); used by the LRU buffer model.
+  std::vector<double> se_override;
+  double disk_cost = 5.0;     ///< D: on-disk access multiplier
+  double root_search_time = 1.0;  ///< the unit of time
+  double modify_factor = 2.0;     ///< M(i)  = modify_factor * Se(i)
+  double split_factor = 3.0;      ///< Sp(i) = split_factor  * Se(i)
+  double merge_factor = 3.0;      ///< Mg(i) = merge_factor  * Se(i)
+
+  bool InMemory(int level) const { return level > height - in_memory_levels; }
+  /// Se(i): expected time to search a level-i node.
+  double Se(int level) const {
+    if (!se_override.empty()) return se_override[level];
+    return root_search_time * (InMemory(level) ? 1.0 : disk_cost);
+  }
+  /// M(i): expected time to modify a level-i node (paper defines M at the
+  /// leaf; the generalization is used by the Link-type model's upper levels).
+  double M(int level) const { return modify_factor * Se(level); }
+  double M() const { return M(1); }
+  /// Sp(i): expected time to split a level-i node (incl. parent modify).
+  double Sp(int level) const { return split_factor * Se(level); }
+  /// Mg(i): expected time to merge away a level-i node.
+  double Mg(int level) const { return merge_factor * Se(level); }
+
+  void Validate() const;
+};
+
+/// Structural probabilities of the modeled B-tree: fanouts and the
+/// insert-unsafe / delete-unsafe probabilities per level. Derived from
+/// Johnson & Shasha [9,10] via MakeStructureParams, or set explicitly.
+struct StructureParams {
+  int height = 5;
+  int max_node_size = 13;  ///< N
+  /// fanout[i] = E(i), the expected number of children of a level-i node,
+  /// defined for i in [2, height]; index 0 and 1 unused.
+  std::vector<double> fanout;
+  /// prob_full[i] = Pr[F(i)], defined for i in [1, height]; index 0 unused.
+  std::vector<double> prob_full;
+  /// prob_empty[i] = Pr[Em(i)], defined for i in [1, height].
+  std::vector<double> prob_empty;
+  /// Expected (fractional) node count per level, [1, height]; the root is
+  /// 1. Filled by MakeStructureParams; used by the buffer-pool model.
+  std::vector<double> nodes_per_level;
+
+  double E(int level) const { return fanout[level]; }
+  double PrF(int level) const { return prob_full[level]; }
+  double PrEm(int level) const { return prob_empty[level]; }
+  /// Product of Pr[F(k)] for k = 1..j (the probability an insert splits all
+  /// the way up through level j).
+  double PrFProduct(int levels) const;
+
+  void Validate() const;
+};
+
+/// Space utilization of merge-at-empty B-trees under insert-dominated mixes
+/// (Johnson & Shasha [9]): asymptotically ln 2.
+inline constexpr double kBTreeUtilization = 0.69;
+/// Leaf-utilization constant in Corollary 1's Pr[F(1)] rule of thumb [10].
+inline constexpr double kLeafSplitUtilization = 0.68;
+
+/// Derives StructureParams for a merge-at-empty B-tree holding `num_items`
+/// keys in nodes of `max_node_size`, under Corollary 1 (requires at least 5%
+/// more inserts than deletes; checked):
+///   Pr[F(1)] = (1-2q) / ((1-q) * .68 N),  q = q_d / (q_i + q_d)
+///   Pr[F(j)] = 1 / (.69 N) for j > 1
+///   Pr[Em(i)] = 0
+///   E(i) = .69 N below the root; the root fanout and the height follow from
+///   the per-level node counts.
+StructureParams MakeStructureParams(uint64_t num_items, int max_node_size,
+                                    const OperationMix& mix);
+
+/// Everything an analytical model needs.
+struct ModelParams {
+  CostModel cost;
+  StructureParams structure;
+  OperationMix mix;
+
+  int height() const { return cost.height; }
+  void Validate() const;
+
+  /// The paper's §5.3 reference configuration: N = 13, ~40,000 items, h = 5,
+  /// 2 in-memory levels, disk cost D, mix .3/.5/.2.
+  static ModelParams PaperDefault(double disk_cost = 5.0);
+
+  /// A configuration for an arbitrary (num_items, N, D) point; the height is
+  /// derived from the structure model.
+  static ModelParams ForTree(uint64_t num_items, int max_node_size,
+                             double disk_cost, const OperationMix& mix,
+                             int in_memory_levels = 2);
+};
+
+}  // namespace cbtree
+
+#endif  // CBTREE_CORE_PARAMS_H_

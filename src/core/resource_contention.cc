@@ -1,0 +1,63 @@
+#include "core/resource_contention.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cbtree {
+
+double SerialWorkPerOperation(Algorithm algorithm,
+                              const ModelParams& params) {
+  auto analyzer = MakeAnalyzer(algorithm, params);
+  AnalysisResult at_zero = analyzer->Analyze(1e-12);
+  CBTREE_CHECK(at_zero.stable);
+  return at_zero.mean_response;
+}
+
+double DilationFactor(double lambda, double serial_work,
+                      double num_processors) {
+  CBTREE_CHECK_GE(lambda, 0.0);
+  CBTREE_CHECK_GT(serial_work, 0.0);
+  CBTREE_CHECK_GT(num_processors, 0.0);
+  double utilization = lambda * serial_work / num_processors;
+  if (utilization >= 1.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / (1.0 - utilization);
+}
+
+ModelParams DilateParams(ModelParams params, double dilation) {
+  CBTREE_CHECK_GE(dilation, 1.0);
+  params.cost.root_search_time *= dilation;
+  for (double& se : params.cost.se_override) se *= dilation;
+  return params;
+}
+
+ResourceContentionAnalyzer::ResourceContentionAnalyzer(
+    Algorithm algorithm, ModelParams params, double num_processors)
+    : Analyzer(params),
+      algorithm_(algorithm),
+      num_processors_(num_processors),
+      serial_work_(SerialWorkPerOperation(algorithm, params)) {
+  CBTREE_CHECK_GT(num_processors, 0.0);
+}
+
+std::string ResourceContentionAnalyzer::name() const {
+  return AlgorithmName(algorithm_) + "+resource-contention";
+}
+
+AnalysisResult ResourceContentionAnalyzer::Analyze(double lambda) const {
+  double dilation = DilationFactor(lambda, serial_work_, num_processors_);
+  if (!std::isfinite(dilation)) {
+    AnalysisResult result;
+    result.stable = false;
+    result.bottleneck_level = 0;  // the CPU, not a lock queue
+    result.per_search = result.per_insert = result.per_delete =
+        result.mean_response = std::numeric_limits<double>::infinity();
+    result.levels.resize(params_.height() + 1);
+    return result;
+  }
+  auto inner = MakeAnalyzer(algorithm_, DilateParams(params_, dilation));
+  return inner->Analyze(lambda);
+}
+
+}  // namespace cbtree

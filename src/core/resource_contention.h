@@ -1,0 +1,56 @@
+// Resource contention as a pre-calculation service-time dilation factor
+// (paper §5.2).
+//
+// The framework separates data contention (lock queues) from resource
+// contention (CPU/disk). By Little's Law the number of active (non-blocked)
+// operations is the arrival rate times the expected serial service; on c
+// processors that offers utilization U = lambda * S0 / c, and under
+// processor sharing every access time dilates by 1/(1-U). The dilated cost
+// model is then analyzed exactly as before.
+
+#ifndef CBTREE_CORE_RESOURCE_CONTENTION_H_
+#define CBTREE_CORE_RESOURCE_CONTENTION_H_
+
+#include <memory>
+
+#include "core/analyzer.h"
+
+namespace cbtree {
+
+/// Expected serial (no-contention) service time of one operation under the
+/// mix — the zero-load mean response of the algorithm.
+double SerialWorkPerOperation(Algorithm algorithm,
+                              const ModelParams& params);
+
+/// Processor-sharing dilation 1/(1 - lambda*serial_work/processors);
+/// +infinity at or beyond CPU saturation.
+double DilationFactor(double lambda, double serial_work,
+                      double num_processors);
+
+/// Returns `params` with every access time scaled by `dilation`.
+ModelParams DilateParams(ModelParams params, double dilation);
+
+/// An Analyzer that folds resource contention into an inner algorithm
+/// model: for each arrival rate it computes the dilation factor and
+/// analyzes the dilated system. Saturates at min(CPU capacity, the inner
+/// model's dilated lock saturation).
+class ResourceContentionAnalyzer : public Analyzer {
+ public:
+  ResourceContentionAnalyzer(Algorithm algorithm, ModelParams params,
+                             double num_processors);
+
+  std::string name() const override;
+  AnalysisResult Analyze(double lambda) const override;
+
+  double num_processors() const { return num_processors_; }
+  double serial_work() const { return serial_work_; }
+
+ private:
+  Algorithm algorithm_;
+  double num_processors_;
+  double serial_work_;
+};
+
+}  // namespace cbtree
+
+#endif  // CBTREE_CORE_RESOURCE_CONTENTION_H_

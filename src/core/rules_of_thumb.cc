@@ -1,0 +1,72 @@
+#include "core/rules_of_thumb.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cbtree {
+
+namespace {
+
+// The shared second bracket term:
+//   (1/(2 E(h) - 1) + (q_i/(q_i+q_d)) Pr[F(h-1)]) * Se(2) * (1.5 + tail)
+double ChildTerm(const ModelParams& p, double tail) {
+  const StructureParams& st = p.structure;
+  const OperationMix& mix = p.mix;
+  int h = p.height();
+  double insert_share =
+      mix.update_fraction() > 0.0 ? mix.q_i / mix.update_fraction() : 0.0;
+  double prf_below_root = st.PrF(h >= 2 ? h - 1 : 1);
+  double se2 = p.cost.Se(h >= 2 ? 2 : 1);
+  return (1.0 / (2.0 * st.E(h) - 1.0) + insert_share * prf_below_root) *
+         (se2 * (1.5 + tail));
+}
+
+}  // namespace
+
+double NaiveRuleOfThumb(const ModelParams& p) {
+  p.Validate();
+  const OperationMix& mix = p.mix;
+  const double q_s = mix.q_s;
+  CBTREE_CHECK_LT(q_s, 1.0) << "the rules of thumb need some update traffic";
+  int h = p.height();
+  double se_h = p.cost.Se(h);
+  double root_term =
+      se_h * (1.0 + std::log1p(q_s / (2.0 * (1.0 - q_s))));
+  double tail = q_s / (2.0 * p.structure.E(h) * (1.0 - q_s));
+  double denom = 2.0 * (1.0 - q_s) * (root_term + ChildTerm(p, tail));
+  return 1.0 / denom;
+}
+
+double NaiveRuleOfThumbLimit(const ModelParams& p) {
+  p.Validate();
+  const double q_s = p.mix.q_s;
+  CBTREE_CHECK_LT(q_s, 1.0);
+  double se_h = p.cost.Se(p.height());
+  return 1.0 / (2.0 * (1.0 - q_s) * se_h *
+                (1.0 + std::log1p(q_s / (2.0 * (1.0 - q_s)))));
+}
+
+double OptimisticRuleOfThumb(const ModelParams& p) {
+  p.Validate();
+  const StructureParams& st = p.structure;
+  double w = p.mix.q_i * st.PrF(1);  // writer fraction of root arrivals
+  CBTREE_CHECK_GT(w, 0.0) << "Optimistic Descent needs some insert traffic";
+  int h = p.height();
+  double se_h = p.cost.Se(h);
+  double root_term = se_h * (1.0 + std::log1p(1.0 / (2.0 * w)));
+  double tail = std::log1p(1.0 / (2.0 * st.E(h) * w));
+  double denom = 2.0 * w * (root_term + ChildTerm(p, tail));
+  return 1.0 / denom;
+}
+
+double OptimisticRuleOfThumbLimit(const ModelParams& p) {
+  p.Validate();
+  double w = p.mix.q_i * p.structure.PrF(1);
+  CBTREE_CHECK_GT(w, 0.0);
+  double se_h = p.cost.Se(p.height());
+  return 1.0 /
+         (2.0 * w * se_h * (1.0 + std::log1p(1.0 / (2.0 * w))));
+}
+
+}  // namespace cbtree

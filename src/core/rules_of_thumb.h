@@ -1,0 +1,29 @@
+// Rules of Thumb 1-4 (paper §6): closed-form approximations of the
+// "effective maximum arrival rate" — the arrival rate at which the root's
+// writer utilization reaches .5, beyond which waiting grows
+// disproportionately.
+
+#ifndef CBTREE_CORE_RULES_OF_THUMB_H_
+#define CBTREE_CORE_RULES_OF_THUMB_H_
+
+#include "core/params.h"
+
+namespace cbtree {
+
+/// Rule of Thumb 1: Naive Lock-coupling lambda_{rho=.5}.
+double NaiveRuleOfThumb(const ModelParams& params);
+
+/// Rule of Thumb 2 (limit): Naive Lock-coupling with large node size and
+/// root fanout — depends only on the root search time and the mix.
+double NaiveRuleOfThumbLimit(const ModelParams& params);
+
+/// Rule of Thumb 3: Optimistic Descent lambda_{rho=.5}.
+double OptimisticRuleOfThumb(const ModelParams& params);
+
+/// Rule of Thumb 4 (limit): Optimistic Descent with large node size and
+/// root fanout — scales like N / log^2 N in the node size.
+double OptimisticRuleOfThumbLimit(const ModelParams& params);
+
+}  // namespace cbtree
+
+#endif  // CBTREE_CORE_RULES_OF_THUMB_H_

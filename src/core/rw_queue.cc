@@ -1,0 +1,80 @@
+#include "core/rw_queue.h"
+
+#include <cmath>
+
+#include "stats/solver.h"
+#include "util/check.h"
+
+namespace cbtree {
+
+double RwQueueFixedPointRhs(const RwQueueInput& in, double rho) {
+  // rho = lambda_w * (1/mu_w + rho/mu_r * ln(1 + rho*lambda_r/lambda_w)
+  //                   + (1-rho)/mu_r * ln(1 + (1+rho)*lambda_r/(mu_r+lambda_w)))
+  double ru = std::log1p(rho * in.lambda_r / in.lambda_w) / in.mu_r;
+  double re =
+      std::log1p((1.0 + rho) * in.lambda_r / (in.mu_r + in.lambda_w)) /
+      in.mu_r;
+  return in.lambda_w * (1.0 / in.mu_w + rho * ru + (1.0 - rho) * re);
+}
+
+RwQueueResult SolveRwQueue(const RwQueueInput& in) {
+  CBTREE_CHECK_GE(in.lambda_r, 0.0);
+  CBTREE_CHECK_GE(in.lambda_w, 0.0);
+  CBTREE_CHECK_GT(in.mu_r, 0.0);
+  CBTREE_CHECK_GT(in.mu_w, 0.0);
+
+  RwQueueResult result;
+  if (in.lambda_w == 0.0) {
+    // Readers only: they share, so no writer ever queues and nothing waits
+    // for readers in the writer sense.
+    result.stable = true;
+    result.rho_w = 0.0;
+    result.r_u = 0.0;
+    result.r_e =
+        std::log1p(in.lambda_r / (in.mu_r + in.lambda_w)) / in.mu_r;
+    result.t_a = 1.0 / in.mu_w + result.r_e;
+    return result;
+  }
+  if (in.lambda_r == 0.0) {
+    // Writers only: plain M/M/1 on the writers.
+    double rho = in.lambda_w / in.mu_w;
+    result.r_u = 0.0;
+    result.r_e = 0.0;
+    if (rho >= 1.0) {
+      result.stable = false;
+      result.rho_w = 1.0;
+      result.t_a = 1.0 / in.mu_w;
+      return result;
+    }
+    result.stable = true;
+    result.rho_w = rho;
+    result.t_a = 1.0 / in.mu_w;
+    return result;
+  }
+
+  auto f = [&in](double rho) { return rho - RwQueueFixedPointRhs(in, rho); };
+  // f(0) < 0 always (the RHS at 0 is positive). The first crossing in (0, 1)
+  // is the operating point; no crossing means saturation.
+  std::optional<double> root = FirstRoot(f, 0.0, 1.0, /*segments=*/128);
+  if (!root.has_value() || *root >= 1.0) {
+    result.stable = false;
+    result.rho_w = 1.0;
+    result.r_u = std::log1p(in.lambda_r / in.lambda_w) / in.mu_r;
+    result.r_e =
+        std::log1p(2.0 * in.lambda_r / (in.mu_r + in.lambda_w)) / in.mu_r;
+    result.t_a = 1.0 / in.mu_w + result.r_u;
+    return result;
+  }
+  double rho = *root;
+  result.stable = true;
+  result.rho_w = rho;
+  result.r_u = std::log1p(rho * in.lambda_r / in.lambda_w) / in.mu_r;
+  result.r_e =
+      std::log1p((1.0 + rho) * in.lambda_r / (in.mu_r + in.lambda_w)) /
+      in.mu_r;
+  result.t_a =
+      1.0 / in.mu_w + rho * result.r_u + (1.0 - rho) * result.r_e;
+  return result;
+}
+
+}  // namespace cbtree

@@ -1,0 +1,55 @@
+// Approximate analysis of the FCFS reader/writer queue (paper appendix,
+// Theorem 6; Johnson, SIGMETRICS '90).
+//
+// Readers share the resource, writers are exclusive, and grants are strictly
+// FCFS. The analysis forms "aggregate customers": a writer together with the
+// readers immediately ahead of it that it must wait for. Because concurrent
+// readers are served in parallel, the time to drain n readers grows only
+// logarithmically in n, which is where the ln terms come from.
+//
+// Outputs:
+//   rho_w : probability that a writer is present in the queue (in service or
+//           waiting) — the "writer utilization" the paper saturates at 1.
+//   r_u   : expected wait for preceding readers when another writer was
+//           already queued at the writer's arrival.
+//   r_e   : the same when the queue held no writer at arrival.
+//   t_a   : aggregate-customer service time 1/mu_w + rho_w*r_u +
+//           (1-rho_w)*r_e.
+
+#ifndef CBTREE_CORE_RW_QUEUE_H_
+#define CBTREE_CORE_RW_QUEUE_H_
+
+namespace cbtree {
+
+struct RwQueueInput {
+  double lambda_r = 0.0;  ///< reader arrival rate
+  double lambda_w = 0.0;  ///< writer arrival rate
+  double mu_r = 1.0;      ///< reader service rate
+  double mu_w = 1.0;      ///< writer service rate
+};
+
+struct RwQueueResult {
+  bool stable = false;  ///< a fixed point rho_w < 1 exists
+  double rho_w = 1.0;
+  double r_u = 0.0;
+  double r_e = 0.0;
+  double t_a = 0.0;  ///< aggregate customer service time
+
+  /// Expected wait for the readers ahead of a newly arrived writer,
+  /// rho_w*r_u + (1-rho_w)*r_e — the term added to R(i) to get W(i).
+  double ReaderWait() const { return rho_w * r_u + (1.0 - rho_w) * r_e; }
+};
+
+/// Solves Theorem 6. Degenerate cases (no writers, no readers) are exact;
+/// otherwise the rho_w fixed point is found by bracketed bisection on
+/// [0, 1). When no root exists below 1 the queue is saturated: stable=false
+/// and rho_w = 1.
+RwQueueResult SolveRwQueue(const RwQueueInput& input);
+
+/// The right-hand side of Theorem 6's fixed-point equation evaluated at rho
+/// (exposed for tests).
+double RwQueueFixedPointRhs(const RwQueueInput& input, double rho);
+
+}  // namespace cbtree
+
+#endif  // CBTREE_CORE_RW_QUEUE_H_

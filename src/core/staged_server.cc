@@ -1,0 +1,31 @@
+#include "core/staged_server.h"
+
+#include "util/check.h"
+
+namespace cbtree {
+
+StagedServer& StagedServer::AddStage(std::vector<Branch> branches) {
+  double stage_mean = 0.0;
+  double stage_second = 0.0;
+  double total_prob = 0.0;
+  for (const Branch& b : branches) {
+    CBTREE_CHECK_GE(b.prob, 0.0);
+    CBTREE_CHECK_GE(b.mean, 0.0);
+    total_prob += b.prob;
+    stage_mean += b.prob * b.mean;
+    stage_second += b.prob * 2.0 * b.mean * b.mean;  // E[Exp(m)^2] = 2 m^2
+  }
+  CBTREE_CHECK_LE(total_prob, 1.0 + 1e-9) << "stage probabilities exceed 1";
+  // Independent stages: E[(S+T)^2] = E[S^2] + 2 E[S] E[T] + E[T^2].
+  second_moment_ += 2.0 * mean_ * stage_mean + stage_second;
+  mean_ += stage_mean;
+  return *this;
+}
+
+double StagedServer::MG1Wait(double lambda, double rho) const {
+  CBTREE_CHECK_GE(lambda, 0.0);
+  if (rho >= 1.0) return 0.0;  // callers treat the level as saturated
+  return lambda * second_moment_ / (2.0 * (1.0 - rho));
+}
+
+}  // namespace cbtree

@@ -1,0 +1,53 @@
+// The hyperexponential staged server behind Theorem 3 (Figure 2 of the
+// paper) and the M/G/1 waiting-time formula it plugs into.
+//
+// A server is a sequence of independent stages; each stage is a probabilistic
+// mixture of exponential branches (a branch taken with some probability, the
+// remaining probability meaning the stage is skipped / takes zero time). The
+// Laplace transform is the product of the stage transforms; the first two
+// moments follow in closed form, which is exactly what the paper obtains by
+// differentiating B*(s) twice at zero.
+
+#ifndef CBTREE_CORE_STAGED_SERVER_H_
+#define CBTREE_CORE_STAGED_SERVER_H_
+
+#include <vector>
+
+namespace cbtree {
+
+/// One exponential branch of a stage: taken with probability `prob`, holding
+/// for an Exp(mean) duration.
+struct Branch {
+  double prob;
+  double mean;
+};
+
+class StagedServer {
+ public:
+  /// Adds a stage that is a mixture of the given branches. Branch
+  /// probabilities must be non-negative and sum to at most 1 (+eps); the
+  /// remainder is a zero-time branch.
+  StagedServer& AddStage(std::vector<Branch> branches);
+
+  /// Adds an unconditional Exp(mean) stage.
+  StagedServer& AddExponentialStage(double mean) {
+    return AddStage({{1.0, mean}});
+  }
+
+  /// E[X] of the total service time.
+  double Mean() const { return mean_; }
+  /// E[X^2] of the total service time.
+  double SecondMoment() const { return second_moment_; }
+
+  /// Expected M/G/1 queue wait lambda*E[X^2] / (2*(1-rho)) with an explicit
+  /// utilization (the paper uses Theorem 6's rho_w, not lambda*E[X]).
+  double MG1Wait(double lambda, double rho) const;
+
+ private:
+  double mean_ = 0.0;
+  double second_moment_ = 0.0;
+};
+
+}  // namespace cbtree
+
+#endif  // CBTREE_CORE_STAGED_SERVER_H_

@@ -1,0 +1,121 @@
+#include "core/two_phase_model.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/level_solver.h"
+#include "core/rw_queue.h"
+#include "core/staged_server.h"
+#include "util/check.h"
+
+namespace cbtree {
+
+AnalysisResult TwoPhaseLockingModel::Analyze(double lambda) const {
+  CBTREE_CHECK_GE(lambda, 0.0);
+  const CostModel& cost = params_.cost;
+  const StructureParams& st = params_.structure;
+  const OperationMix& mix = params_.mix;
+  const int h = params_.height();
+
+  AnalysisResult result;
+  result.levels.resize(h + 1);
+
+  std::vector<double> lambda_level(h + 1, 0.0);
+  lambda_level[h] = lambda;
+  for (int i = h - 1; i >= 1; --i) {
+    lambda_level[i] = lambda_level[i + 1] / st.E(i + 1);
+  }
+
+  const double update_fraction = mix.update_fraction();
+  const double insert_share =
+      update_fraction > 0.0 ? mix.q_i / update_fraction : 0.0;
+  const double delete_share =
+      update_fraction > 0.0 ? mix.q_d / update_fraction : 0.0;
+
+  // Leaf hold time of an insert includes the whole restructuring chain,
+  // since nothing is released before the operation ends.
+  double insert_leaf_hold = cost.M();
+  for (int j = 1; j <= h - 1; ++j) {
+    insert_leaf_hold += st.PrFProduct(j) * cost.Sp(j);
+  }
+
+  bool stable = true;
+  int bottleneck = 0;
+  for (int i = 1; i <= h; ++i) {
+    LevelAnalysis& level = result.levels[i];
+    level.level = i;
+    level.lambda = lambda_level[i];
+    level.lambda_r = mix.q_s * lambda_level[i];
+    level.lambda_w = update_fraction * lambda_level[i];
+
+    if (i == 1) {
+      level.t_s = cost.Se(1);
+      level.t_i = insert_leaf_hold;
+      level.t_d = cost.M();
+    } else {
+      const LevelAnalysis& below = result.levels[i - 1];
+      // Telescoping hold times: the level-i lock stays for the whole
+      // remainder of the operation.
+      level.t_s = cost.Se(i) + below.wait_r + below.t_s;
+      level.t_i = cost.Se(i) + below.wait_w + below.t_i;
+      level.t_d = cost.Se(i) + below.wait_w + below.t_d;
+    }
+    level.mu_r = 1.0 / level.t_s;
+    double t_w = insert_share * level.t_i + delete_share * level.t_d;
+    level.mu_w = t_w > 0.0 ? 1.0 / t_w : std::numeric_limits<double>::max();
+
+    RwQueueResult queue = SolveRwQueue(
+        {level.lambda_r, level.lambda_w, level.mu_r, level.mu_w});
+    level.rho_w = queue.rho_w;
+    level.r_u = queue.r_u;
+    level.r_e = queue.r_e;
+    level.stable = queue.stable;
+    if (!queue.stable && stable) {
+      stable = false;
+      bottleneck = i;
+    }
+
+    WaitTimes waits;
+    if (i == 1) {
+      waits = ExponentialServerWaits(queue);
+    } else if (queue.stable) {
+      // Staged W server: own search + reader batch, the child-lock wait,
+      // then the entire remaining hold (always taken — unlike the
+      // lock-coupling server's probabilistic unsafe-child stage).
+      const LevelAnalysis& below = result.levels[i - 1];
+      double t_e = cost.Se(i) + queue.ReaderWait();
+      double rho_o = below.rho_w;
+      double busy_wait =
+          rho_o > 0.0 ? below.wait_r / rho_o + below.r_u : 0.0;
+      double tail = insert_share * below.t_i + delete_share * below.t_d;
+      StagedServer server;
+      server.AddExponentialStage(t_e);
+      server.AddStage({{rho_o, busy_wait}, {1.0 - rho_o, below.r_e}});
+      server.AddExponentialStage(tail);
+      waits.r = server.MG1Wait(level.lambda_w, queue.rho_w);
+      waits.w = waits.r + queue.ReaderWait();
+    }
+    level.wait_r = waits.r;
+    level.wait_w = waits.w;
+  }
+
+  result.stable = stable;
+  result.bottleneck_level = bottleneck;
+  if (!stable) {
+    result.per_search = result.per_insert = result.per_delete =
+        result.mean_response = std::numeric_limits<double>::infinity();
+    return result;
+  }
+
+  // Everything below the root is already inside the root hold time.
+  const LevelAnalysis& root = result.levels[h];
+  result.per_search = root.wait_r + root.t_s;
+  result.per_insert = root.wait_w + root.t_i;
+  result.per_delete = root.wait_w + root.t_d;
+  result.mean_response = mix.q_s * result.per_search +
+                         mix.q_i * result.per_insert +
+                         mix.q_d * result.per_delete;
+  return result;
+}
+
+}  // namespace cbtree

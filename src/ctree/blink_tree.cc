@@ -1,0 +1,158 @@
+#include "ctree/blink_tree.h"
+
+namespace cbtree {
+
+std::optional<Value> BLinkTree::Search(Key key) const {
+  CNode* node = root();
+  node->latch.lock_shared();
+  while (true) {
+    if (key > node->high_key) {
+      link_crossings_.fetch_add(1, std::memory_order_relaxed);
+      CNode* right = node->right;
+      CBTREE_CHECK(right != nullptr);
+      node->latch.unlock_shared();
+      right->latch.lock_shared();
+      node = right;
+      continue;
+    }
+    if (node->is_leaf()) break;
+    CNode* child = cnode::ChildFor(*node, key);
+    node->latch.unlock_shared();
+    child->latch.lock_shared();
+    node = child;
+  }
+  Value value;
+  bool found = cnode::LeafSearch(*node, key, &value);
+  node->latch.unlock_shared();
+  if (!found) return std::nullopt;
+  return value;
+}
+
+CNode* BLinkTree::MoveRightExclusive(CNode* node, Key key) const {
+  while (key > node->high_key) {
+    link_crossings_.fetch_add(1, std::memory_order_relaxed);
+    CNode* right = node->right;
+    CBTREE_CHECK(right != nullptr);
+    node->latch.unlock();
+    right->latch.lock();
+    node = right;
+  }
+  return node;
+}
+
+CNode* BLinkTree::DescendToLeafExclusive(
+    Key key, std::vector<CNode*>* anchors) const {
+  CNode* node = root();
+  node->latch.lock_shared();
+  if (node->is_leaf()) {
+    // Single-leaf tree: re-latch exclusively; the root may have grown into
+    // an internal node in between, in which case the caller restarts.
+    node->latch.unlock_shared();
+    node->latch.lock();
+    if (!node->is_leaf()) {
+      node->latch.unlock();
+      return nullptr;
+    }
+    return MoveRightExclusive(node, key);
+  }
+  while (true) {
+    if (key > node->high_key) {
+      link_crossings_.fetch_add(1, std::memory_order_relaxed);
+      CNode* right = node->right;
+      CBTREE_CHECK(right != nullptr);
+      node->latch.unlock_shared();
+      right->latch.lock_shared();
+      node = right;
+      continue;
+    }
+    int level = node->level;
+    if (anchors != nullptr) {
+      if (level >= static_cast<int>(anchors->size())) {
+        anchors->resize(level + 1, nullptr);
+      }
+      (*anchors)[level] = node;
+    }
+    CNode* child = cnode::ChildFor(*node, key);
+    node->latch.unlock_shared();
+    if (level == 2) {
+      child->latch.lock();
+      return MoveRightExclusive(child, key);
+    }
+    child->latch.lock_shared();
+    node = child;
+  }
+}
+
+CNode* BLinkTree::LockTargetForSeparator(int level, Key separator,
+                                         const std::vector<CNode*>& anchors) {
+  CNode* target =
+      (level < static_cast<int>(anchors.size()) && anchors[level] != nullptr)
+          ? anchors[level]
+          : root();
+  target->latch.lock();
+  while (true) {
+    if (separator > target->high_key) {
+      link_crossings_.fetch_add(1, std::memory_order_relaxed);
+      CNode* right = target->right;
+      CBTREE_CHECK(right != nullptr);
+      target->latch.unlock();
+      right->latch.lock();
+      target = right;
+      continue;
+    }
+    if (target->level > level) {
+      // The root grew in place above the remembered ancestors; walk back
+      // down, one exclusive latch at a time.
+      CNode* child = cnode::ChildFor(*target, separator);
+      target->latch.unlock();
+      child->latch.lock();
+      target = child;
+      continue;
+    }
+    CBTREE_CHECK_EQ(target->level, level);
+    return target;
+  }
+}
+
+bool BLinkTree::Insert(Key key, Value value) {
+  std::vector<CNode*> anchors;
+  CNode* leaf = nullptr;
+  while (leaf == nullptr) {
+    anchors.clear();
+    leaf = DescendToLeafExclusive(key, &anchors);
+  }
+  bool inserted = cnode::LeafInsert(leaf, key, value);
+  if (inserted) AdjustSize(1);
+
+  CNode* cur = leaf;
+  while (Overflowed(*cur)) {
+    splits_.fetch_add(1, std::memory_order_relaxed);
+    if (cur == root()) {
+      cnode::SplitRootInPlace(cur, arena());
+      root_splits_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    int level = cur->level;
+    Key separator;
+    CNode* right = cnode::HalfSplit(cur, arena(), &separator);
+    cur->latch.unlock();
+    // Post the separator one level up; at most one latch is ever held.
+    cur = LockTargetForSeparator(level + 1, separator, anchors);
+    cnode::InsertSplitEntry(cur, separator, right);
+  }
+  cur->latch.unlock();
+  return inserted;
+}
+
+bool BLinkTree::Delete(Key key) {
+  CNode* leaf = nullptr;
+  while (leaf == nullptr) leaf = DescendToLeafExclusive(key, nullptr);
+  // Lazy deletion (the paper ignores Link-type merges): the leaf stays in
+  // place even when emptied.
+  bool removed = cnode::LeafDelete(leaf, key);
+  if (removed) AdjustSize(-1);
+  leaf->latch.unlock();
+  return removed;
+}
+
+}  // namespace cbtree

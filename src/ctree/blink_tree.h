@@ -1,0 +1,46 @@
+// B-link tree (Lehman & Yao, with Sagiv's simplifications) with real
+// latches: at most one latch held at any instant. Every node carries a right
+// link and a high key; any traversal finding its key beyond the high key
+// simply moves right. Updates exclusively latch only the leaf; a full node
+// is half-split under its own latch, released, and the separator is then
+// posted to the remembered parent (moving right / re-descending as needed —
+// the parent may itself have split, or the root may have grown in place).
+
+#ifndef CBTREE_CTREE_BLINK_TREE_H_
+#define CBTREE_CTREE_BLINK_TREE_H_
+
+#include <vector>
+
+#include "ctree/ctree.h"
+
+namespace cbtree {
+
+class BLinkTree : public ConcurrentBTree {
+ public:
+  explicit BLinkTree(int max_node_size) : ConcurrentBTree(max_node_size) {}
+
+  bool Insert(Key key, Value value) override;
+  bool Delete(Key key) override;
+  std::optional<Value> Search(Key key) const override;
+  std::string name() const override { return "blink-tree"; }
+
+ private:
+  /// Shared-latched descent remembering the rightmost node visited per
+  /// level; returns the exclusively latched leaf covering `key` (after
+  /// move-rights). Returns nullptr if the root morphed from leaf to internal
+  /// between latches (caller restarts).
+  CNode* DescendToLeafExclusive(Key key, std::vector<CNode*>* anchors) const;
+
+  /// Exclusively latches and returns the level-`level` node whose range
+  /// contains `separator`, starting from the remembered anchor (or the root
+  /// when the tree grew above every anchor).
+  CNode* LockTargetForSeparator(int level, Key separator,
+                                const std::vector<CNode*>& anchors);
+
+  /// W-latched move-right until `key` <= node->high_key.
+  CNode* MoveRightExclusive(CNode* node, Key key) const;
+};
+
+}  // namespace cbtree
+
+#endif  // CBTREE_CTREE_BLINK_TREE_H_

@@ -1,0 +1,121 @@
+#include "ctree/cnode.h"
+
+#include <algorithm>
+
+namespace cbtree {
+namespace cnode {
+
+CNode* ChildFor(const CNode& node, Key key) {
+  CBTREE_DCHECK(!node.is_leaf());
+  CBTREE_CHECK(!node.keys.empty());
+  auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+  CBTREE_CHECK(it != node.keys.end())
+      << "key above node bounds; move right first";
+  return node.children[it - node.keys.begin()];
+}
+
+bool LeafInsert(CNode* leaf, Key key, Value value) {
+  CBTREE_DCHECK(leaf->is_leaf());
+  CBTREE_CHECK_LT(key, kInfKey);
+  CBTREE_CHECK_LE(key, leaf->high_key);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  size_t idx = it - leaf->keys.begin();
+  if (it != leaf->keys.end() && *it == key) {
+    leaf->values[idx] = value;
+    return false;
+  }
+  leaf->keys.insert(it, key);
+  leaf->values.insert(leaf->values.begin() + idx, value);
+  return true;
+}
+
+bool LeafDelete(CNode* leaf, Key key) {
+  CBTREE_DCHECK(leaf->is_leaf());
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) return false;
+  size_t idx = it - leaf->keys.begin();
+  leaf->keys.erase(it);
+  leaf->values.erase(leaf->values.begin() + idx);
+  return true;
+}
+
+bool LeafSearch(const CNode& leaf, Key key, Value* value) {
+  CBTREE_DCHECK(leaf.is_leaf());
+  auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
+  if (it == leaf.keys.end() || *it != key) return false;
+  if (value != nullptr) *value = leaf.values[it - leaf.keys.begin()];
+  return true;
+}
+
+CNode* HalfSplit(CNode* node, CNodeArena* arena, Key* separator) {
+  CBTREE_CHECK_GE(node->size(), 2u);
+  size_t keep = (node->size() + 1) / 2;
+  CNode* sibling = arena->Allocate(node->level);
+  sibling->keys.assign(node->keys.begin() + keep, node->keys.end());
+  node->keys.resize(keep);
+  if (node->is_leaf()) {
+    sibling->values.assign(node->values.begin() + keep, node->values.end());
+    node->values.resize(keep);
+  } else {
+    sibling->children.assign(node->children.begin() + keep,
+                             node->children.end());
+    node->children.resize(keep);
+  }
+  sibling->right = node->right;
+  sibling->high_key = node->high_key;
+  *separator = node->keys.back();
+  node->right = sibling;
+  node->high_key = *separator;
+  return sibling;
+}
+
+void SplitRootInPlace(CNode* root, CNodeArena* arena) {
+  CBTREE_CHECK_GE(root->size(), 2u);
+  CBTREE_CHECK(root->right == nullptr);
+  size_t keep = (root->size() + 1) / 2;
+  CNode* left = arena->Allocate(root->level);
+  CNode* right = arena->Allocate(root->level);
+  left->keys.assign(root->keys.begin(), root->keys.begin() + keep);
+  right->keys.assign(root->keys.begin() + keep, root->keys.end());
+  if (root->is_leaf()) {
+    left->values.assign(root->values.begin(), root->values.begin() + keep);
+    right->values.assign(root->values.begin() + keep, root->values.end());
+  } else {
+    left->children.assign(root->children.begin(),
+                          root->children.begin() + keep);
+    right->children.assign(root->children.begin() + keep,
+                           root->children.end());
+  }
+  Key separator = left->keys.back();
+  left->right = right;
+  left->high_key = separator;
+  right->right = nullptr;
+  right->high_key = kInfKey;
+  root->level += 1;
+  root->keys = {separator, kInfKey};
+  root->children = {left, right};
+  root->values.clear();
+}
+
+void InsertSplitEntry(CNode* parent, Key separator, CNode* right) {
+  CBTREE_DCHECK(!parent->is_leaf());
+  CBTREE_CHECK_LT(separator, kInfKey);
+  CBTREE_CHECK_LE(separator, parent->high_key);
+  auto it = std::lower_bound(parent->keys.begin(), parent->keys.end(),
+                             separator);
+  CBTREE_CHECK(it != parent->keys.end());
+  CBTREE_CHECK_NE(*it, separator) << "duplicate separator";
+  size_t idx = it - parent->keys.begin();
+  Key old_bound = parent->keys[idx];
+  // When two half-splits of the same node post to the parent out of order,
+  // the later-created sibling is posted first and receives the full old
+  // bound while only covering a prefix of it — its right link covers the
+  // rest (Lehman & Yao's delayed-update tolerance). Hence <=, not ==.
+  CBTREE_CHECK_LE(right->high_key, old_bound) << "split bound mismatch";
+  parent->keys[idx] = separator;
+  parent->keys.insert(parent->keys.begin() + idx + 1, old_bound);
+  parent->children.insert(parent->children.begin() + idx + 1, right);
+}
+
+}  // namespace cnode
+}  // namespace cbtree

@@ -1,0 +1,85 @@
+// Node representation and arena for the multi-threaded concurrent B-trees.
+//
+// Same max-key layout as the simulator's tree (see btree/node.h), plus a
+// shared_mutex latch per node. Nodes are never reclaimed while the tree is
+// alive: deletions are lazy (empty leaves stay linked, as most production
+// B-trees do between vacuums), which makes traversals safe without an epoch
+// scheme — a deliberately simple memory-safety story for a reference
+// implementation.
+
+#ifndef CBTREE_CTREE_CNODE_H_
+#define CBTREE_CTREE_CNODE_H_
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "btree/node.h"
+#include "util/check.h"
+
+namespace cbtree {
+
+struct CNode {
+  mutable std::shared_mutex latch;
+  int level = 1;  ///< 1 = leaf
+  std::vector<Key> keys;
+  std::vector<CNode*> children;
+  std::vector<Value> values;
+  CNode* right = nullptr;
+  Key high_key = kInfKey;
+
+  bool is_leaf() const { return level == 1; }
+  size_t size() const { return keys.size(); }
+};
+
+/// Owns every node of one tree; allocation is thread-safe, reclamation is
+/// at tree destruction.
+class CNodeArena {
+ public:
+  CNode* Allocate(int level) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    nodes_.push_back(std::make_unique<CNode>());
+    nodes_.back()->level = level;
+    return nodes_.back().get();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return nodes_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<std::unique_ptr<CNode>> nodes_;
+};
+
+namespace cnode {
+
+/// Child covering `key` (max-key layout). Requires key <= last bound.
+CNode* ChildFor(const CNode& node, Key key);
+
+/// Inserts into a leaf, may overflow by one entry. Returns true iff new.
+bool LeafInsert(CNode* leaf, Key key, Value value);
+/// Removes from a leaf; true iff present.
+bool LeafDelete(CNode* leaf, Key key);
+/// Leaf point lookup.
+bool LeafSearch(const CNode& leaf, Key key, Value* value);
+
+/// Half-split: upper half of `node` moves to a fresh right sibling from
+/// `arena`; links and high keys are fixed. Returns the separator via out.
+CNode* HalfSplit(CNode* node, CNodeArena* arena, Key* separator);
+
+/// In-place root split (the root pointer never changes).
+void SplitRootInPlace(CNode* root, CNodeArena* arena);
+
+/// Posts a split into the parent: cut the covering entry at `separator` and
+/// insert `right` after it (may overflow by one entry). Requires
+/// separator <= parent->high_key.
+void InsertSplitEntry(CNode* parent, Key separator, CNode* right);
+
+}  // namespace cnode
+}  // namespace cbtree
+
+#endif  // CBTREE_CTREE_CNODE_H_

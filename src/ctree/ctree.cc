@@ -1,0 +1,132 @@
+#include "ctree/ctree.h"
+
+#include <algorithm>
+
+#include "ctree/blink_tree.h"
+#include "ctree/lock_coupling_tree.h"
+#include "ctree/optimistic_tree.h"
+
+namespace cbtree {
+
+ConcurrentBTree::ConcurrentBTree(int max_node_size)
+    : max_node_size_(max_node_size) {
+  CBTREE_CHECK_GE(max_node_size, 3);
+  root_ = arena_.Allocate(/*level=*/1);
+}
+
+CTreeStats ConcurrentBTree::stats() const {
+  CTreeStats stats;
+  stats.splits = splits_.load(std::memory_order_relaxed);
+  stats.root_splits = root_splits_.load(std::memory_order_relaxed);
+  stats.restarts = restarts_.load(std::memory_order_relaxed);
+  stats.link_crossings = link_crossings_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ConcurrentBTree::CheckSubtree(const CNode* node, Key bound,
+                                   int expected_level, size_t* keys) const {
+  CBTREE_CHECK_EQ(node->level, expected_level);
+  for (size_t i = 0; i + 1 < node->keys.size(); ++i) {
+    CBTREE_CHECK_LT(node->keys[i], node->keys[i + 1]);
+  }
+  CBTREE_CHECK_LE(static_cast<int>(node->size()), max_node_size_);
+  if (node->is_leaf()) {
+    CBTREE_CHECK_EQ(node->values.size(), node->keys.size());
+    for (Key k : node->keys) {
+      CBTREE_CHECK_LT(k, kInfKey);
+      CBTREE_CHECK_LE(k, bound);
+      CBTREE_CHECK_LE(k, node->high_key);
+    }
+    *keys += node->keys.size();
+    return;
+  }
+  CBTREE_CHECK_EQ(node->children.size(), node->keys.size());
+  CBTREE_CHECK(!node->keys.empty());
+  CBTREE_CHECK_EQ(node->keys.back(), node->high_key);
+  CBTREE_CHECK_LE(node->high_key, bound);
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    CBTREE_CHECK_LE(node->children[i]->high_key, node->keys[i]);
+    CheckSubtree(node->children[i], node->keys[i], expected_level - 1, keys);
+  }
+}
+
+void ConcurrentBTree::CheckInvariants() const {
+  CBTREE_CHECK(root_->right == nullptr);
+  CBTREE_CHECK_EQ(root_->high_key, kInfKey);
+  size_t keys = 0;
+  CheckSubtree(root_, kInfKey, root_->level, &keys);
+  CBTREE_CHECK_EQ(keys, size());
+}
+
+size_t ConcurrentBTree::CountKeys() const {
+  size_t keys = 0;
+  CheckSubtree(root_, kInfKey, root_->level, &keys);
+  return keys;
+}
+
+size_t ConcurrentBTree::Scan(Key lo, Key hi, size_t limit,
+                             std::vector<std::pair<Key, Value>>* out) const {
+  CBTREE_CHECK(out != nullptr);
+  if (limit == 0 || lo > hi) return 0;
+  // Shared-latch crabbing descent to the leaf covering `lo`.
+  CNode* node = root_;
+  node->latch.lock_shared();
+  while (true) {
+    if (lo > node->high_key) {
+      CNode* right = node->right;
+      CBTREE_CHECK(right != nullptr);
+      right->latch.lock_shared();
+      node->latch.unlock_shared();
+      node = right;
+      continue;
+    }
+    if (node->is_leaf()) break;
+    CNode* child = cnode::ChildFor(*node, lo);
+    child->latch.lock_shared();
+    node->latch.unlock_shared();
+    node = child;
+  }
+  // Leaf walk along right links, still crabbing left-to-right.
+  size_t appended = 0;
+  while (true) {
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), lo);
+    for (; it != node->keys.end() && appended < limit; ++it) {
+      if (*it > hi) {
+        node->latch.unlock_shared();
+        return appended;
+      }
+      out->emplace_back(*it, node->values[it - node->keys.begin()]);
+      ++appended;
+    }
+    if (appended >= limit || node->high_key >= hi) {
+      node->latch.unlock_shared();
+      return appended;
+    }
+    CNode* right = node->right;
+    if (right == nullptr) {
+      node->latch.unlock_shared();
+      return appended;
+    }
+    right->latch.lock_shared();
+    node->latch.unlock_shared();
+    node = right;
+  }
+}
+
+std::unique_ptr<ConcurrentBTree> MakeConcurrentBTree(Algorithm algorithm,
+                                                     int max_node_size) {
+  switch (algorithm) {
+    case Algorithm::kNaiveLockCoupling:
+      return std::make_unique<LockCouplingTree>(max_node_size);
+    case Algorithm::kOptimisticDescent:
+      return std::make_unique<OptimisticDescentTree>(max_node_size);
+    case Algorithm::kLinkType:
+      return std::make_unique<BLinkTree>(max_node_size);
+    case Algorithm::kTwoPhaseLocking:
+      return std::make_unique<TwoPhaseTree>(max_node_size);
+  }
+  CBTREE_CHECK(false) << "unreachable";
+  return nullptr;
+}
+
+}  // namespace cbtree

@@ -1,0 +1,107 @@
+// Multi-threaded concurrent B-trees implementing the paper's three
+// protocols with real std::shared_mutex latches. These are the "use it in a
+// program" counterpart of the discrete-event simulator: same algorithms,
+// genuine parallel execution.
+//
+// All three trees grow the root in place (the root pointer is immutable) and
+// use lazy deletion (emptied leaves stay in place), so node memory is stable
+// for the tree's lifetime — see ctree/cnode.h.
+
+#ifndef CBTREE_CTREE_CTREE_H_
+#define CBTREE_CTREE_CTREE_H_
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <vector>
+#include <string>
+
+#include "btree/node.h"
+#include "core/analyzer.h"
+#include "ctree/cnode.h"
+
+namespace cbtree {
+
+/// Counters exposed by every concurrent tree (monotone, approximate under
+/// concurrency).
+struct CTreeStats {
+  uint64_t splits = 0;
+  uint64_t root_splits = 0;
+  uint64_t restarts = 0;        ///< Optimistic Descent second passes
+  uint64_t link_crossings = 0;  ///< B-link right-link follows
+};
+
+class ConcurrentBTree {
+ public:
+  explicit ConcurrentBTree(int max_node_size);
+  virtual ~ConcurrentBTree() = default;
+
+  ConcurrentBTree(const ConcurrentBTree&) = delete;
+  ConcurrentBTree& operator=(const ConcurrentBTree&) = delete;
+
+  /// Inserts or overwrites; true iff the key is new. Thread-safe.
+  virtual bool Insert(Key key, Value value) = 0;
+  /// Removes; true iff present. Thread-safe.
+  virtual bool Delete(Key key) = 0;
+  /// Point lookup. Thread-safe.
+  virtual std::optional<Value> Search(Key key) const = 0;
+  virtual std::string name() const = 0;
+
+  /// Range scan of [lo, hi]: appends up to `limit` (key, value) pairs in
+  /// key order. Thread-safe for every protocol here: descent crabs shared
+  /// latches, the leaf walk crabs along right links (nodes are never
+  /// physically removed, so the chain is stable), and concurrent splits are
+  /// absorbed by the usual move-right rule. Keys inserted before the scan
+  /// starts and not deleted are guaranteed to appear.
+  size_t Scan(Key lo, Key hi, size_t limit,
+              std::vector<std::pair<Key, Value>>* out) const;
+
+  /// Number of keys (exact when quiescent).
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  int max_node_size() const { return max_node_size_; }
+  CTreeStats stats() const;
+
+  /// Quiescent structural check (no concurrent mutators): key order, bounds,
+  /// level uniformity, link chains. Aborts on violation.
+  void CheckInvariants() const;
+  /// Quiescent count of reachable keys (must equal size()).
+  size_t CountKeys() const;
+
+ protected:
+  CNode* root() const { return root_; }
+  CNodeArena* arena() { return &arena_; }
+  void AdjustSize(int64_t delta) {
+    size_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  bool IsFull(const CNode& node) const {
+    return static_cast<int>(node.size()) >= max_node_size_;
+  }
+  bool IsDeleteUnsafe(const CNode& node) const { return node.size() <= 1; }
+  bool Overflowed(const CNode& node) const {
+    return static_cast<int>(node.size()) > max_node_size_;
+  }
+
+  // Mutable: const traversals (Search) still count crossings.
+  mutable std::atomic<uint64_t> splits_{0};
+  mutable std::atomic<uint64_t> root_splits_{0};
+  mutable std::atomic<uint64_t> restarts_{0};
+  mutable std::atomic<uint64_t> link_crossings_{0};
+
+ private:
+  void CheckSubtree(const CNode* node, Key bound, int expected_level,
+                    size_t* keys) const;
+
+  int max_node_size_;
+  CNodeArena arena_;
+  CNode* root_;
+  std::atomic<int64_t> size_{0};
+};
+
+/// Factory over the three protocols.
+std::unique_ptr<ConcurrentBTree> MakeConcurrentBTree(Algorithm algorithm,
+                                                     int max_node_size);
+
+}  // namespace cbtree
+
+#endif  // CBTREE_CTREE_CTREE_H_

@@ -1,0 +1,108 @@
+#include "ctree/lock_coupling_tree.h"
+
+#include <vector>
+
+namespace cbtree {
+
+std::optional<Value> LockCouplingTree::Search(Key key) const {
+  CNode* node = root();
+  node->latch.lock_shared();
+  while (!node->is_leaf()) {
+    CNode* child = cnode::ChildFor(*node, key);
+    child->latch.lock_shared();
+    node->latch.unlock_shared();
+    node = child;
+  }
+  Value value;
+  bool found = cnode::LeafSearch(*node, key, &value);
+  node->latch.unlock_shared();
+  if (!found) return std::nullopt;
+  return value;
+}
+
+bool LockCouplingTree::Insert(Key key, Value value) {
+  return CoupledInsert(key, value);
+}
+
+bool LockCouplingTree::Delete(Key key) { return CoupledDelete(key); }
+
+bool LockCouplingTree::CoupledInsert(Key key, Value value) {
+  std::vector<CNode*> chain;
+  CNode* node = root();
+  node->latch.lock();
+  chain.push_back(node);
+  while (!node->is_leaf()) {
+    CNode* child = cnode::ChildFor(*node, key);
+    child->latch.lock();
+    if (release_safe_ancestors_ && !IsFull(*child)) {
+      // The child is insert-safe: no split can propagate past it, so every
+      // ancestor latch can go.
+      for (CNode* ancestor : chain) ancestor->latch.unlock();
+      chain.clear();
+    }
+    chain.push_back(child);
+    node = child;
+  }
+  bool inserted = cnode::LeafInsert(node, key, value);
+  if (inserted) AdjustSize(1);
+  // Split upward through the retained (all-latched) chain.
+  for (size_t i = chain.size(); i-- > 0;) {
+    CNode* cur = chain[i];
+    if (!Overflowed(*cur)) break;
+    splits_.fetch_add(1, std::memory_order_relaxed);
+    if (cur == root()) {
+      cnode::SplitRootInPlace(cur, arena());
+      root_splits_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    CBTREE_CHECK_GT(i, 0u) << "overflow without a retained parent";
+    Key separator;
+    CNode* right = cnode::HalfSplit(cur, arena(), &separator);
+    cnode::InsertSplitEntry(chain[i - 1], separator, right);
+  }
+  for (CNode* held : chain) held->latch.unlock();
+  return inserted;
+}
+
+bool LockCouplingTree::CoupledDelete(Key key) {
+  std::vector<CNode*> chain;
+  CNode* node = root();
+  node->latch.lock();
+  chain.push_back(node);
+  while (!node->is_leaf()) {
+    CNode* child = cnode::ChildFor(*node, key);
+    child->latch.lock();
+    if (release_safe_ancestors_ && !IsDeleteUnsafe(*child)) {
+      for (CNode* ancestor : chain) ancestor->latch.unlock();
+      chain.clear();
+    }
+    chain.push_back(child);
+    node = child;
+  }
+  bool removed = cnode::LeafDelete(node, key);
+  if (removed) AdjustSize(-1);
+  // Lazy deletion: an emptied leaf stays linked in place.
+  for (CNode* held : chain) held->latch.unlock();
+  return removed;
+}
+
+std::optional<Value> TwoPhaseTree::Search(Key key) const {
+  // Shared latches accumulate down the path and release together at the end.
+  std::vector<const CNode*> chain;
+  const CNode* node = root();
+  node->latch.lock_shared();
+  chain.push_back(node);
+  while (!node->is_leaf()) {
+    CNode* child = cnode::ChildFor(*node, key);
+    child->latch.lock_shared();
+    chain.push_back(child);
+    node = child;
+  }
+  Value value;
+  bool found = cnode::LeafSearch(*node, key, &value);
+  for (const CNode* held : chain) held->latch.unlock_shared();
+  if (!found) return std::nullopt;
+  return value;
+}
+
+}  // namespace cbtree

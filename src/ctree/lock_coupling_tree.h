@@ -1,0 +1,50 @@
+// Naive Lock-coupling (Bayer & Schkolnick) with real latches: searches
+// couple shared latches to the leaf; updates couple exclusive latches,
+// releasing all ancestors exactly when the just-latched child is safe.
+// Deletion is lazy (no merges), so "delete-safe" retention is exercised but
+// empty leaves stay in place (see ctree/cnode.h).
+
+#ifndef CBTREE_CTREE_LOCK_COUPLING_TREE_H_
+#define CBTREE_CTREE_LOCK_COUPLING_TREE_H_
+
+#include "ctree/ctree.h"
+
+namespace cbtree {
+
+class LockCouplingTree : public ConcurrentBTree {
+ public:
+  explicit LockCouplingTree(int max_node_size)
+      : ConcurrentBTree(max_node_size) {}
+
+  bool Insert(Key key, Value value) override;
+  bool Delete(Key key) override;
+  std::optional<Value> Search(Key key) const override;
+  std::string name() const override { return "lock-coupling-tree"; }
+
+ protected:
+  /// The exclusive-coupled update pass, shared with OptimisticDescentTree's
+  /// redo phase.
+  bool CoupledInsert(Key key, Value value);
+  bool CoupledDelete(Key key);
+
+  /// Two-Phase Locking reuses the machinery with no early releases.
+  bool release_safe_ancestors_ = true;
+};
+
+/// Two-Phase Locking on real latches: every latch acquired by an operation
+/// is held until the operation completes (searches included). The strictest
+/// protocol in the paper's family; the baseline everything else beats.
+class TwoPhaseTree : public LockCouplingTree {
+ public:
+  explicit TwoPhaseTree(int max_node_size)
+      : LockCouplingTree(max_node_size) {
+    release_safe_ancestors_ = false;
+  }
+
+  std::optional<Value> Search(Key key) const override;
+  std::string name() const override { return "two-phase-tree"; }
+};
+
+}  // namespace cbtree
+
+#endif  // CBTREE_CTREE_LOCK_COUPLING_TREE_H_

@@ -1,0 +1,55 @@
+#include "ctree/optimistic_tree.h"
+
+namespace cbtree {
+
+CNode* OptimisticDescentTree::OptimisticDescend(Key key) {
+  CNode* node = root();
+  node->latch.lock_shared();
+  if (node->is_leaf()) {
+    node->latch.unlock_shared();
+    return nullptr;  // single-leaf tree: no shared phase worth having
+  }
+  while (node->level > 2) {
+    CNode* child = cnode::ChildFor(*node, key);
+    child->latch.lock_shared();
+    node->latch.unlock_shared();
+    node = child;
+  }
+  // node->level == 2: couple into the leaf's exclusive latch.
+  CNode* leaf = cnode::ChildFor(*node, key);
+  leaf->latch.lock();
+  node->latch.unlock_shared();
+  return leaf;
+}
+
+bool OptimisticDescentTree::Insert(Key key, Value value) {
+  CNode* leaf = OptimisticDescend(key);
+  if (leaf != nullptr && !IsFull(*leaf)) {
+    bool inserted = cnode::LeafInsert(leaf, key, value);
+    if (inserted) AdjustSize(1);
+    leaf->latch.unlock();
+    return inserted;
+  }
+  if (leaf != nullptr) {
+    leaf->latch.unlock();
+    restarts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return CoupledInsert(key, value);
+}
+
+bool OptimisticDescentTree::Delete(Key key) {
+  CNode* leaf = OptimisticDescend(key);
+  if (leaf != nullptr && !IsDeleteUnsafe(*leaf)) {
+    bool removed = cnode::LeafDelete(leaf, key);
+    if (removed) AdjustSize(-1);
+    leaf->latch.unlock();
+    return removed;
+  }
+  if (leaf != nullptr) {
+    leaf->latch.unlock();
+    restarts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return CoupledDelete(key);
+}
+
+}  // namespace cbtree

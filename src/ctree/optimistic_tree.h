@@ -1,0 +1,30 @@
+// Optimistic Descent (Bayer & Schkolnick) with real latches: updates descend
+// once with shared latches, exclusively latch only the leaf, and fall back
+// to the full lock-coupling pass when the leaf turns out to be unsafe.
+
+#ifndef CBTREE_CTREE_OPTIMISTIC_TREE_H_
+#define CBTREE_CTREE_OPTIMISTIC_TREE_H_
+
+#include "ctree/lock_coupling_tree.h"
+
+namespace cbtree {
+
+class OptimisticDescentTree : public LockCouplingTree {
+ public:
+  explicit OptimisticDescentTree(int max_node_size)
+      : LockCouplingTree(max_node_size) {}
+
+  bool Insert(Key key, Value value) override;
+  bool Delete(Key key) override;
+  std::string name() const override { return "optimistic-descent-tree"; }
+
+ private:
+  /// Shared-latched descent that exclusively latches the leaf. Returns the
+  /// W-latched leaf, or nullptr when the tree is a single leaf (callers use
+  /// the coupled pass, which handles every shape).
+  CNode* OptimisticDescend(Key key);
+};
+
+}  // namespace cbtree
+
+#endif  // CBTREE_CTREE_OPTIMISTIC_TREE_H_

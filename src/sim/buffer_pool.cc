@@ -1,0 +1,33 @@
+#include "sim/buffer_pool.h"
+
+#include "util/check.h"
+
+namespace cbtree {
+
+bool BufferPool::Access(NodeId id) {
+  CBTREE_CHECK(enabled());
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  ++misses_;
+  if (map_.size() >= capacity_) {
+    NodeId victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+  }
+  lru_.push_front(id);
+  map_[id] = lru_.begin();
+  return false;
+}
+
+void BufferPool::Drop(NodeId id) {
+  auto it = map_.find(id);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+}  // namespace cbtree

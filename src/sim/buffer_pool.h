@@ -1,0 +1,51 @@
+// LRU buffer pool for the simulator (the paper's full-version "LRU
+// buffering" discussion). When enabled, a node access costs one unit on a
+// hit and disk_cost units on a miss, replacing the fixed "top two levels in
+// memory" rule of §5.3.
+
+#ifndef CBTREE_SIM_BUFFER_POOL_H_
+#define CBTREE_SIM_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "btree/node.h"
+
+namespace cbtree {
+
+class BufferPool {
+ public:
+  /// capacity = maximum resident nodes; 0 disables the pool.
+  explicit BufferPool(size_t capacity) : capacity_(capacity) {}
+
+  bool enabled() const { return capacity_ > 0; }
+
+  /// Touches a node: returns true on a hit; on a miss the node is brought
+  /// in, evicting the least-recently-used resident if full.
+  bool Access(NodeId id);
+
+  /// Forgets a freed node.
+  void Drop(NodeId id);
+
+  size_t capacity() const { return capacity_; }
+  size_t resident() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  double hit_rate() const {
+    uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / total : 0.0;
+  }
+
+ private:
+  size_t capacity_;
+  std::list<NodeId> lru_;  ///< front = most recently used
+  std::unordered_map<NodeId, std::list<NodeId>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace cbtree
+
+#endif  // CBTREE_SIM_BUFFER_POOL_H_

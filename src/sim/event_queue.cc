@@ -1,0 +1,25 @@
+#include "sim/event_queue.h"
+
+#include "util/check.h"
+
+namespace cbtree {
+
+void EventQueue::Schedule(double time, Callback fn) {
+  CBTREE_CHECK_GE(time, now_) << "scheduling into the past";
+  CBTREE_CHECK(fn != nullptr);
+  heap_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::RunNext() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; the callback must be moved out before pop.
+  Event event = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  CBTREE_CHECK_GE(event.time, now_);
+  now_ = event.time;
+  ++dispatched_;
+  event.fn();
+  return true;
+}
+
+}  // namespace cbtree

@@ -1,0 +1,55 @@
+// Discrete-event core: a simulation clock plus a time-ordered queue of
+// callbacks. Events with equal timestamps fire in scheduling (FIFO) order so
+// runs are fully deterministic.
+
+#ifndef CBTREE_SIM_EVENT_QUEUE_H_
+#define CBTREE_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace cbtree {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `time` (>= now).
+  void Schedule(double time, Callback fn);
+  /// Schedules `fn` `delay` after the current time.
+  void ScheduleAfter(double delay, Callback fn) {
+    Schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Pops and runs the earliest event, advancing the clock. Returns false
+  /// when the queue is empty.
+  bool RunNext();
+
+  double now() const { return now_; }
+  size_t pending() const { return heap_.size(); }
+  uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t dispatched_ = 0;
+};
+
+}  // namespace cbtree
+
+#endif  // CBTREE_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,235 @@
+#include "sim/protocol_ops.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace cbtree {
+
+// ---------------------------------------------------------------------------
+// LinkSearchOp: R locks, one at a time; follow the right link whenever the
+// key lies beyond the node's high key (a concurrent half-split moved it).
+// ---------------------------------------------------------------------------
+
+void LinkSearchOp::Start() {
+  NodeId root = tree().root();
+  AcquireLock(root, LockMode::kRead, [this, root] { Visit(root); });
+}
+
+void LinkSearchOp::Visit(NodeId node) {
+  DoWork(SearchCostAt(node), [this, node] {
+    const Node& n = tree().node(node);
+    if (op().key > n.high_key) {
+      sim()->metrics().RecordLinkCrossing();
+      NodeId right = n.right;
+      CBTREE_CHECK_NE(right, kInvalidNode);
+      ReleaseLock(node);
+      AcquireLock(right, LockMode::kRead, [this, right] { Visit(right); });
+      return;
+    }
+    if (n.is_leaf()) {
+      ReleaseAllExcept();
+      Finish();
+      return;
+    }
+    NodeId child = tree().Child(node, op().key);
+    ReleaseLock(node);
+    AcquireLock(child, LockMode::kRead, [this, child] { Visit(child); });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// LinkUpdateOp.
+// ---------------------------------------------------------------------------
+
+void LinkUpdateOp::Start() {
+  anchors_.assign(tree().height() + 2, kInvalidNode);
+  NodeId root = tree().root();
+  if (tree().node(root).is_leaf()) {
+    AcquireLock(root, LockMode::kWrite, [this, root] { LeafGranted(root); });
+    return;
+  }
+  AcquireLock(root, LockMode::kRead, [this, root] { Visit(root); });
+}
+
+NodeId LinkUpdateOp::AnchorFor(int level) {
+  if (level < static_cast<int>(anchors_.size()) &&
+      anchors_[level] != kInvalidNode) {
+    return anchors_[level];
+  }
+  // Above every remembered node (the root grew since the descent): start at
+  // the root and let AscendGranted descend back down to the right level.
+  return sim()->tree().root();
+}
+
+void LinkUpdateOp::Visit(NodeId node) {
+  // Holds the single R lock, on internal `node`.
+  const Node& pre = tree().node(node);
+  if (pre.level >= static_cast<int>(anchors_.size())) {
+    anchors_.resize(pre.level + 1, kInvalidNode);
+  }
+  anchors_[pre.level] = node;
+  DoWork(SearchCostAt(node), [this, node] {
+    const Node& n = tree().node(node);
+    if (op().key > n.high_key) {
+      sim()->metrics().RecordLinkCrossing();
+      NodeId right = n.right;
+      CBTREE_CHECK_NE(right, kInvalidNode);
+      ReleaseLock(node);
+      AcquireLock(right, LockMode::kRead, [this, right] { Visit(right); });
+      return;
+    }
+    CBTREE_CHECK(!n.is_leaf());
+    NodeId child = tree().Child(node, op().key);
+    ReleaseLock(node);
+    if (n.level == 2) {
+      AcquireLock(child, LockMode::kWrite,
+                  [this, child] { LeafGranted(child); });
+    } else {
+      AcquireLock(child, LockMode::kRead, [this, child] { Visit(child); });
+    }
+  });
+}
+
+void LinkUpdateOp::LeafGranted(NodeId leaf) {
+  const Node& n = tree().node(leaf);
+  if (op().key > n.high_key) {
+    sim()->metrics().RecordLinkCrossing();
+    NodeId right = n.right;
+    CBTREE_CHECK_NE(right, kInvalidNode);
+    ReleaseLock(leaf);
+    AcquireLock(right, LockMode::kWrite,
+                [this, right] { LeafGranted(right); });
+    return;
+  }
+  LeafWork(leaf);
+}
+
+void LinkUpdateOp::LeafWork(NodeId leaf) {
+  DoWork(ModifyCostAt(leaf), [this, leaf] {
+    MarkModified(leaf);
+    if (op().type == OpType::kDelete) {
+      // Merge-at-empty merges are ignored under the Link-type algorithm
+      // (paper §2): an emptied leaf stays linked in place.
+      tree().LeafDelete(leaf, op().key);
+      ReleaseLock(leaf);
+      Finish();
+      return;
+    }
+    tree().LeafInsert(leaf, op().key, op().value);
+    if (static_cast<int>(tree().node(leaf).size()) <=
+        tree().options().max_node_size) {
+      ReleaseLock(leaf);
+      Finish();
+      return;
+    }
+    if (leaf == tree().root()) {
+      // Height-1 tree: the root leaf splits in place under its W lock.
+      DoWork(SplitCostAt(leaf), [this, leaf] {
+        tree().SplitRootInPlace();
+        ReleaseLock(leaf);
+        Finish();
+      });
+      return;
+    }
+    DoWork(SplitCostAt(leaf), [this, leaf] {
+      BTree::SplitResult split = tree().Split(leaf);
+      ReleaseLock(leaf);
+      Ascend(2, split.separator, split.right);
+    });
+  });
+}
+
+void LinkUpdateOp::Ascend(int level, Key separator, NodeId right) {
+  NodeId target = AnchorFor(level);
+  AcquireLock(target, LockMode::kWrite, [this, target, level, separator,
+                                         right] {
+    AscendGranted(target, level, separator, right);
+  });
+}
+
+void LinkUpdateOp::AscendGranted(NodeId node, int level, Key separator,
+                                 NodeId right) {
+  const Node& n = tree().node(node);
+  if (separator > n.high_key) {
+    // The remembered parent split; the separator's range moved right.
+    sim()->metrics().RecordLinkCrossing();
+    NodeId next = n.right;
+    CBTREE_CHECK_NE(next, kInvalidNode);
+    ReleaseLock(node);
+    AcquireLock(next, LockMode::kWrite, [this, next, level, separator,
+                                         right] {
+      AscendGranted(next, level, separator, right);
+    });
+    return;
+  }
+  if (n.level > level) {
+    // The root grew in place since the descent; walk back down to the
+    // separator's level.
+    NodeId child = tree().Child(node, separator);
+    ReleaseLock(node);
+    AcquireLock(child, LockMode::kWrite, [this, child, level, separator,
+                                          right] {
+      AscendGranted(child, level, separator, right);
+    });
+    return;
+  }
+  CBTREE_CHECK_EQ(n.level, level);
+  DoWork(ModifyCostAt(node), [this, node, level, separator, right] {
+    MarkModified(node);
+    tree().InsertSplitEntry(node, separator, right);
+    if (static_cast<int>(tree().node(node).size()) <=
+        tree().options().max_node_size) {
+      ReleaseLock(node);
+      Finish();
+      return;
+    }
+    if (node == tree().root()) {
+      DoWork(SplitCostAt(node), [this, node] {
+        tree().SplitRootInPlace();
+        ReleaseLock(node);
+        Finish();
+      });
+      return;
+    }
+    DoWork(SplitCostAt(node), [this, node, level] {
+      BTree::SplitResult split = tree().Split(node);
+      ReleaseLock(node);
+      Ascend(level + 1, split.separator, split.right);
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Factory.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<SimOperation> MakeSimOperation(Simulator* sim, OpId id,
+                                               Operation op,
+                                               Algorithm algorithm,
+                                               double arrival_time) {
+  switch (algorithm) {
+    case Algorithm::kNaiveLockCoupling:
+      if (op.type == OpType::kSearch) {
+        return std::make_unique<CoupledSearchOp>(sim, id, op, arrival_time);
+      }
+      return std::make_unique<NaiveUpdateOp>(sim, id, op, arrival_time);
+    case Algorithm::kOptimisticDescent:
+      if (op.type == OpType::kSearch) {
+        return std::make_unique<CoupledSearchOp>(sim, id, op, arrival_time);
+      }
+      return std::make_unique<OptimisticUpdateOp>(sim, id, op, arrival_time);
+    case Algorithm::kLinkType:
+      if (op.type == OpType::kSearch) {
+        return std::make_unique<LinkSearchOp>(sim, id, op, arrival_time);
+      }
+      return std::make_unique<LinkUpdateOp>(sim, id, op, arrival_time);
+    case Algorithm::kTwoPhaseLocking:
+      if (op.type == OpType::kSearch) {
+        return std::make_unique<TwoPhaseSearchOp>(sim, id, op, arrival_time);
+      }
+      return std::make_unique<TwoPhaseUpdateOp>(sim, id, op, arrival_time);
+  }
+  CBTREE_CHECK(false) << "unreachable";
+  return nullptr;
+}
+
+}  // namespace cbtree

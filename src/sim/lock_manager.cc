@@ -1,0 +1,137 @@
+#include "sim/lock_manager.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace cbtree {
+
+const char* LockModeName(LockMode mode) {
+  return mode == LockMode::kRead ? "R" : "W";
+}
+
+void LockManager::Request(NodeId node, LockMode mode, OpId op,
+                          GrantCallback on_grant) {
+  CBTREE_CHECK(on_grant != nullptr);
+  NodeLocks& locks = nodes_[node];
+  CBTREE_CHECK(!Holds(node, op)) << "op " << op << " re-locks node " << node;
+  if (mode == LockMode::kWrite) {
+    ++locks.writers_present;
+    UpdateTrackedPresence(node, locks);
+  }
+  // FCFS: grant immediately only when nothing is queued ahead.
+  if (locks.waiting.empty()) {
+    if (mode == LockMode::kRead && !locks.writer_active) {
+      ++locks.active_readers;
+      ++locks.reader_ops[op];
+      ++total_held_;
+      on_grant();
+      return;
+    }
+    if (mode == LockMode::kWrite && !locks.writer_active &&
+        locks.active_readers == 0) {
+      locks.writer_active = true;
+      locks.writer_op = op;
+      ++total_held_;
+      on_grant();
+      return;
+    }
+  }
+  locks.waiting.push_back(Waiter{mode, op, std::move(on_grant)});
+}
+
+void LockManager::Release(NodeId node, OpId op) {
+  auto it = nodes_.find(node);
+  CBTREE_CHECK(it != nodes_.end()) << "release on unlocked node " << node;
+  NodeLocks& locks = it->second;
+  if (locks.writer_active && locks.writer_op == op) {
+    locks.writer_active = false;
+    locks.writer_op = 0;
+    --total_held_;
+    --locks.writers_present;
+    UpdateTrackedPresence(node, locks);
+  } else {
+    auto rit = locks.reader_ops.find(op);
+    CBTREE_CHECK(rit != locks.reader_ops.end())
+        << "op " << op << " releases node " << node << " it does not hold";
+    if (--rit->second == 0) locks.reader_ops.erase(rit);
+    CBTREE_CHECK_GT(locks.active_readers, 0);
+    --locks.active_readers;
+    --total_held_;
+  }
+  // Grant callbacks may re-enter Request/Release and mutate nodes_
+  // (invalidating `it` and possibly erasing this very entry), so the idle
+  // cleanup below must re-find the node. The NodeLocks reference passed to
+  // Dispatch stays valid across rehashes (unordered_map pointer stability),
+  // and a nested erase can only happen once the entry is idle — in which
+  // case Dispatch has nothing left to grant.
+  Dispatch(node, locks);
+  auto post = nodes_.find(node);
+  if (post != nodes_.end() && post->second.idle()) nodes_.erase(post);
+}
+
+void LockManager::Dispatch(NodeId node, NodeLocks& locks) {
+  std::vector<GrantCallback> granted;
+  if (!locks.writer_active) {
+    while (!locks.waiting.empty()) {
+      Waiter& head = locks.waiting.front();
+      if (head.mode == LockMode::kWrite) {
+        if (locks.active_readers > 0) break;
+        locks.writer_active = true;
+        locks.writer_op = head.op;
+        ++total_held_;
+        granted.push_back(std::move(head.on_grant));
+        locks.waiting.pop_front();
+        break;  // a writer excludes everything behind it
+      }
+      // A maximal run of readers at the head is granted together; the next
+      // queued writer (if any) keeps its FCFS position.
+      ++locks.active_readers;
+      ++locks.reader_ops[head.op];
+      ++total_held_;
+      granted.push_back(std::move(head.on_grant));
+      locks.waiting.pop_front();
+    }
+  }
+  UpdateTrackedPresence(node, locks);
+  for (GrantCallback& cb : granted) cb();
+}
+
+bool LockManager::Holds(NodeId node, OpId op) const {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return false;
+  const NodeLocks& locks = it->second;
+  if (locks.writer_active && locks.writer_op == op) return true;
+  return locks.reader_ops.count(op) > 0;
+}
+
+void LockManager::NotifyNodeFreed(NodeId node) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return;
+  const NodeLocks& locks = it->second;
+  CBTREE_CHECK(locks.active_readers == 0 && !locks.writer_active &&
+               locks.waiting.empty())
+      << "node " << node << " freed while locked or awaited";
+  nodes_.erase(it);
+}
+
+void LockManager::TrackWriterPresence(NodeId node) {
+  tracked_node_ = node;
+  double now = now_fn_();
+  tracked_presence_ = TimeWeightedAccumulator(now);
+  auto it = nodes_.find(node);
+  if (it != nodes_.end()) {
+    tracked_presence_.Update(now, it->second.writers_present > 0 ? 1.0 : 0.0);
+  }
+}
+
+double LockManager::TrackedWriterPresence() const {
+  return tracked_presence_.Average(now_fn_());
+}
+
+void LockManager::UpdateTrackedPresence(NodeId node, const NodeLocks& locks) {
+  if (node != tracked_node_) return;
+  tracked_presence_.Update(now_fn_(), locks.writers_present > 0 ? 1.0 : 0.0);
+}
+
+}  // namespace cbtree

@@ -1,0 +1,99 @@
+// FCFS reader/writer lock queues, one per B-tree node — the paper's queueing
+// model made executable (§3.2 "Lock types"): R locks are shared, W locks are
+// exclusive, grants are strictly First-Come-First-Served (a reader never
+// overtakes a queued writer).
+//
+// Grants are delivered through callbacks, possibly synchronously when the
+// lock is free. The manager also time-integrates the writer-presence
+// indicator of one tracked node (the root), which is the simulated
+// counterpart of the model's rho_w(h).
+
+#ifndef CBTREE_SIM_LOCK_MANAGER_H_
+#define CBTREE_SIM_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "btree/node.h"
+#include "stats/accumulator.h"
+
+namespace cbtree {
+
+enum class LockMode { kRead, kWrite };
+
+const char* LockModeName(LockMode mode);
+
+/// Opaque id of the requesting simulated operation.
+using OpId = uint64_t;
+
+class LockManager {
+ public:
+  using GrantCallback = std::function<void()>;
+
+  /// `now_fn` supplies the simulation clock for wait accounting.
+  explicit LockManager(std::function<double()> now_fn)
+      : now_fn_(std::move(now_fn)) {}
+
+  /// Requests a lock; `on_grant` runs when it is granted — synchronously if
+  /// the lock is available and nothing is queued. The same operation must
+  /// not hold or await another lock on the same node.
+  void Request(NodeId node, LockMode mode, OpId op, GrantCallback on_grant);
+
+  /// Releases a held lock, cascading FCFS grants.
+  void Release(NodeId node, OpId op);
+
+  /// True iff `op` currently holds a lock on `node`.
+  bool Holds(NodeId node, OpId op) const;
+
+  /// Declares the node removed from the tree. Checked: no lock may be held
+  /// or queued (the lock-coupling protocols guarantee this; see DESIGN.md).
+  void NotifyNodeFreed(NodeId node);
+
+  /// Tracks writer presence (held or queued W lock) on this node; the time
+  /// average is the simulated rho_w of its queue.
+  void TrackWriterPresence(NodeId node);
+  double TrackedWriterPresence() const;
+
+  /// Total locks currently held (diagnostics).
+  size_t total_held() const { return total_held_; }
+
+ private:
+  struct Waiter {
+    LockMode mode;
+    OpId op;
+    GrantCallback on_grant;
+  };
+
+  struct NodeLocks {
+    int active_readers = 0;
+    bool writer_active = false;
+    OpId writer_op = 0;
+    std::deque<Waiter> waiting;
+    int writers_present = 0;  ///< active + queued W locks
+    // Reader ownership for Holds/Release checks.
+    std::unordered_map<OpId, int> reader_ops;
+
+    bool idle() const {
+      return active_readers == 0 && !writer_active && waiting.empty();
+    }
+  };
+
+  /// Grants whatever the FCFS head allows (a writer, or a maximal run of
+  /// readers). Collects callbacks and runs them after state is consistent.
+  void Dispatch(NodeId node, NodeLocks& locks);
+
+  void UpdateTrackedPresence(NodeId node, const NodeLocks& locks);
+
+  std::function<double()> now_fn_;
+  std::unordered_map<NodeId, NodeLocks> nodes_;
+  size_t total_held_ = 0;
+
+  NodeId tracked_node_ = kInvalidNode;
+  TimeWeightedAccumulator tracked_presence_;
+};
+
+}  // namespace cbtree
+
+#endif  // CBTREE_SIM_LOCK_MANAGER_H_

@@ -1,0 +1,59 @@
+#include "sim/metrics.h"
+
+#include "util/check.h"
+
+namespace cbtree {
+
+void SimMetrics::Activate(double now) {
+  active_ = true;
+  activation_time_ = now;
+  active_ops_profile_ = TimeWeightedAccumulator(now);
+}
+
+void SimMetrics::RecordResponse(OpType type, double response) {
+  if (!active_) return;
+  ++completed_;
+  resp_all_.Add(response);
+  response_histogram_.Add(response);
+  switch (type) {
+    case OpType::kSearch:
+      resp_search_.Add(response);
+      break;
+    case OpType::kInsert:
+      resp_insert_.Add(response);
+      break;
+    case OpType::kDelete:
+      resp_delete_.Add(response);
+      break;
+  }
+}
+
+void SimMetrics::RecordLockWait(int level, bool write, double wait) {
+  if (!active_) return;
+  CBTREE_CHECK_GE(level, 1);
+  if (level >= static_cast<int>(wait_r_.size())) {
+    wait_r_.resize(level + 1);
+    wait_w_.resize(level + 1);
+  }
+  (write ? wait_w_ : wait_r_)[level].Add(wait);
+}
+
+void SimMetrics::RecordActiveOps(double now, size_t active_ops) {
+  max_active_ops_ = std::max(max_active_ops_, active_ops);
+  if (!active_) return;
+  active_ops_profile_.Update(now, static_cast<double>(active_ops));
+}
+
+const Accumulator& SimMetrics::response(OpType type) const {
+  switch (type) {
+    case OpType::kSearch:
+      return resp_search_;
+    case OpType::kInsert:
+      return resp_insert_;
+    case OpType::kDelete:
+      return resp_delete_;
+  }
+  return resp_all_;
+}
+
+}  // namespace cbtree

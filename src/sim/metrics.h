@@ -1,0 +1,66 @@
+// Statistics collected by the concurrent B-tree simulator (paper §4): per
+// operation-type response times, per-level lock waits, writer utilization of
+// the root, restart and link-crossing counts, and the active-operation
+// ("multiprogramming level") profile.
+
+#ifndef CBTREE_SIM_METRICS_H_
+#define CBTREE_SIM_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/accumulator.h"
+#include "workload/workload.h"
+
+namespace cbtree {
+
+class SimMetrics {
+ public:
+  /// `histogram_limit` bounds the response-time histogram range (responses
+  /// beyond it land in the overflow bucket).
+  explicit SimMetrics(int max_levels = 16, double histogram_limit = 500.0)
+      : wait_r_(max_levels + 1),
+        wait_w_(max_levels + 1),
+        response_histogram_(histogram_limit, 200) {}
+
+  /// Stats are discarded until Activate() (warm-up phase).
+  void Activate(double now);
+  bool active() const { return active_; }
+
+  void RecordResponse(OpType type, double response);
+  void RecordLockWait(int level, bool write, double wait);
+  void RecordLinkCrossing() { link_crossings_ += active_ ? 1 : 0; }
+  void RecordRestart() { restarts_ += active_ ? 1 : 0; }
+  void RecordActiveOps(double now, size_t active_ops);
+
+  const Accumulator& response(OpType type) const;
+  const Accumulator& response_all() const { return resp_all_; }
+  /// Distribution of all response times (p50/p95/p99 via Quantile).
+  const Histogram& response_histogram() const { return response_histogram_; }
+  const Accumulator& lock_wait_r(int level) const { return wait_r_[level]; }
+  const Accumulator& lock_wait_w(int level) const { return wait_w_[level]; }
+  uint64_t link_crossings() const { return link_crossings_; }
+  uint64_t restarts() const { return restarts_; }
+  uint64_t completed() const { return completed_; }
+  double activation_time() const { return activation_time_; }
+  double mean_active_ops(double now) const {
+    return active_ops_profile_.Average(now);
+  }
+  size_t max_active_ops() const { return max_active_ops_; }
+
+ private:
+  bool active_ = false;
+  double activation_time_ = 0.0;
+  Accumulator resp_search_, resp_insert_, resp_delete_, resp_all_;
+  Histogram response_histogram_;
+  std::vector<Accumulator> wait_r_, wait_w_;
+  uint64_t link_crossings_ = 0;
+  uint64_t restarts_ = 0;
+  uint64_t completed_ = 0;
+  TimeWeightedAccumulator active_ops_profile_;
+  size_t max_active_ops_ = 0;
+};
+
+}  // namespace cbtree
+
+#endif  // CBTREE_SIM_METRICS_H_

@@ -1,0 +1,151 @@
+#include "sim/protocol_ops.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace cbtree {
+
+// ---------------------------------------------------------------------------
+// CoupledSearchOp: R locks with lock-coupling down to the leaf.
+// ---------------------------------------------------------------------------
+
+void CoupledSearchOp::Start() {
+  NodeId root = tree().root();
+  AcquireLock(root, LockMode::kRead, [this, root] { Visit(root); });
+}
+
+void CoupledSearchOp::Visit(NodeId node) {
+  // Holds the R lock on `node` (the parent's lock was released on grant).
+  DoWork(SearchCostAt(node), [this, node] {
+    const Node& n = tree().node(node);
+    if (n.is_leaf()) {
+      // The lookup result itself is incidental; the search work was the
+      // DoWork above.
+      ReleaseAllExcept();
+      Finish();
+      return;
+    }
+    NodeId child = tree().Child(node, op().key);
+    AcquireLock(child, LockMode::kRead, [this, node, child] {
+      ReleaseLock(node);
+      Visit(child);
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// CoupledUpdateOpBase: W locks with coupling; ancestors released when the
+// just-locked child is safe; restructuring happens under the retained chain.
+// ---------------------------------------------------------------------------
+
+bool CoupledUpdateOpBase::IsSafe(NodeId node) {
+  const BTree& t = tree();
+  return op().type == OpType::kInsert ? !t.IsFull(node)
+                                      : !t.IsDeleteUnsafe(node);
+}
+
+void CoupledUpdateOpBase::StartCoupledDescent() {
+  path_.clear();
+  NodeId root = tree().root();
+  AcquireLock(root, LockMode::kWrite, [this, root] { Visit(root); });
+}
+
+void CoupledUpdateOpBase::Visit(NodeId node) {
+  // Just granted the W lock on `node`. Release the ancestors iff it is safe
+  // (Bayer & Schkolnick's protocol), then search it.
+  if (release_safe_ancestors_ && !path_.empty() && IsSafe(node)) {
+    ReleaseAllExcept(node);
+    path_.clear();
+  }
+  path_.push_back(node);
+  const Node& n = tree().node(node);
+  if (n.is_leaf()) {
+    LeafPhase(node);
+    return;
+  }
+  DoWork(SearchCostAt(node), [this, node] {
+    NodeId child = tree().Child(node, op().key);
+    AcquireLock(child, LockMode::kWrite,
+                [this, child] { Visit(child); });
+  });
+}
+
+void CoupledUpdateOpBase::LeafPhase(NodeId leaf) {
+  DoWork(ModifyCostAt(leaf), [this, leaf] {
+    MarkModified(leaf);
+    if (op().type == OpType::kInsert) {
+      tree().LeafInsert(leaf, op().key, op().value);
+      if (static_cast<int>(tree().node(leaf).size()) >
+          tree().options().max_node_size) {
+        SplitChain(path_.size() - 1);
+        return;
+      }
+    } else {
+      tree().LeafDelete(leaf, op().key);
+      if (tree().node(leaf).empty() && leaf != tree().root()) {
+        MergeChain(path_.size() - 1);
+        return;
+      }
+    }
+    Complete();
+  });
+}
+
+void CoupledUpdateOpBase::SplitChain(size_t path_index) {
+  NodeId node = path_[path_index];
+  CBTREE_CHECK(Holds(node));
+  if (node == tree().root()) {
+    DoWork(SplitCostAt(node), [this, node] {
+      MarkModified(node);
+      tree().SplitRootInPlace();
+      Complete();
+    });
+    return;
+  }
+  // The node was unsafe when locked, so its parent is in the retained chain.
+  CBTREE_CHECK_GT(path_index, 0u)
+      << "overflowing non-root node without a retained parent";
+  NodeId parent = path_[path_index - 1];
+  CBTREE_CHECK(Holds(parent));
+  DoWork(SplitCostAt(node), [this, node, parent, path_index] {
+    MarkModified(node);
+    MarkModified(parent);
+    BTree::SplitResult split = tree().Split(node);
+    tree().InsertSplitEntry(parent, split.separator, split.right);
+    if (static_cast<int>(tree().node(parent).size()) >
+        tree().options().max_node_size) {
+      SplitChain(path_index - 1);
+    } else {
+      Complete();
+    }
+  });
+}
+
+void CoupledUpdateOpBase::MergeChain(size_t path_index) {
+  NodeId node = path_[path_index];
+  CBTREE_CHECK(Holds(node));
+  CBTREE_CHECK_GT(path_index, 0u)
+      << "emptied non-root node without a retained parent";
+  NodeId parent = path_[path_index - 1];
+  CBTREE_CHECK(Holds(parent));
+  DoWork(MergeCostAt(node), [this, node, parent, path_index] {
+    MarkModified(parent);
+    // Release the lock before the node disappears; within one event no
+    // other operation can observe the window (and none can be queued here —
+    // we hold the parent's W lock; see DESIGN.md).
+    ReleaseLock(node);
+    sim()->RemoveChildNode(parent, node);
+    path_.pop_back();
+    if (tree().node(parent).empty() && parent != tree().root()) {
+      MergeChain(path_index - 1);
+    } else {
+      Complete();
+    }
+  });
+}
+
+void CoupledUpdateOpBase::Complete() {
+  path_.clear();
+  Finish();
+}
+
+}  // namespace cbtree

@@ -1,0 +1,129 @@
+#include "sim/operation.h"
+
+#include <algorithm>
+
+#include "sim/simulator.h"
+#include "stats/distributions.h"
+#include "util/check.h"
+
+namespace cbtree {
+
+SimOperation::SimOperation(Simulator* sim, OpId id, Operation op,
+                           double arrival_time)
+    : sim_(sim), id_(id), op_(op), arrival_time_(arrival_time) {}
+
+SimOperation::~SimOperation() {
+  CBTREE_CHECK(held_locks_.empty())
+      << "operation " << id_ << " destroyed holding locks";
+}
+
+void SimOperation::AbandonForShutdown() { held_locks_.clear(); }
+
+BTree& SimOperation::tree() { return sim_->tree(); }
+
+double SimOperation::SearchCost(int level) const {
+  return sim_->AccessCost(level);
+}
+
+double SimOperation::ModifyCost(int level) const {
+  return sim_->config().modify_factor * sim_->AccessCost(level);
+}
+
+double SimOperation::SplitCost(int level) const {
+  return sim_->config().split_factor * sim_->AccessCost(level);
+}
+
+double SimOperation::MergeCost(int level) const {
+  return sim_->config().merge_factor * sim_->AccessCost(level);
+}
+
+double SimOperation::SearchCostAt(NodeId node) {
+  return sim_->NodeAccessCost(node);
+}
+
+double SimOperation::ModifyCostAt(NodeId node) {
+  return sim_->config().modify_factor * sim_->NodeAccessCost(node);
+}
+
+double SimOperation::SplitCostAt(NodeId node) {
+  return sim_->config().split_factor * sim_->NodeAccessCost(node);
+}
+
+double SimOperation::MergeCostAt(NodeId node) {
+  return sim_->config().merge_factor * sim_->NodeAccessCost(node);
+}
+
+void SimOperation::AcquireLock(NodeId node, LockMode mode,
+                               std::function<void()> next) {
+  int level = tree().node(node).level;
+  double requested_at = sim_->now();
+  sim_->locks().Request(
+      node, mode, id_,
+      [this, node, mode, level, requested_at, next = std::move(next)]() {
+        held_locks_.push_back(HeldLock{node, mode});
+        sim_->RecordLockWait(level, mode, sim_->now() - requested_at);
+        next();
+      });
+}
+
+void SimOperation::ReleaseLock(NodeId node) {
+  auto it = std::find_if(held_locks_.begin(), held_locks_.end(),
+                         [node](const HeldLock& l) { return l.node == node; });
+  CBTREE_CHECK(it != held_locks_.end())
+      << "operation " << id_ << " releasing unheld node " << node;
+  held_locks_.erase(it);
+  sim_->locks().Release(node, id_);
+}
+
+void SimOperation::ReleaseAllExcept(NodeId keep) {
+  std::vector<NodeId> to_release;
+  for (const HeldLock& lock : held_locks_) {
+    if (lock.node != keep) to_release.push_back(lock.node);
+  }
+  for (NodeId node : to_release) ReleaseLock(node);
+}
+
+void SimOperation::DoWork(double mean_cost, std::function<void()> next) {
+  double duration = SampleExponential(sim_->service_rng(), mean_cost);
+  sim_->events().ScheduleAfter(duration, std::move(next));
+}
+
+void SimOperation::MarkModified(NodeId node) { modified_.insert(node); }
+
+void SimOperation::Finish() {
+  // Apply the recovery policy: W locks on retained nodes stay held until the
+  // surrounding transaction commits (the simulator releases them after an
+  // exponential T_trans).
+  const RecoveryConfig& recovery = sim_->config().recovery;
+  std::vector<NodeId> retained;
+  if (recovery.policy != RecoveryPolicy::kNone &&
+      op_.type != OpType::kSearch) {
+    std::vector<HeldLock> keep;
+    for (const HeldLock& lock : held_locks_) {
+      if (lock.mode != LockMode::kWrite) continue;
+      if (!modified_.count(lock.node)) continue;
+      bool is_leaf = tree().node(lock.node).is_leaf();
+      if (recovery.policy == RecoveryPolicy::kNaive || is_leaf) {
+        retained.push_back(lock.node);
+      }
+    }
+    // Retained locks are handed over to the simulator (the commit event owns
+    // them from here on).
+    held_locks_.erase(
+        std::remove_if(held_locks_.begin(), held_locks_.end(),
+                       [&retained](const HeldLock& l) {
+                         return std::find(retained.begin(), retained.end(),
+                                          l.node) != retained.end();
+                       }),
+        held_locks_.end());
+  }
+  ReleaseAllExcept();
+  sim_->OperationFinished(this, std::move(retained));
+}
+
+bool SimOperation::Holds(NodeId node) const {
+  return std::any_of(held_locks_.begin(), held_locks_.end(),
+                     [node](const HeldLock& l) { return l.node == node; });
+}
+
+}  // namespace cbtree

@@ -1,0 +1,67 @@
+#include "sim/protocol_ops.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace cbtree {
+
+// Optimistic first descent: R locks with coupling down to the leaf's parent,
+// then a W lock on the leaf. An unsafe leaf forces a full redo under the
+// Naive protocol (the base class).
+
+void OptimisticUpdateOp::Start() {
+  NodeId root = tree().root();
+  if (tree().node(root).is_leaf()) {
+    AcquireLock(root, LockMode::kWrite, [this, root] { LeafGranted(root); });
+    return;
+  }
+  AcquireLock(root, LockMode::kRead, [this, root] { Visit(root); });
+}
+
+void OptimisticUpdateOp::Visit(NodeId node) {
+  // Holds the R lock on internal `node`.
+  DoWork(SearchCostAt(node), [this, node] {
+    const Node& n = tree().node(node);
+    CBTREE_CHECK(!n.is_leaf());
+    NodeId child = tree().Child(node, op().key);
+    if (n.level == 2) {
+      // Couple into the leaf's W lock.
+      AcquireLock(child, LockMode::kWrite, [this, node, child] {
+        ReleaseLock(node);
+        LeafGranted(child);
+      });
+    } else {
+      AcquireLock(child, LockMode::kRead, [this, node, child] {
+        ReleaseLock(node);
+        Visit(child);
+      });
+    }
+  });
+}
+
+void OptimisticUpdateOp::LeafGranted(NodeId leaf) {
+  const BTree& t = tree();
+  bool safe = op().type == OpType::kInsert ? !t.IsFull(leaf)
+                                           : !t.IsDeleteUnsafe(leaf);
+  if (!safe) {
+    // Second pass: release everything and redo with W locks (the redo-insert
+    // operation of the analysis).
+    ReleaseAllExcept();
+    sim()->metrics().RecordRestart();
+    StartCoupledDescent();
+    return;
+  }
+  DoWork(ModifyCostAt(leaf), [this, leaf] {
+    MarkModified(leaf);
+    if (op().type == OpType::kInsert) {
+      tree().LeafInsert(leaf, op().key, op().value);
+      CBTREE_CHECK_LE(static_cast<int>(tree().node(leaf).size()),
+                      tree().options().max_node_size);
+    } else {
+      tree().LeafDelete(leaf, op().key);
+      // Safe implies at least one key remains; merge-at-empty never fires.
+    }
+    Finish();
+  });
+}
+
+}  // namespace cbtree

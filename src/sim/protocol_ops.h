@@ -1,0 +1,138 @@
+// Simulated operations for the three concurrency-control protocols.
+//
+// Naive Lock-coupling (Bayer & Schkolnick): searches R-couple to the leaf;
+// updates W-couple, releasing all ancestor locks exactly when the just-locked
+// child is safe for the operation, so every node a restructure touches is
+// already W-locked.
+//
+// Optimistic Descent (Bayer & Schkolnick): updates descend once like a
+// search but W-lock the leaf; if the leaf is unsafe they release everything
+// and redo the descent with the Naive protocol.
+//
+// Link-type (Lehman & Yao / Sagiv): R locks one at a time down the tree;
+// updates W-lock only the leaf, half-split a full node, release it and then
+// W-lock the remembered parent to post the separator — following right links
+// whenever a concurrent split moved the target range.
+
+#ifndef CBTREE_SIM_PROTOCOL_OPS_H_
+#define CBTREE_SIM_PROTOCOL_OPS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "sim/operation.h"
+
+namespace cbtree {
+
+/// R-lock-coupled search, shared by Naive Lock-coupling and Optimistic
+/// Descent (their search protocols are identical).
+class CoupledSearchOp : public SimOperation {
+ public:
+  using SimOperation::SimOperation;
+  void Start() override;
+
+ private:
+  void Visit(NodeId node);
+};
+
+/// Shared W-lock-coupled update descent (Naive updates; Optimistic redo
+/// passes). Safety: an insert-safe node is not full, a delete-safe node has
+/// at least two entries (merge-at-empty).
+class CoupledUpdateOpBase : public SimOperation {
+ public:
+  using SimOperation::SimOperation;
+
+ protected:
+  void StartCoupledDescent();
+
+ private:
+  bool IsSafe(NodeId node);
+  void Visit(NodeId node);
+  void LeafPhase(NodeId leaf);
+  void SplitChain(size_t path_index);
+  void MergeChain(size_t path_index);
+  void Complete();
+
+  /// Currently W-locked chain, ancestors first, ending at the newest node.
+  std::vector<NodeId> path_;
+
+ protected:
+  /// Two-Phase Locking reuses the descent verbatim but never releases
+  /// ancestors (no lock leaves the operation before it completes).
+  bool release_safe_ancestors_ = true;
+};
+
+class NaiveUpdateOp : public CoupledUpdateOpBase {
+ public:
+  using CoupledUpdateOpBase::CoupledUpdateOpBase;
+  void Start() override { StartCoupledDescent(); }
+};
+
+class OptimisticUpdateOp : public CoupledUpdateOpBase {
+ public:
+  using CoupledUpdateOpBase::CoupledUpdateOpBase;
+  void Start() override;
+
+ private:
+  void Visit(NodeId node);
+  void LeafGranted(NodeId leaf);
+};
+
+/// Two-Phase Locking: R locks held root-to-leaf until the search ends.
+class TwoPhaseSearchOp : public SimOperation {
+ public:
+  using SimOperation::SimOperation;
+  void Start() override;
+
+ private:
+  void Visit(NodeId node);
+};
+
+/// Two-Phase Locking update: the coupled descent with every lock retained.
+class TwoPhaseUpdateOp : public CoupledUpdateOpBase {
+ public:
+  using CoupledUpdateOpBase::CoupledUpdateOpBase;
+  void Start() override {
+    release_safe_ancestors_ = false;
+    StartCoupledDescent();
+  }
+};
+
+class LinkSearchOp : public SimOperation {
+ public:
+  using SimOperation::SimOperation;
+  void Start() override;
+
+ private:
+  void Visit(NodeId node);
+};
+
+class LinkUpdateOp : public SimOperation {
+ public:
+  using SimOperation::SimOperation;
+  void Start() override;
+
+ private:
+  void Visit(NodeId node);
+  void LeafGranted(NodeId leaf);
+  void LeafWork(NodeId leaf);
+  /// Posts (separator, right) at `level`, starting from the remembered
+  /// anchor and following right links / descending as needed.
+  void Ascend(int level, Key separator, NodeId right);
+  void AscendGranted(NodeId node, int level, Key separator, NodeId right);
+  NodeId AnchorFor(int level);
+
+  /// Rightmost node locked at each level during the descent (index = level).
+  std::vector<NodeId> anchors_;
+};
+
+/// Creates the right operation object for (algorithm, op type).
+std::unique_ptr<SimOperation> MakeSimOperation(Simulator* sim, OpId id,
+                                               Operation op,
+                                               Algorithm algorithm,
+                                               double arrival_time);
+
+}  // namespace cbtree
+
+#endif  // CBTREE_SIM_PROTOCOL_OPS_H_

@@ -1,0 +1,27 @@
+#include "sim/protocol_ops.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace cbtree {
+
+// Two-Phase Locking search: R locks accumulate root-to-leaf and are all
+// released only when the operation finishes.
+
+void TwoPhaseSearchOp::Start() {
+  NodeId root = tree().root();
+  AcquireLock(root, LockMode::kRead, [this, root] { Visit(root); });
+}
+
+void TwoPhaseSearchOp::Visit(NodeId node) {
+  DoWork(SearchCostAt(node), [this, node] {
+    const Node& n = tree().node(node);
+    if (n.is_leaf()) {
+      Finish();  // releases the whole R-lock chain
+      return;
+    }
+    NodeId child = tree().Child(node, op().key);
+    AcquireLock(child, LockMode::kRead, [this, child] { Visit(child); });
+  });
+}
+
+}  // namespace cbtree

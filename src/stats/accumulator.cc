@@ -1,0 +1,123 @@
+#include "stats/accumulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace cbtree {
+
+void Accumulator::Add(double value) {
+  ++count_;
+  double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Accumulator::Merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel update.
+  double delta = other.mean_ - mean_;
+  size_t total = count_ + other.count_;
+  double nb = static_cast<double>(other.count_);
+  double na = static_cast<double>(count_);
+  double nt = static_cast<double>(total);
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  mean_ += delta * nb / nt;
+  count_ = total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::mean() const { return count_ ? mean_ : 0.0; }
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const { return count_ ? min_ : 0.0; }
+
+double Accumulator::max() const { return count_ ? max_ : 0.0; }
+
+double Accumulator::ci95_halfwidth() const {
+  if (count_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void TimeWeightedAccumulator::Update(double now, double value) {
+  CBTREE_CHECK_GE(now, last_time_);
+  integral_ += current_value_ * (now - last_time_);
+  last_time_ = now;
+  current_value_ = value;
+}
+
+double TimeWeightedAccumulator::Average(double now) const {
+  double elapsed = now - start_time_;
+  if (elapsed <= 0.0) return current_value_;
+  double integral = integral_ + current_value_ * (now - last_time_);
+  return integral / elapsed;
+}
+
+Histogram::Histogram(double limit, size_t buckets)
+    : limit_(limit), bucket_width_(limit / static_cast<double>(buckets)),
+      counts_(buckets + 1, 0) {
+  CBTREE_CHECK_GT(limit, 0.0);
+  CBTREE_CHECK_GT(buckets, 0u);
+}
+
+void Histogram::Add(double value) {
+  CBTREE_CHECK_GE(value, 0.0);
+  size_t idx = value >= limit_
+                   ? counts_.size() - 1
+                   : static_cast<size_t>(value / bucket_width_);
+  ++counts_[idx];
+  ++count_;
+  max_seen_ = std::max(max_seen_, value);
+}
+
+double Histogram::Quantile(double q) const {
+  CBTREE_CHECK_GE(q, 0.0);
+  CBTREE_CHECK_LE(q, 1.0);
+  if (count_ == 0) return 0.0;
+  double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      if (i == counts_.size() - 1) return max_seen_;  // overflow bucket
+      double frac = counts_[i] ? (target - cum) / counts_[i] : 0.0;
+      return (static_cast<double>(i) + frac) * bucket_width_;
+    }
+    cum = next;
+  }
+  return max_seen_;
+}
+
+std::string Histogram::ToAscii(size_t width) const {
+  size_t peak = 0;
+  for (size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double lo = static_cast<double>(i) * bucket_width_;
+    size_t bar = peak ? counts_[i] * width / peak : 0;
+    if (i + 1 == counts_.size()) {
+      out << ">= " << limit_;
+    } else {
+      out << "[" << lo << ", " << lo + bucket_width_ << ")";
+    }
+    out << "  " << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cbtree

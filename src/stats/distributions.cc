@@ -1,0 +1,67 @@
+#include "stats/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cbtree {
+
+double SampleExponential(Rng& rng, double mean) {
+  CBTREE_CHECK_GE(mean, 0.0);
+  if (mean == 0.0) return 0.0;
+  return -mean * std::log(rng.NextDoubleOpenLow());
+}
+
+double SampleUniform(Rng& rng, double lo, double hi) {
+  CBTREE_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * rng.NextDouble();
+}
+
+size_t SampleDiscrete(Rng& rng, const std::vector<double>& weights) {
+  CBTREE_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    CBTREE_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  CBTREE_CHECK_GT(total, 0.0);
+  double u = rng.NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (u < weights[i]) return i;
+    u -= weights[i];
+  }
+  return weights.size() - 1;  // Guard against rounding at the top end.
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double s) : n_(n), s_(s) {
+  CBTREE_CHECK_GT(n, 0u);
+  CBTREE_CHECK_GE(s, 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+uint64_t ZipfGenerator::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+PoissonProcess::PoissonProcess(double rate, uint64_t seed)
+    : rate_(rate), rng_(seed) {
+  CBTREE_CHECK_GT(rate, 0.0);
+}
+
+double PoissonProcess::NextArrival() {
+  now_ += SampleExponential(rng_, 1.0 / rate_);
+  return now_;
+}
+
+}  // namespace cbtree

@@ -1,0 +1,64 @@
+// Random-variate generators for the workloads and the simulator.
+//
+// The paper's model (§3.2, §4) needs exponential service times, Poisson
+// arrival processes (equivalently exponential interarrival gaps), a discrete
+// operation-mix distribution, and uniform keys. Zipf keys are provided as an
+// extension for skewed-access experiments.
+
+#ifndef CBTREE_STATS_DISTRIBUTIONS_H_
+#define CBTREE_STATS_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace cbtree {
+
+/// Exponential variate with the given mean (not rate). A mean of zero yields
+/// the degenerate constant 0 (used for free in-memory steps in tests).
+double SampleExponential(Rng& rng, double mean);
+
+/// Uniform double in [lo, hi).
+double SampleUniform(Rng& rng, double lo, double hi);
+
+/// Samples an index from a discrete distribution given (unnormalized,
+/// non-negative) weights. Linear scan; intended for tiny supports like the
+/// {search, insert, delete} mix.
+size_t SampleDiscrete(Rng& rng, const std::vector<double>& weights);
+
+/// Zipf(s) sampler over {0, ..., n-1} using precomputed cumulative weights
+/// and binary search. s = 0 degenerates to uniform.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double s);
+
+  uint64_t Sample(Rng& rng) const;
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i), cdf_.back() == 1.
+};
+
+/// Generates Poisson-process arrival times: each call advances the internal
+/// clock by an Exp(1/rate) gap and returns the new arrival instant.
+class PoissonProcess {
+ public:
+  PoissonProcess(double rate, uint64_t seed);
+
+  double NextArrival();
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  double now_ = 0.0;
+  Rng rng_;
+};
+
+}  // namespace cbtree
+
+#endif  // CBTREE_STATS_DISTRIBUTIONS_H_

@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator's results must be reproducible per seed (the paper runs 5
+// seeds per parameter setting), so we use our own xoshiro256++ implementation
+// rather than the unspecified std::default_random_engine.
+
+#ifndef CBTREE_STATS_RNG_H_
+#define CBTREE_STATS_RNG_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace cbtree {
+
+/// xoshiro256++ 1.0 by Blackman & Vigna (public domain reference
+/// implementation), seeded through SplitMix64. Satisfies
+/// UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  /// Re-seeds the full 256-bit state from a 64-bit seed via SplitMix64.
+  void Seed(uint64_t seed);
+
+  uint64_t Next();
+  uint64_t operator()() { return Next(); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double NextDouble();
+
+  /// Uniform double in (0, 1]; safe as the argument of log().
+  double NextDoubleOpenLow();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Forks an independent stream (used to give each simulated component its
+  /// own stream so that adding statistics does not perturb the run).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+/// SplitMix64 step, exposed for seeding tests.
+uint64_t SplitMix64(uint64_t* state);
+
+}  // namespace cbtree
+
+#endif  // CBTREE_STATS_RNG_H_

@@ -1,0 +1,72 @@
+#include "stats/solver.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cbtree {
+
+std::optional<double> Bisect(const std::function<double(double)>& f, double lo,
+                             double hi, const BisectOptions& options) {
+  CBTREE_CHECK_LE(lo, hi);
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if (std::isnan(flo) || std::isnan(fhi)) return std::nullopt;
+  if ((flo > 0) == (fhi > 0)) return std::nullopt;
+  for (int i = 0; i < options.max_iterations && hi - lo > options.tolerance;
+       ++i) {
+    double mid = 0.5 * (lo + hi);
+    double fmid = f(mid);
+    if (fmid == 0.0) return mid;
+    if (std::isnan(fmid)) return std::nullopt;
+    if ((fmid > 0) == (flo > 0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::optional<double> FirstRoot(const std::function<double(double)>& f,
+                                double lo, double hi, int segments,
+                                const BisectOptions& options) {
+  CBTREE_CHECK_GT(segments, 0);
+  CBTREE_CHECK_LT(lo, hi);
+  double step = (hi - lo) / segments;
+  double x0 = lo;
+  double f0 = f(x0);
+  if (f0 == 0.0) return x0;
+  for (int i = 1; i <= segments; ++i) {
+    double x1 = (i == segments) ? hi : lo + step * i;
+    double f1 = f(x1);
+    if (f1 == 0.0) return x1;
+    if (!std::isnan(f0) && !std::isnan(f1) && (f0 > 0) != (f1 > 0)) {
+      return Bisect(f, x0, x1, options);
+    }
+    x0 = x1;
+    f0 = f1;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> FixedPoint(const std::function<double(double)>& g,
+                                 double x0, double tolerance,
+                                 int max_iterations, double damping) {
+  CBTREE_CHECK_GT(damping, 0.0);
+  CBTREE_CHECK_LE(damping, 1.0);
+  double x = x0;
+  for (int i = 0; i < max_iterations; ++i) {
+    double gx = g(x);
+    if (std::isnan(gx)) return std::nullopt;
+    double next = (1.0 - damping) * x + damping * gx;
+    if (std::fabs(next - x) < tolerance) return next;
+    x = next;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cbtree

@@ -1,0 +1,44 @@
+// Scalar root-finding / fixed-point machinery for the analytical models.
+//
+// Theorem 6 of the paper defines the writer utilization rho_w of the FCFS R/W
+// queue as the root of a transcendental equation; the maximum-throughput and
+// rho=.5 operating points are themselves roots over the arrival rate. All are
+// found by bracketing + bisection, which is robust against the steep
+// behaviour near saturation.
+
+#ifndef CBTREE_STATS_SOLVER_H_
+#define CBTREE_STATS_SOLVER_H_
+
+#include <functional>
+#include <optional>
+
+namespace cbtree {
+
+struct BisectOptions {
+  double tolerance = 1e-12;  ///< absolute tolerance on the argument
+  int max_iterations = 200;
+};
+
+/// Finds x in [lo, hi] with f(x) = 0 given f(lo) and f(hi) of opposite sign
+/// (or zero). Returns nullopt when the bracket is invalid.
+std::optional<double> Bisect(const std::function<double(double)>& f, double lo,
+                             double hi, const BisectOptions& options = {});
+
+/// Finds the smallest root of f in [lo, hi] by scanning `segments` equal
+/// sub-intervals for a sign change and bisecting the first one. Returns
+/// nullopt if f never changes sign. Used for saturation points where f may
+/// have multiple roots.
+std::optional<double> FirstRoot(const std::function<double(double)>& f,
+                                double lo, double hi, int segments = 64,
+                                const BisectOptions& options = {});
+
+/// Iterates x <- g(x) from x0 with damping until |x - g(x)| < tolerance.
+/// Returns nullopt on non-convergence.
+std::optional<double> FixedPoint(const std::function<double(double)>& g,
+                                 double x0, double tolerance = 1e-12,
+                                 int max_iterations = 10000,
+                                 double damping = 0.5);
+
+}  // namespace cbtree
+
+#endif  // CBTREE_STATS_SOLVER_H_

@@ -1,0 +1,76 @@
+// Lightweight runtime-check macros used across the library.
+//
+// CBTREE_CHECK is always on (release builds included): the library's
+// correctness arguments (lock-queue FCFS order, B-tree invariants) are cheap
+// to assert relative to the simulated work, and a silent violation would
+// invalidate every measurement downstream.
+
+#ifndef CBTREE_UTIL_CHECK_H_
+#define CBTREE_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cbtree {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::cerr << "CBTREE_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!message.empty()) std::cerr << " — " << message;
+  std::cerr << std::endl;
+  std::abort();
+}
+
+// Accumulates an optional streamed message for CBTREE_CHECK.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace cbtree
+
+#define CBTREE_CHECK(condition)                                          \
+  if (condition) {                                                       \
+  } else /* NOLINT */                                                    \
+    ::cbtree::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define CBTREE_CHECK_EQ(a, b) CBTREE_CHECK((a) == (b))
+#define CBTREE_CHECK_NE(a, b) CBTREE_CHECK((a) != (b))
+#define CBTREE_CHECK_LT(a, b) CBTREE_CHECK((a) < (b))
+#define CBTREE_CHECK_LE(a, b) CBTREE_CHECK((a) <= (b))
+#define CBTREE_CHECK_GT(a, b) CBTREE_CHECK((a) > (b))
+#define CBTREE_CHECK_GE(a, b) CBTREE_CHECK((a) >= (b))
+
+// Debug-only check for hot paths.
+#ifndef NDEBUG
+#define CBTREE_DCHECK(condition) CBTREE_CHECK(condition)
+#else
+#define CBTREE_DCHECK(condition) \
+  if (true) {                    \
+  } else /* NOLINT */            \
+    ::cbtree::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+#endif
+
+#endif  // CBTREE_UTIL_CHECK_H_

@@ -1,0 +1,145 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace cbtree {
+namespace {
+
+template <typename T>
+bool ParseNumber(const std::string& text, T* out) {
+  std::istringstream stream(text);
+  stream >> *out;
+  return !stream.fail() && stream.eof();
+}
+
+template <typename T>
+std::string ToString(const T& value) {
+  std::ostringstream stream;
+  stream << value;
+  return stream.str();
+}
+
+}  // namespace
+
+void FlagSet::RegisterImpl(const std::string& name, Flag flag) {
+  flags_[name] = std::move(flag);
+}
+
+void FlagSet::Register(const std::string& name, double* target,
+                       const std::string& help) {
+  RegisterImpl(name, Flag{help, ToString(*target),
+                          [target](const std::string& v) {
+                            return ParseNumber(v, target);
+                          },
+                          false});
+}
+
+void FlagSet::Register(const std::string& name, int* target,
+                       const std::string& help) {
+  RegisterImpl(name, Flag{help, ToString(*target),
+                          [target](const std::string& v) {
+                            return ParseNumber(v, target);
+                          },
+                          false});
+}
+
+void FlagSet::Register(const std::string& name, int64_t* target,
+                       const std::string& help) {
+  RegisterImpl(name, Flag{help, ToString(*target),
+                          [target](const std::string& v) {
+                            return ParseNumber(v, target);
+                          },
+                          false});
+}
+
+void FlagSet::Register(const std::string& name, uint64_t* target,
+                       const std::string& help) {
+  RegisterImpl(name, Flag{help, ToString(*target),
+                          [target](const std::string& v) {
+                            return ParseNumber(v, target);
+                          },
+                          false});
+}
+
+void FlagSet::Register(const std::string& name, bool* target,
+                       const std::string& help) {
+  RegisterImpl(name, Flag{help, *target ? "true" : "false",
+                          [target](const std::string& v) {
+                            if (v == "true" || v == "1" || v.empty()) {
+                              *target = true;
+                              return true;
+                            }
+                            if (v == "false" || v == "0") {
+                              *target = false;
+                              return true;
+                            }
+                            return false;
+                          },
+                          true});
+}
+
+void FlagSet::Register(const std::string& name, std::string* target,
+                       const std::string& help) {
+  RegisterImpl(name, Flag{help, *target,
+                          [target](const std::string& v) {
+                            *target = v;
+                            return true;
+                          },
+                          false});
+}
+
+std::vector<std::string> FlagSet::Parse(int argc, char** argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body == "help") {
+      PrintHelp(argv[0]);
+      std::exit(0);
+    }
+    std::string name = body;
+    std::string value;
+    bool has_value = false;
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::cerr << "unknown flag --" << name << " (try --help)" << std::endl;
+      std::exit(1);
+    }
+    if (!has_value && !it->second.is_bool) {
+      if (i + 1 >= argc) {
+        std::cerr << "flag --" << name << " requires a value" << std::endl;
+        std::exit(1);
+      }
+      value = argv[++i];
+    }
+    if (!it->second.setter(value)) {
+      std::cerr << "bad value for --" << name << ": '" << value << "'"
+                << std::endl;
+      std::exit(1);
+    }
+  }
+  return positional;
+}
+
+void FlagSet::PrintHelp(const std::string& program) const {
+  std::cerr << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    std::fprintf(stderr, "  --%-24s %s (default: %s)\n", name.c_str(),
+                 flag.help.c_str(), flag.default_value.c_str());
+  }
+}
+
+}  // namespace cbtree

@@ -1,0 +1,58 @@
+// Minimal command-line flag parsing for the figure-harness binaries.
+//
+// Usage:
+//   FlagSet flags;
+//   double lambda = 0.1;
+//   flags.Register("lambda", &lambda, "arrival rate");
+//   flags.Parse(argc, argv);   // accepts --lambda=0.2 or --lambda 0.2
+//
+// Unknown flags are an error; "--help" prints registered flags and exits.
+
+#ifndef CBTREE_UTIL_FLAGS_H_
+#define CBTREE_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cbtree {
+
+/// A registry of typed command-line flags of the form --name=value.
+class FlagSet {
+ public:
+  void Register(const std::string& name, double* target,
+                const std::string& help);
+  void Register(const std::string& name, int* target, const std::string& help);
+  void Register(const std::string& name, int64_t* target,
+                const std::string& help);
+  void Register(const std::string& name, uint64_t* target,
+                const std::string& help);
+  void Register(const std::string& name, bool* target, const std::string& help);
+  void Register(const std::string& name, std::string* target,
+                const std::string& help);
+
+  /// Parses argv. Returns positional (non-flag) arguments. Calls std::exit(1)
+  /// on malformed input and std::exit(0) after printing --help.
+  std::vector<std::string> Parse(int argc, char** argv);
+
+  /// Prints a usage table to stderr.
+  void PrintHelp(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string default_value;
+    std::function<bool(const std::string&)> setter;
+    bool is_bool = false;
+  };
+
+  void RegisterImpl(const std::string& name, Flag flag);
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace cbtree
+
+#endif  // CBTREE_UTIL_FLAGS_H_

@@ -1,0 +1,114 @@
+#include "util/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace cbtree {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CBTREE_CHECK(!headers_.empty());
+}
+
+Table& Table::NewRow() {
+  if (!rows_.empty()) {
+    CBTREE_CHECK_EQ(rows_.back().size(), headers_.size())
+        << "previous row incomplete";
+  }
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Add(const std::string& value) {
+  CBTREE_CHECK(!rows_.empty());
+  rows_.back().emplace_back(value);
+  return *this;
+}
+
+Table& Table::Add(double value) {
+  CBTREE_CHECK(!rows_.empty());
+  rows_.back().emplace_back(value);
+  return *this;
+}
+
+Table& Table::Add(int64_t value) {
+  CBTREE_CHECK(!rows_.empty());
+  rows_.back().emplace_back(value);
+  return *this;
+}
+
+Table& Table::AddNA() {
+  return Add(std::nan(""));
+}
+
+std::string Table::FormatDouble(double value) {
+  if (std::isnan(value)) return "n/a";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+namespace {
+
+std::string RenderCell(const Table::Cell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* d = std::get_if<double>(&cell)) {
+    return Table::FormatDouble(*d);
+  }
+  return std::to_string(std::get<int64_t>(cell));
+}
+
+}  // namespace
+
+void Table::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    CBTREE_CHECK_EQ(row.size(), headers_.size()) << "row incomplete";
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(RenderCell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+          << cells[c];
+    }
+    out << "\n";
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  out << std::string(total, '-') << "\n";
+  for (const auto& cells : rendered) print_row(cells);
+}
+
+void Table::PrintCsv(std::ostream& out) const {
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out << (c ? "," : "") << headers_[c];
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    CBTREE_CHECK_EQ(row.size(), headers_.size()) << "row incomplete";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "," : "") << RenderCell(row[c]);
+    }
+    out << "\n";
+  }
+}
+
+void PrintBanner(std::ostream& out, const std::string& title) {
+  out << "\n=== " << title << " ===\n";
+}
+
+}  // namespace cbtree

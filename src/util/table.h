@@ -1,0 +1,58 @@
+// ASCII table / CSV writer used by the figure harnesses to print the series
+// the paper plots. Every bench binary emits one of these tables so the output
+// is both human-readable and machine-parsable (--csv).
+
+#ifndef CBTREE_UTIL_TABLE_H_
+#define CBTREE_UTIL_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace cbtree {
+
+/// A column-aligned table of numeric / string cells.
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, int64_t>;
+
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; append cells with Add*.
+  Table& NewRow();
+  Table& Add(const std::string& value);
+  Table& Add(double value);
+  Table& Add(int64_t value);
+  Table& Add(int value) { return Add(static_cast<int64_t>(value)); }
+  /// Adds a cell rendered as "n/a" (e.g. an unstable operating point).
+  Table& AddNA();
+
+  /// Number of data rows so far.
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+
+  /// Renders as an aligned ASCII table.
+  void Print(std::ostream& out) const;
+  /// Renders as CSV (headers first).
+  void PrintCsv(std::ostream& out) const;
+  /// Dispatches on `csv`.
+  void Print(std::ostream& out, bool csv) const {
+    csv ? PrintCsv(out) : Print(out);
+  }
+
+  /// Formats a double the way the tables do (6 significant digits, "n/a" for
+  /// NaN). Exposed for tests.
+  static std::string FormatDouble(double value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Prints a section banner (figure title) around harness output.
+void PrintBanner(std::ostream& out, const std::string& title);
+
+}  // namespace cbtree
+
+#endif  // CBTREE_UTIL_TABLE_H_

@@ -1,0 +1,131 @@
+#include "workload/workload.h"
+
+#include <cmath>
+
+#include "stats/distributions.h"
+#include "util/check.h"
+
+namespace cbtree {
+
+const char* OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kSearch:
+      return "search";
+    case OpType::kInsert:
+      return "insert";
+    case OpType::kDelete:
+      return "delete";
+  }
+  return "unknown";
+}
+
+void KeyPool::Add(Key key) {
+  if (index_.count(key)) return;
+  index_[key] = keys_.size();
+  keys_.push_back(key);
+}
+
+bool KeyPool::Contains(Key key) const { return index_.count(key) > 0; }
+
+size_t KeyPool::SampleIndex(Rng& rng, double zipf_skew) const {
+  CBTREE_CHECK(!keys_.empty());
+  if (zipf_skew <= 0.0) return rng.NextBounded(keys_.size());
+  // Inverse-CDF approximation of a Zipf-like rank distribution: cheap and
+  // good enough for hotspot experiments.
+  double u = rng.NextDoubleOpenLow();
+  double n = static_cast<double>(keys_.size());
+  double rank = std::pow(u, 1.0 / (1.0 - zipf_skew)) * n;
+  size_t idx = static_cast<size_t>(rank);
+  return idx >= keys_.size() ? keys_.size() - 1 : idx;
+}
+
+Key KeyPool::Sample(Rng& rng, double zipf_skew) const {
+  return keys_[SampleIndex(rng, zipf_skew)];
+}
+
+Key KeyPool::SampleAndRemove(Rng& rng, double zipf_skew) {
+  size_t idx = SampleIndex(rng, zipf_skew);
+  Key key = keys_[idx];
+  Remove(key);
+  return key;
+}
+
+void KeyPool::Remove(Key key) {
+  auto it = index_.find(key);
+  CBTREE_CHECK(it != index_.end()) << "removing unknown key";
+  size_t idx = it->second;
+  Key last = keys_.back();
+  keys_[idx] = last;
+  index_[last] = idx;
+  keys_.pop_back();
+  index_.erase(it);
+}
+
+WorkloadGenerator::WorkloadGenerator(Options options)
+    : options_(options), rng_(options.seed) {
+  options_.mix.Validate();
+}
+
+Key WorkloadGenerator::FreshKey() {
+  // Uniform over a 2^62 space; collisions with the ~1e5-key pools used in
+  // the experiments are negligible, and an accidental duplicate is a
+  // harmless overwrite.
+  return static_cast<Key>(rng_.Next() >> 2);
+}
+
+Operation WorkloadGenerator::Next() {
+  double u = rng_.NextDouble();
+  Operation op;
+  if (u < options_.mix.q_s) {
+    op.type = OpType::kSearch;
+    op.key = pool_.empty() ? FreshKey() : pool_.Sample(rng_, options_.zipf_skew);
+  } else if (u < options_.mix.q_s + options_.mix.q_i) {
+    op.type = OpType::kInsert;
+    op.key = FreshKey();
+    op.value = static_cast<Value>(rng_.Next());
+    pool_.Add(op.key);
+  } else {
+    op.type = OpType::kDelete;
+    op.key = pool_.empty() ? FreshKey()
+                           : pool_.SampleAndRemove(rng_, options_.zipf_skew);
+  }
+  return op;
+}
+
+std::vector<Key> BuildTree(BTree* tree, uint64_t target_items,
+                           const OperationMix& mix, uint64_t seed) {
+  CBTREE_CHECK(tree != nullptr);
+  mix.Validate();
+  // Only the insert:delete ratio matters during construction. A mix with no
+  // updates (pure-search concurrent phase) builds with pure inserts.
+  OperationMix build_mix;
+  build_mix.q_s = 0.0;
+  if (mix.update_fraction() > 0.0) {
+    CBTREE_CHECK_GT(mix.q_i, mix.q_d)
+        << "the construction phase needs more inserts than deletes to grow";
+    build_mix.q_i = mix.q_i / mix.update_fraction();
+    build_mix.q_d = mix.q_d / mix.update_fraction();
+  } else {
+    build_mix.q_i = 1.0;
+    build_mix.q_d = 0.0;
+  }
+  WorkloadGenerator gen({build_mix, seed, 0.0});
+  while (tree->size() < target_items) {
+    Operation op = gen.Next();
+    if (op.type == OpType::kInsert) {
+      tree->Insert(op.key, op.value);
+    } else {
+      tree->Delete(op.key);
+    }
+  }
+  std::vector<Key> keys;
+  std::vector<std::pair<Key, Value>> entries;
+  entries.reserve(tree->size());
+  tree->Scan(std::numeric_limits<Key>::min(), kInfKey - 1, tree->size() + 1,
+             &entries);
+  keys.reserve(entries.size());
+  for (const auto& [key, value] : entries) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace cbtree

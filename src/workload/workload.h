@@ -1,0 +1,92 @@
+// Workload generation (paper §4): a construction phase that builds the tree
+// from a mix of inserts and deletes, and a concurrent phase that draws
+// search/insert/delete operations in the configured proportions.
+//
+// Deletes and searches target keys that actually exist: the generator keeps
+// the pool of live keys and samples from it (uniformly, or Zipf-skewed for
+// the hotspot extension experiments). Insert keys are drawn uniformly from a
+// sparse 2^62 space, so duplicate inserts are negligible.
+
+#ifndef CBTREE_WORKLOAD_WORKLOAD_H_
+#define CBTREE_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "btree/btree.h"
+#include "core/params.h"
+#include "stats/rng.h"
+
+namespace cbtree {
+
+enum class OpType { kSearch, kInsert, kDelete };
+
+const char* OpTypeName(OpType type);
+
+struct Operation {
+  OpType type = OpType::kSearch;
+  Key key = 0;
+  Value value = 0;
+};
+
+/// The set of keys currently believed live, supporting O(1) random sampling
+/// and removal (swap-pop with a position index).
+class KeyPool {
+ public:
+  void Add(Key key);
+  bool Contains(Key key) const;
+  /// Samples a key, uniformly or by rank-skew (rank 0 = first inserted).
+  Key Sample(Rng& rng, double zipf_skew = 0.0) const;
+  /// Samples and removes a key.
+  Key SampleAndRemove(Rng& rng, double zipf_skew = 0.0);
+  void Remove(Key key);
+  size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+
+ private:
+  size_t SampleIndex(Rng& rng, double zipf_skew) const;
+
+  std::vector<Key> keys_;
+  std::unordered_map<Key, size_t> index_;
+};
+
+/// Draws operations in the configured mix, maintaining the key pool.
+class WorkloadGenerator {
+ public:
+  struct Options {
+    OperationMix mix;
+    uint64_t seed = 1;
+    /// Zipf skew over the key pool for searches and deletes (0 = uniform).
+    double zipf_skew = 0.0;
+  };
+
+  explicit WorkloadGenerator(Options options);
+
+  /// Next operation. If the pool is empty, searches/deletes degrade to
+  /// lookups of a never-present key.
+  Operation Next();
+
+  /// Seeds the pool (e.g. with keys inserted by the construction phase).
+  void NotifyExisting(Key key) { pool_.Add(key); }
+
+  const KeyPool& pool() const { return pool_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  Key FreshKey();
+
+  Options options_;
+  Rng rng_;
+  KeyPool pool_;
+};
+
+/// Construction phase (paper §4): applies inserts and deletes in the mix's
+/// insert:delete proportion until the tree holds `target_items` keys.
+/// Returns the keys present afterwards (to seed a WorkloadGenerator).
+std::vector<Key> BuildTree(BTree* tree, uint64_t target_items,
+                           const OperationMix& mix, uint64_t seed);
+
+}  // namespace cbtree
+
+#endif  // CBTREE_WORKLOAD_WORKLOAD_H_

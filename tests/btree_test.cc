@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "btree/btree.h"
+#include "btree/tree_stats.h"
+#include "btree/validate.h"
+
+namespace cbtree {
+namespace {
+
+BTree MakeTree(int n = 5, MergePolicy policy = MergePolicy::kAtEmpty) {
+  return BTree(BTree::Options{n, policy});
+}
+
+TEST(BTreeTest, EmptyTree) {
+  BTree tree = MakeTree();
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_FALSE(tree.Search(1).has_value());
+  EXPECT_TRUE(ValidateTree(tree));
+}
+
+TEST(BTreeTest, InsertAndSearch) {
+  BTree tree = MakeTree();
+  EXPECT_TRUE(tree.Insert(10, 100));
+  EXPECT_TRUE(tree.Insert(20, 200));
+  EXPECT_TRUE(tree.Insert(5, 50));
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.Search(10).value(), 100);
+  EXPECT_EQ(tree.Search(20).value(), 200);
+  EXPECT_EQ(tree.Search(5).value(), 50);
+  EXPECT_FALSE(tree.Search(15).has_value());
+}
+
+TEST(BTreeTest, InsertDuplicateOverwrites) {
+  BTree tree = MakeTree();
+  EXPECT_TRUE(tree.Insert(1, 10));
+  EXPECT_FALSE(tree.Insert(1, 20));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Search(1).value(), 20);
+}
+
+TEST(BTreeTest, SplitsGrowHeight) {
+  BTree tree = MakeTree(5);
+  for (Key k = 0; k < 100; ++k) tree.Insert(k, k * 10);
+  EXPECT_GT(tree.height(), 1);
+  EXPECT_EQ(tree.size(), 100u);
+  for (Key k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree.Search(k).has_value()) << "key " << k;
+    EXPECT_EQ(tree.Search(k).value(), k * 10);
+  }
+  auto result = ValidateTree(tree);
+  EXPECT_TRUE(result) << result.error;
+  EXPECT_GT(tree.restructure_stats().TotalSplits(), 0u);
+  EXPECT_GT(tree.restructure_stats().root_splits, 0u);
+}
+
+TEST(BTreeTest, RootIdIsStableAcrossGrowth) {
+  BTree tree = MakeTree(5);
+  NodeId root = tree.root();
+  for (Key k = 0; k < 1000; ++k) tree.Insert(k, k);
+  EXPECT_EQ(tree.root(), root) << "the root must split in place";
+}
+
+TEST(BTreeTest, ReverseAndShuffledInsertionOrders) {
+  for (int order = 0; order < 2; ++order) {
+    BTree tree = MakeTree(7);
+    std::vector<Key> keys;
+    for (Key k = 0; k < 500; ++k) keys.push_back(k * 3 + 1);
+    if (order == 0) {
+      std::reverse(keys.begin(), keys.end());
+    } else {
+      // Deterministic shuffle.
+      for (size_t i = keys.size(); i > 1; --i) {
+        std::swap(keys[i - 1], keys[(i * 2654435761u) % i]);
+      }
+    }
+    for (Key k : keys) tree.Insert(k, k);
+    auto result = ValidateTree(tree);
+    EXPECT_TRUE(result) << result.error;
+    for (Key k : keys) EXPECT_TRUE(tree.Search(k).has_value());
+  }
+}
+
+TEST(BTreeTest, DeleteMissingKeyIsNoop) {
+  BTree tree = MakeTree();
+  tree.Insert(1, 1);
+  EXPECT_FALSE(tree.Delete(2));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BTreeTest, DeleteAtEmptyRemovesNodes) {
+  BTree tree = MakeTree(5, MergePolicy::kAtEmpty);
+  for (Key k = 0; k < 200; ++k) tree.Insert(k, k);
+  size_t nodes_before = tree.store().live_count();
+  // Delete a contiguous run to empty whole leaves.
+  for (Key k = 0; k < 100; ++k) EXPECT_TRUE(tree.Delete(k));
+  EXPECT_LT(tree.store().live_count(), nodes_before);
+  // Links may dangle after merge-at-empty removals (documented); skip them.
+  auto result = ValidateTree(tree, {.check_links = false});
+  EXPECT_TRUE(result) << result.error;
+  for (Key k = 100; k < 200; ++k) EXPECT_TRUE(tree.Search(k).has_value());
+  for (Key k = 0; k < 100; ++k) EXPECT_FALSE(tree.Search(k).has_value());
+}
+
+TEST(BTreeTest, DeleteEverythingCollapsesToEmptyLeafRoot) {
+  BTree tree = MakeTree(5, MergePolicy::kAtEmpty);
+  for (Key k = 0; k < 300; ++k) tree.Insert(k, k);
+  for (Key k = 0; k < 300; ++k) EXPECT_TRUE(tree.Delete(k)) << k;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.store().live_count(), 1u);
+  // Reuse after total collapse.
+  EXPECT_TRUE(tree.Insert(7, 70));
+  EXPECT_EQ(tree.Search(7).value(), 70);
+}
+
+TEST(BTreeTest, InsertAfterRightmostDeletions) {
+  // Removing the rightmost leaf forces the last-bound promotion path.
+  BTree tree = MakeTree(5, MergePolicy::kAtEmpty);
+  for (Key k = 0; k < 100; ++k) tree.Insert(k, k);
+  for (Key k = 99; k >= 60; --k) EXPECT_TRUE(tree.Delete(k));
+  auto result = ValidateTree(tree, {.check_links = false});
+  EXPECT_TRUE(result) << result.error;
+  // New large keys must be routable again.
+  for (Key k = 200; k < 260; ++k) EXPECT_TRUE(tree.Insert(k, k));
+  result = ValidateTree(tree, {.check_links = false});
+  EXPECT_TRUE(result) << result.error;
+  for (Key k = 200; k < 260; ++k) EXPECT_TRUE(tree.Search(k).has_value());
+}
+
+TEST(BTreeTest, MergeAtHalfKeepsOccupancy) {
+  BTree tree = MakeTree(6, MergePolicy::kAtHalf);
+  for (Key k = 0; k < 500; ++k) tree.Insert(k, k);
+  for (Key k = 0; k < 400; ++k) EXPECT_TRUE(tree.Delete(k));
+  auto result =
+      ValidateTree(tree, {.check_links = true, .check_min_occupancy = true});
+  EXPECT_TRUE(result) << result.error;
+  for (Key k = 400; k < 500; ++k) EXPECT_TRUE(tree.Search(k).has_value());
+  EXPECT_GT(tree.restructure_stats().TotalMerges() +
+                tree.restructure_stats().borrows[1],
+            0u);
+}
+
+TEST(BTreeTest, MergeAtHalfCollapsesRoot) {
+  BTree tree = MakeTree(5, MergePolicy::kAtHalf);
+  for (Key k = 0; k < 200; ++k) tree.Insert(k, k);
+  int tall = tree.height();
+  for (Key k = 0; k < 195; ++k) tree.Delete(k);
+  EXPECT_LT(tree.height(), tall);
+  auto result =
+      ValidateTree(tree, {.check_links = true, .check_min_occupancy = true});
+  EXPECT_TRUE(result) << result.error;
+}
+
+TEST(BTreeTest, ScanReturnsSortedRange) {
+  BTree tree = MakeTree(5);
+  for (Key k = 0; k < 100; ++k) tree.Insert(k * 2, k);
+  std::vector<std::pair<Key, Value>> out;
+  size_t n = tree.Scan(10, 30, 100, &out);
+  ASSERT_EQ(n, 11u);  // 10, 12, ..., 30
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].first, 10 + static_cast<Key>(i) * 2);
+  }
+}
+
+TEST(BTreeTest, ScanHonorsLimit) {
+  BTree tree = MakeTree(5);
+  for (Key k = 0; k < 100; ++k) tree.Insert(k, k);
+  std::vector<std::pair<Key, Value>> out;
+  EXPECT_EQ(tree.Scan(0, 99, 7, &out), 7u);
+  EXPECT_EQ(out.size(), 7u);
+}
+
+TEST(BTreeTest, TreeStatsReportShape) {
+  BTree tree = MakeTree(13);
+  for (Key k = 0; k < 5000; ++k) tree.Insert(k * 7919 % 100003, k);
+  TreeShapeStats stats = CollectTreeStats(tree);
+  EXPECT_EQ(stats.height, tree.height());
+  EXPECT_EQ(stats.num_keys, tree.size());
+  EXPECT_GT(stats.leaf_utilization, 0.5);
+  EXPECT_LE(stats.leaf_utilization, 1.0);
+  EXPECT_GE(stats.root_fanout, 2.0);
+  uint64_t leaves = stats.levels[1].nodes;
+  EXPECT_GT(leaves, stats.levels[2].nodes);
+}
+
+TEST(BTreeTest, RandomInsertLeafUtilizationNearLn2) {
+  // Johnson & Shasha [9]: random inserts settle near ln 2 = .693 occupancy.
+  BTree tree = MakeTree(13);
+  for (Key k = 0; k < 40000; ++k) {
+    tree.Insert((k * 2654435761u) % 1000000007ull, k);
+  }
+  TreeShapeStats stats = CollectTreeStats(tree);
+  EXPECT_NEAR(stats.leaf_utilization, 0.69, 0.05);
+}
+
+TEST(BTreeTest, FineGrainedPrimitivesDriveASplit) {
+  BTree tree = MakeTree(5);
+  for (Key k = 0; k < 5; ++k) tree.Insert(k, k);  // root leaf now full
+  EXPECT_TRUE(tree.IsFull(tree.root()));
+  tree.LeafInsert(tree.root(), 5, 5);  // allowed one-entry overflow
+  EXPECT_EQ(tree.node(tree.root()).size(), 6u);
+  tree.SplitRootInPlace();
+  EXPECT_EQ(tree.height(), 2);
+  auto result = ValidateTree(tree);
+  EXPECT_TRUE(result) << result.error;
+  for (Key k = 0; k <= 5; ++k) EXPECT_TRUE(tree.Search(k).has_value());
+}
+
+TEST(BTreeTest, InsertSplitEntryToleratesDelayedOrder) {
+  // Two successive half-splits posted to the parent in reverse order must
+  // still produce a consistent parent (the Link-type delayed-update case).
+  BTree tree = MakeTree(4);
+  for (Key k = 0; k < 40; ++k) tree.Insert(k, k);
+  EXPECT_TRUE(ValidateTree(tree));
+}
+
+TEST(NodeStoreTest, AllocateFreeRecycles) {
+  NodeStore store;
+  NodeId a = store.Allocate(1);
+  NodeId b = store.Allocate(2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store.live_count(), 2u);
+  store.Free(a);
+  EXPECT_FALSE(store.IsLive(a));
+  EXPECT_EQ(store.live_count(), 1u);
+  NodeId c = store.Allocate(3);
+  EXPECT_EQ(c, a);  // slot recycled
+  EXPECT_EQ(store.Get(c).level, 3);
+  EXPECT_EQ(store.total_allocated(), 3u);
+  EXPECT_EQ(store.total_freed(), 1u);
+}
+
+}  // namespace
+}  // namespace cbtree

@@ -1,0 +1,170 @@
+// The LRU buffer pool (simulator) and its analytical counterpart.
+
+#include <gtest/gtest.h>
+
+#include "core/buffer_model.h"
+#include "core/optimistic_model.h"
+#include "sim/buffer_pool.h"
+#include "sim/simulator.h"
+
+namespace cbtree {
+namespace {
+
+TEST(BufferPoolTest, HitsAndMisses) {
+  BufferPool pool(2);
+  EXPECT_FALSE(pool.Access(1));  // cold miss
+  EXPECT_FALSE(pool.Access(2));
+  EXPECT_TRUE(pool.Access(1));   // resident
+  EXPECT_FALSE(pool.Access(3));  // evicts LRU = 2
+  EXPECT_TRUE(pool.Access(1));
+  EXPECT_FALSE(pool.Access(2));  // was evicted
+  EXPECT_EQ(pool.resident(), 2u);
+  EXPECT_EQ(pool.hits(), 2u);
+  EXPECT_EQ(pool.misses(), 4u);
+}
+
+TEST(BufferPoolTest, AccessRefreshesRecency) {
+  BufferPool pool(2);
+  pool.Access(1);
+  pool.Access(2);
+  pool.Access(1);  // 1 becomes MRU
+  pool.Access(3);  // evicts 2, not 1
+  EXPECT_TRUE(pool.Access(1));
+  EXPECT_FALSE(pool.Access(2));
+}
+
+TEST(BufferPoolTest, DropRemovesResident) {
+  BufferPool pool(3);
+  pool.Access(1);
+  pool.Access(2);
+  pool.Drop(1);
+  EXPECT_EQ(pool.resident(), 1u);
+  EXPECT_FALSE(pool.Access(1));  // gone
+  pool.Drop(99);                 // unknown: no-op
+}
+
+TEST(BufferModelTest, HitFractionsFillTopDown) {
+  StructureParams st =
+      MakeStructureParams(40000, 13, OperationMix{0.3, 0.5, 0.2});
+  // Enough for the root and the level below it, plus half of level 3.
+  double level3 = st.nodes_per_level[3];
+  std::vector<double> hit = BufferHitFractions(
+      st, 1.0 + st.nodes_per_level[4] + 0.5 * level3);
+  EXPECT_DOUBLE_EQ(hit[5], 1.0);
+  EXPECT_DOUBLE_EQ(hit[4], 1.0);
+  EXPECT_NEAR(hit[3], 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(hit[2], 0.0);
+  EXPECT_DOUBLE_EQ(hit[1], 0.0);
+}
+
+TEST(BufferModelTest, InfiniteBufferMeansAllInMemory) {
+  ModelParams params = ModelParams::PaperDefault(10.0);
+  ModelParams cached = WithBufferPool(params, 1e12);
+  for (int level = 1; level <= params.height(); ++level) {
+    EXPECT_DOUBLE_EQ(cached.cost.Se(level), 1.0);
+  }
+}
+
+TEST(BufferModelTest, ZeroBufferMeansAllOnDisk) {
+  ModelParams params = ModelParams::PaperDefault(10.0);
+  ModelParams cold = WithBufferPool(params, 0.0);
+  for (int level = 1; level <= params.height(); ++level) {
+    EXPECT_DOUBLE_EQ(cold.cost.Se(level), 10.0);
+  }
+}
+
+TEST(BufferModelTest, ResponseImprovesMonotonicallyWithBuffer) {
+  ModelParams params = ModelParams::PaperDefault(10.0);
+  double last = 1e18;
+  for (double buffer : {0.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    OptimisticDescentModel model(WithBufferPool(params, buffer));
+    AnalysisResult result = model.Analyze(0.2);
+    ASSERT_TRUE(result.stable) << "buffer " << buffer;
+    EXPECT_LE(result.per_search, last);
+    last = result.per_search;
+  }
+}
+
+TEST(BufferSimTest, HugeBufferApproachesAllMemoryCosts) {
+  SimConfig config;
+  config.algorithm = Algorithm::kOptimisticDescent;
+  config.lambda = 0.02;
+  config.mix = OperationMix{0.3, 0.5, 0.2};
+  config.num_operations = 4000;
+  config.warmup_operations = 1000;
+  config.num_items = 4000;
+  config.disk_cost = 10.0;
+  config.buffer_pool_nodes = 100000;  // everything fits
+  config.seed = 1;
+  Simulator sim(config);
+  SimResult result = sim.Run();
+  ASSERT_FALSE(result.saturated);
+  EXPECT_GT(result.buffer_hit_rate, 0.95);
+  // All-resident search cost ~ height * 1 unit.
+  EXPECT_NEAR(result.resp_search.mean(), sim.tree().height(),
+              sim.tree().height() * 0.2);
+}
+
+TEST(BufferSimTest, TinyBufferApproachesAllDiskCosts) {
+  SimConfig config;
+  config.algorithm = Algorithm::kOptimisticDescent;
+  config.lambda = 0.01;
+  config.mix = OperationMix{0.3, 0.5, 0.2};
+  config.num_operations = 3000;
+  config.warmup_operations = 500;
+  config.num_items = 4000;
+  config.disk_cost = 10.0;
+  config.buffer_pool_nodes = 2;  // only the hottest nodes survive
+  config.seed = 1;
+  Simulator sim(config);
+  SimResult result = sim.Run();
+  ASSERT_FALSE(result.saturated);
+  EXPECT_LT(result.buffer_hit_rate, 0.5);
+  EXPECT_GT(result.resp_search.mean(), sim.tree().height() * 5.0);
+}
+
+TEST(BufferSimTest, HitRateGrowsWithBuffer) {
+  double last = -1.0;
+  for (uint64_t buffer : {8u, 64u, 512u}) {
+    SimConfig config;
+    config.algorithm = Algorithm::kLinkType;
+    config.lambda = 0.05;
+    config.mix = OperationMix{0.3, 0.5, 0.2};
+    config.num_operations = 4000;
+    config.warmup_operations = 500;
+    config.num_items = 4000;
+    config.buffer_pool_nodes = buffer;
+    config.seed = 1;
+    SimResult result = Simulator(config).Run();
+    ASSERT_FALSE(result.saturated);
+    EXPECT_GT(result.buffer_hit_rate, last) << "buffer " << buffer;
+    last = result.buffer_hit_rate;
+  }
+}
+
+TEST(BufferSimTest, ModelTracksSimulatedBufferedResponse) {
+  const uint64_t buffer = 200;
+  SimConfig config;
+  config.algorithm = Algorithm::kOptimisticDescent;
+  config.lambda = 0.05;
+  config.mix = OperationMix{0.3, 0.5, 0.2};
+  config.num_operations = 8000;
+  config.warmup_operations = 2000;  // warm the pool before measuring
+  config.num_items = 4000;
+  config.disk_cost = 10.0;
+  config.buffer_pool_nodes = buffer;
+  config.seed = 1;
+  SimResult sim = Simulator(config).Run();
+  ASSERT_FALSE(sim.saturated);
+  ModelParams params = WithBufferPool(
+      ModelParams::ForTree(4000, 13, 10.0, config.mix), buffer);
+  OptimisticDescentModel model(params);
+  AnalysisResult analysis = model.Analyze(config.lambda);
+  ASSERT_TRUE(analysis.stable);
+  // The top-down LRU approximation is coarser than the exact level rule;
+  // allow a wider band.
+  EXPECT_NEAR(sim.resp_search.mean() / analysis.per_search, 1.0, 0.4);
+}
+
+}  // namespace
+}  // namespace cbtree

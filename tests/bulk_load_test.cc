@@ -1,0 +1,103 @@
+// BTree::BulkLoad: structure, contents, fill control, and interoperability
+// with subsequent normal operations.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "btree/btree.h"
+#include "btree/tree_stats.h"
+#include "btree/validate.h"
+
+namespace cbtree {
+namespace {
+
+std::vector<std::pair<Key, Value>> MakeEntries(size_t n, Key stride = 3) {
+  std::vector<std::pair<Key, Value>> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries.emplace_back(static_cast<Key>(i) * stride + 1,
+                         static_cast<Value>(i));
+  }
+  return entries;
+}
+
+TEST(BulkLoadTest, EmptyInput) {
+  BTree tree = BTree::BulkLoad({13, MergePolicy::kAtEmpty}, {});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(ValidateTree(tree));
+}
+
+TEST(BulkLoadTest, SingleLeaf) {
+  BTree tree = BTree::BulkLoad({13, MergePolicy::kAtEmpty}, MakeEntries(5));
+  EXPECT_EQ(tree.size(), 5u);
+  EXPECT_EQ(tree.height(), 1);
+  auto result = ValidateTree(tree);
+  EXPECT_TRUE(result) << result.error;
+}
+
+TEST(BulkLoadTest, LargeTreeValidatesAndFinds) {
+  auto entries = MakeEntries(100000);
+  BTree tree = BTree::BulkLoad({13, MergePolicy::kAtEmpty}, entries);
+  EXPECT_EQ(tree.size(), entries.size());
+  auto result = ValidateTree(tree);
+  ASSERT_TRUE(result) << result.error;
+  for (size_t i = 0; i < entries.size(); i += 997) {
+    auto found = tree.Search(entries[i].first);
+    ASSERT_TRUE(found.has_value()) << i;
+    EXPECT_EQ(*found, entries[i].second);
+  }
+  EXPECT_FALSE(tree.Search(0).has_value());
+  EXPECT_FALSE(tree.Search(2).has_value());
+}
+
+TEST(BulkLoadTest, FillControlsUtilizationAndHeight) {
+  auto entries = MakeEntries(50000);
+  BTree packed = BTree::BulkLoad({13, MergePolicy::kAtEmpty}, entries, 1.0);
+  BTree loose = BTree::BulkLoad({13, MergePolicy::kAtEmpty}, entries, 0.5);
+  TreeShapeStats packed_stats = CollectTreeStats(packed);
+  TreeShapeStats loose_stats = CollectTreeStats(loose);
+  EXPECT_NEAR(packed_stats.leaf_utilization, 1.0, 0.01);
+  EXPECT_NEAR(loose_stats.leaf_utilization, 0.5, 0.05);
+  EXPECT_LE(packed.height(), loose.height());
+  EXPECT_TRUE(ValidateTree(packed));
+  EXPECT_TRUE(ValidateTree(loose));
+}
+
+TEST(BulkLoadTest, DefaultFillMatchesStructureModel) {
+  auto entries = MakeEntries(40000);
+  BTree tree = BTree::BulkLoad({13, MergePolicy::kAtEmpty}, entries);
+  TreeShapeStats stats = CollectTreeStats(tree);
+  EXPECT_NEAR(stats.leaf_utilization, 0.69, 0.04);
+  // Same ballpark as the analytic shape for the paper's reference tree.
+  EXPECT_EQ(tree.height(), 5);
+}
+
+TEST(BulkLoadTest, SupportsSubsequentOperations) {
+  auto entries = MakeEntries(10000);
+  BTree tree = BTree::BulkLoad({13, MergePolicy::kAtEmpty}, entries, 1.0);
+  // Fully packed leaves split on the very next insert into them.
+  for (Key k = 0; k < 3000; ++k) tree.Insert(k * 3, k);  // between entries
+  for (size_t i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(tree.Delete(entries[i].first));
+  }
+  auto result = ValidateTree(tree, {.check_links = false});
+  EXPECT_TRUE(result) << result.error;
+  EXPECT_EQ(tree.size(), 10000u + 3000u - 2000u);
+}
+
+TEST(BulkLoadTest, ScanSeesEverythingInOrder) {
+  auto entries = MakeEntries(5000);
+  BTree tree = BTree::BulkLoad({31, MergePolicy::kAtEmpty}, entries);
+  std::vector<std::pair<Key, Value>> out;
+  tree.Scan(std::numeric_limits<Key>::min(), kInfKey - 1, entries.size() + 1,
+            &out);
+  ASSERT_EQ(out.size(), entries.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].first, entries[i].first);
+  }
+}
+
+}  // namespace
+}  // namespace cbtree

@@ -1,0 +1,91 @@
+// Contract (death) tests: the library's CBTREE_CHECK preconditions must
+// actually fire on misuse, in release builds included — a silent contract
+// violation would corrupt measurements downstream.
+
+#include <gtest/gtest.h>
+
+#include "btree/btree.h"
+#include "core/params.h"
+#include "core/rw_queue.h"
+#include "sim/lock_manager.h"
+#include "stats/distributions.h"
+#include "util/check.h"
+
+namespace cbtree {
+namespace {
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, CheckMacroAborts) {
+  EXPECT_DEATH(CBTREE_CHECK(false) << "boom", "boom");
+  EXPECT_DEATH(CBTREE_CHECK_EQ(1, 2), "CBTREE_CHECK failed");
+}
+
+TEST(ContractDeathTest, BTreeRejectsSentinelKey) {
+  BTree tree(BTree::Options{5, MergePolicy::kAtEmpty});
+  EXPECT_DEATH(tree.Insert(kInfKey, 1), "CBTREE_CHECK failed");
+}
+
+TEST(ContractDeathTest, BTreeRejectsTinyNodes) {
+  EXPECT_DEATH(BTree(BTree::Options{2, MergePolicy::kAtEmpty}),
+               "at least 3 entries");
+}
+
+TEST(ContractDeathTest, NodeStoreRejectsDoubleFree) {
+  NodeStore store;
+  NodeId id = store.Allocate(1);
+  store.Free(id);
+  EXPECT_DEATH(store.Free(id), "double free");
+}
+
+TEST(ContractDeathTest, BulkLoadRejectsUnsortedInput) {
+  std::vector<std::pair<Key, Value>> entries = {{5, 0}, {3, 0}};
+  EXPECT_DEATH(BTree::BulkLoad({5, MergePolicy::kAtEmpty}, entries),
+               "sorted");
+}
+
+TEST(ContractDeathTest, MixMustSumToOne) {
+  OperationMix mix{0.5, 0.5, 0.5};
+  EXPECT_DEATH(mix.Validate(), "sum to 1");
+}
+
+TEST(ContractDeathTest, Corollary1NeedsInsertDominance) {
+  // More deletes than inserts violates Corollary 1's premise.
+  EXPECT_DEATH(
+      MakeStructureParams(1000, 13, OperationMix{0.2, 0.3, 0.5}),
+      "more inserts than deletes");
+}
+
+TEST(ContractDeathTest, RwQueueRejectsNegativeRates) {
+  EXPECT_DEATH(SolveRwQueue({-1.0, 0.1, 1.0, 1.0}), "CBTREE_CHECK failed");
+  EXPECT_DEATH(SolveRwQueue({0.1, 0.1, 0.0, 1.0}), "CBTREE_CHECK failed");
+}
+
+TEST(ContractDeathTest, LockManagerRejectsRelock) {
+  double now = 0.0;
+  LockManager locks([&now] { return now; });
+  locks.Request(1, LockMode::kRead, 7, [] {});
+  EXPECT_DEATH(locks.Request(1, LockMode::kWrite, 7, [] {}), "re-locks");
+}
+
+TEST(ContractDeathTest, LockManagerRejectsForeignRelease) {
+  double now = 0.0;
+  LockManager locks([&now] { return now; });
+  locks.Request(1, LockMode::kWrite, 7, [] {});
+  EXPECT_DEATH(locks.Release(1, 8), "does not hold");
+}
+
+TEST(ContractDeathTest, LockManagerRejectsFreeingLockedNode) {
+  double now = 0.0;
+  LockManager locks([&now] { return now; });
+  locks.Request(1, LockMode::kWrite, 7, [] {});
+  EXPECT_DEATH(locks.NotifyNodeFreed(1), "freed while locked");
+}
+
+TEST(ContractDeathTest, ExponentialRejectsNegativeMean) {
+  Rng rng(1);
+  EXPECT_DEATH(SampleExponential(rng, -1.0), "CBTREE_CHECK failed");
+}
+
+}  // namespace
+}  // namespace cbtree

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace cbtree {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(3.0, [&] { order.push_back(3); });
+  queue.Schedule(1.0, [&] { order.push_back(1); });
+  queue.Schedule(2.0, [&] { order.push_back(2); });
+  while (queue.RunNext()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueueTest, EqualTimesFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (queue.RunNext()) {
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, HandlersCanScheduleMore) {
+  EventQueue queue;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) queue.ScheduleAfter(1.0, chain);
+  };
+  queue.ScheduleAfter(1.0, chain);
+  while (queue.RunNext()) {
+  }
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(queue.now(), 5.0);
+  EXPECT_EQ(queue.dispatched(), 5u);
+}
+
+TEST(EventQueueTest, EmptyQueueReturnsFalse) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.RunNext());
+  EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace cbtree

@@ -1,0 +1,127 @@
+// Parameterized property sweeps over the analytical models: for a grid of
+// (algorithm, node size, disk cost, mix) configurations, invariants that
+// must hold at every operating point regardless of parameters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/analyzer.h"
+
+namespace cbtree {
+namespace {
+
+struct SweepParam {
+  Algorithm algorithm;
+  int node_size;
+  double disk_cost;
+  double q_s;  // updates split 5:2 insert:delete
+};
+
+OperationMix MixFor(double q_s) {
+  double updates = 1.0 - q_s;
+  return OperationMix{q_s, updates * 5.0 / 7.0, updates * 2.0 / 7.0};
+}
+
+class ModelSweepTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  std::unique_ptr<Analyzer> Make() const {
+    const SweepParam& p = GetParam();
+    return MakeAnalyzer(p.algorithm,
+                        ModelParams::ForTree(40000, p.node_size, p.disk_cost,
+                                             MixFor(p.q_s)));
+  }
+};
+
+TEST_P(ModelSweepTest, ZeroLoadEqualsSerialTimes) {
+  auto analyzer = Make();
+  AnalysisResult result = analyzer->Analyze(1e-10);
+  ASSERT_TRUE(result.stable);
+  const ModelParams& params = analyzer->params();
+  double serial_search = 0.0;
+  for (int i = 1; i <= params.height(); ++i) {
+    serial_search += params.cost.Se(i);
+  }
+  EXPECT_NEAR(result.per_search, serial_search, serial_search * 1e-6);
+  EXPECT_GT(result.per_insert, 0.0);
+  EXPECT_GE(result.per_insert, result.per_delete - 1e-9)
+      << "inserts pay at least the delete cost plus expected splits";
+}
+
+TEST_P(ModelSweepTest, InvariantsHoldAcrossTheStableRange) {
+  auto analyzer = Make();
+  double max_rate = analyzer->MaxThroughput(/*cap=*/1e6);
+  double cap = std::isfinite(max_rate) ? max_rate : 1e3;
+  double last_search = 0.0, last_insert = 0.0;
+  for (int i = 1; i <= 6; ++i) {
+    double lambda = cap * 0.9 * i / 6;
+    AnalysisResult result = analyzer->Analyze(lambda);
+    ASSERT_TRUE(result.stable) << "lambda " << lambda;
+    // Response monotone in lambda.
+    EXPECT_GE(result.per_search, last_search - 1e-9) << "lambda " << lambda;
+    EXPECT_GE(result.per_insert, last_insert - 1e-9) << "lambda " << lambda;
+    last_search = result.per_search;
+    last_insert = result.per_insert;
+    for (int level = 1; level <= analyzer->params().height(); ++level) {
+      const LevelAnalysis& la = result.levels[level];
+      EXPECT_GE(la.rho_w, 0.0);
+      EXPECT_LT(la.rho_w, 1.0);
+      EXPECT_GE(la.wait_r, 0.0);
+      // W lock waits dominate R lock waits (they additionally wait out the
+      // reader batch ahead).
+      EXPECT_GE(la.wait_w, la.wait_r - 1e-12);
+      EXPECT_GE(la.lambda_r, 0.0);
+      EXPECT_GE(la.lambda_w, 0.0);
+    }
+    // The mean response is the mix-weighted combination.
+    const OperationMix& mix = analyzer->params().mix;
+    EXPECT_NEAR(result.mean_response,
+                mix.q_s * result.per_search + mix.q_i * result.per_insert +
+                    mix.q_d * result.per_delete,
+                1e-9 * result.mean_response);
+  }
+}
+
+TEST_P(ModelSweepTest, JustPastSaturationIsUnstable) {
+  auto analyzer = Make();
+  double max_rate = analyzer->MaxThroughput(/*cap=*/1e6);
+  if (!std::isfinite(max_rate)) GTEST_SKIP() << "no finite saturation";
+  AnalysisResult result = analyzer->Analyze(max_rate * 1.02);
+  EXPECT_FALSE(result.stable);
+  EXPECT_GE(result.bottleneck_level, 1);
+  EXPECT_LE(result.bottleneck_level, analyzer->params().height());
+  EXPECT_TRUE(std::isinf(result.per_insert));
+}
+
+std::vector<SweepParam> MakeGrid() {
+  std::vector<SweepParam> grid;
+  for (Algorithm algorithm :
+       {Algorithm::kNaiveLockCoupling, Algorithm::kOptimisticDescent,
+        Algorithm::kLinkType, Algorithm::kTwoPhaseLocking}) {
+    for (int node_size : {7, 13, 59}) {
+      for (double disk_cost : {1.0, 10.0}) {
+        for (double q_s : {0.1, 0.3, 0.7}) {
+          grid.push_back({algorithm, node_size, disk_cost, q_s});
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelSweepTest, ::testing::ValuesIn(MakeGrid()),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      const SweepParam& p = info.param;
+      std::string name = AlgorithmName(p.algorithm);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_N" + std::to_string(p.node_size) + "_D" +
+             std::to_string(static_cast<int>(p.disk_cost)) + "_qs" +
+             std::to_string(static_cast<int>(p.q_s * 100));
+    });
+
+}  // namespace
+}  // namespace cbtree

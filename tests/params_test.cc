@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/params.h"
+
+namespace cbtree {
+namespace {
+
+TEST(CostModelTest, PaperConfiguration) {
+  CostModel cost;  // defaults: h=5, 2 in-memory levels, D=5
+  // Levels 5 and 4 in memory, 3..1 on disk.
+  EXPECT_DOUBLE_EQ(cost.Se(5), 1.0);
+  EXPECT_DOUBLE_EQ(cost.Se(4), 1.0);
+  EXPECT_DOUBLE_EQ(cost.Se(3), 5.0);
+  EXPECT_DOUBLE_EQ(cost.Se(2), 5.0);
+  EXPECT_DOUBLE_EQ(cost.Se(1), 5.0);
+  // M = 2x leaf search, Sp = 3x search.
+  EXPECT_DOUBLE_EQ(cost.M(), 10.0);
+  EXPECT_DOUBLE_EQ(cost.Sp(1), 15.0);
+  EXPECT_DOUBLE_EQ(cost.Sp(5), 3.0);
+}
+
+TEST(OperationMixTest, DeleteShareOfUpdates) {
+  OperationMix mix{0.3, 0.5, 0.2};
+  EXPECT_DOUBLE_EQ(mix.update_fraction(), 0.7);
+  EXPECT_NEAR(mix.delete_share_of_updates(), 2.0 / 7.0, 1e-12);
+}
+
+TEST(StructureParamsTest, PaperTreeShape) {
+  // 40,000 items, N=13: the paper reports height 5 and a root of ~6 children.
+  StructureParams st =
+      MakeStructureParams(40000, 13, OperationMix{0.3, 0.5, 0.2});
+  EXPECT_EQ(st.height, 5);
+  EXPECT_NEAR(st.E(5), 6.2, 0.5);
+  for (int level = 2; level < 5; ++level) {
+    EXPECT_NEAR(st.E(level), 0.69 * 13, 1e-9);
+  }
+}
+
+TEST(StructureParamsTest, Corollary1Probabilities) {
+  OperationMix mix{0.3, 0.5, 0.2};
+  StructureParams st = MakeStructureParams(40000, 13, mix);
+  double q = 0.2 / 0.7;
+  EXPECT_NEAR(st.PrF(1), (1 - 2 * q) / ((1 - q) * 0.68 * 13), 1e-12);
+  EXPECT_NEAR(st.PrF(2), 1.0 / (0.69 * 13), 1e-12);
+  EXPECT_EQ(st.PrEm(1), 0.0);
+  // Pure inserts: Pr[F(1)] = 1/(.68 N).
+  StructureParams pure =
+      MakeStructureParams(40000, 13, OperationMix{0.5, 0.5, 0.0});
+  EXPECT_NEAR(pure.PrF(1), 1.0 / (0.68 * 13), 1e-12);
+}
+
+TEST(StructureParamsTest, PrFProduct) {
+  StructureParams st =
+      MakeStructureParams(40000, 13, OperationMix{0.3, 0.5, 0.2});
+  EXPECT_DOUBLE_EQ(st.PrFProduct(0), 1.0);
+  EXPECT_DOUBLE_EQ(st.PrFProduct(2), st.PrF(1) * st.PrF(2));
+}
+
+TEST(StructureParamsTest, LargerNodesShrinkHeight) {
+  OperationMix mix{0.3, 0.5, 0.2};
+  StructureParams small = MakeStructureParams(40000, 13, mix);
+  StructureParams large = MakeStructureParams(40000, 59, mix);
+  EXPECT_LT(large.height, small.height);
+  // The paper's Figure 16 configuration: N=59 gives a 4-level tree... with
+  // 40,000 items and fanout .69*59 = 40.7 the height is 3; the paper's 4
+  // levels correspond to its own item count. Just check monotonicity and
+  // plausibility here.
+  EXPECT_GE(large.height, 2);
+}
+
+TEST(ModelParamsTest, PaperDefaultIsConsistent) {
+  ModelParams params = ModelParams::PaperDefault();
+  params.Validate();
+  EXPECT_EQ(params.height(), 5);
+  EXPECT_EQ(params.structure.max_node_size, 13);
+  EXPECT_DOUBLE_EQ(params.cost.disk_cost, 5.0);
+}
+
+TEST(ModelParamsTest, ForTreeDerivesHeightFromStructure) {
+  ModelParams params = ModelParams::ForTree(1000000, 100, 10.0,
+                                            OperationMix{0.3, 0.5, 0.2});
+  EXPECT_EQ(params.cost.height, params.structure.height);
+  // 1e6/69 = 14.5k leaves, /69 = 210, /69 = 3.04, /69 < 1: the root sits at
+  // level 4 with ~3 children.
+  EXPECT_EQ(params.height(), 4);
+}
+
+}  // namespace
+}  // namespace cbtree

@@ -1,0 +1,91 @@
+// The §7 recovery extension: Leaf-only recovery costs a little; Naive
+// recovery costs a lot (Figures 15 and 16).
+
+#include <gtest/gtest.h>
+
+#include "core/optimistic_model.h"
+
+namespace cbtree {
+namespace {
+
+ModelParams Fig15Params() { return ModelParams::PaperDefault(10.0); }
+
+OptimisticDescentModel WithPolicy(RecoveryPolicy policy,
+                                  double t_trans = 100.0) {
+  return OptimisticDescentModel(Fig15Params(), RecoveryConfig{policy, t_trans});
+}
+
+TEST(RecoveryModelTest, NamesDistinguishPolicies) {
+  EXPECT_EQ(WithPolicy(RecoveryPolicy::kNone, 0).name(),
+            "optimistic-descent");
+  EXPECT_EQ(WithPolicy(RecoveryPolicy::kLeafOnly).name(),
+            "optimistic-descent+leaf-only-recovery");
+  EXPECT_EQ(WithPolicy(RecoveryPolicy::kNaive).name(),
+            "optimistic-descent+naive-recovery");
+}
+
+TEST(RecoveryModelTest, OrderingAtModerateLoad) {
+  OptimisticDescentModel none = WithPolicy(RecoveryPolicy::kNone, 0.0);
+  OptimisticDescentModel leaf = WithPolicy(RecoveryPolicy::kLeafOnly);
+  OptimisticDescentModel naive = WithPolicy(RecoveryPolicy::kNaive);
+  double lambda = naive.MaxThroughput() * 0.8;
+  AnalysisResult rn = none.Analyze(lambda);
+  AnalysisResult rl = leaf.Analyze(lambda);
+  AnalysisResult rv = naive.Analyze(lambda);
+  ASSERT_TRUE(rn.stable);
+  ASSERT_TRUE(rl.stable);
+  ASSERT_TRUE(rv.stable);
+  EXPECT_LE(rn.per_insert, rl.per_insert);
+  EXPECT_LT(rl.per_insert, rv.per_insert);
+}
+
+TEST(RecoveryModelTest, LeafOnlyIsOnlySlightlyWorseThanNone) {
+  // Figures 15/16: Leaf-only hugs the no-recovery curve; Naive diverges.
+  OptimisticDescentModel none = WithPolicy(RecoveryPolicy::kNone, 0.0);
+  OptimisticDescentModel leaf = WithPolicy(RecoveryPolicy::kLeafOnly);
+  OptimisticDescentModel naive = WithPolicy(RecoveryPolicy::kNaive);
+  double lambda = naive.MaxThroughput() * 0.85;
+  double none_insert = none.Analyze(lambda).per_insert;
+  double leaf_insert = leaf.Analyze(lambda).per_insert;
+  double naive_insert = naive.Analyze(lambda).per_insert;
+  double leaf_penalty = leaf_insert - none_insert;
+  double naive_penalty = naive_insert - none_insert;
+  EXPECT_GT(naive_penalty, 2.0 * leaf_penalty);
+}
+
+TEST(RecoveryModelTest, NaiveRecoveryShrinksMaxThroughput) {
+  OptimisticDescentModel none = WithPolicy(RecoveryPolicy::kNone, 0.0);
+  OptimisticDescentModel leaf = WithPolicy(RecoveryPolicy::kLeafOnly);
+  OptimisticDescentModel naive = WithPolicy(RecoveryPolicy::kNaive);
+  double m_none = none.MaxThroughput();
+  double m_leaf = leaf.MaxThroughput();
+  double m_naive = naive.MaxThroughput();
+  EXPECT_LE(m_leaf, m_none);
+  EXPECT_LT(m_naive, m_leaf);
+}
+
+TEST(RecoveryModelTest, PenaltyGrowsWithTransactionTime) {
+  double last = 0.0;
+  OptimisticDescentModel base = WithPolicy(RecoveryPolicy::kNaive, 50.0);
+  double lambda = base.MaxThroughput() * 0.5;
+  for (double t : {10.0, 25.0, 50.0}) {
+    OptimisticDescentModel model = WithPolicy(RecoveryPolicy::kNaive, t);
+    AnalysisResult result = model.Analyze(lambda);
+    ASSERT_TRUE(result.stable) << "t_trans " << t;
+    EXPECT_GT(result.per_insert, last);
+    last = result.per_insert;
+  }
+}
+
+TEST(RecoveryModelTest, ZeroTransTimeMatchesNoRecovery) {
+  OptimisticDescentModel none = WithPolicy(RecoveryPolicy::kNone, 0.0);
+  OptimisticDescentModel zero = WithPolicy(RecoveryPolicy::kNaive, 0.0);
+  AnalysisResult a = none.Analyze(0.1);
+  AnalysisResult b = zero.Analyze(0.1);
+  ASSERT_TRUE(a.stable && b.stable);
+  EXPECT_NEAR(a.per_insert, b.per_insert, 1e-9);
+  EXPECT_NEAR(a.per_search, b.per_search, 1e-9);
+}
+
+}  // namespace
+}  // namespace cbtree

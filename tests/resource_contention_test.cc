@@ -1,0 +1,84 @@
+// Resource contention as a dilation factor (§5.2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/resource_contention.h"
+
+namespace cbtree {
+namespace {
+
+ModelParams Paper() { return ModelParams::PaperDefault(); }
+
+TEST(ResourceContentionTest, DilationFactorBasics) {
+  EXPECT_DOUBLE_EQ(DilationFactor(0.0, 20.0, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(DilationFactor(0.1, 20.0, 4.0), 1.0 / (1.0 - 0.5));
+  EXPECT_TRUE(std::isinf(DilationFactor(0.2, 20.0, 4.0)));
+  EXPECT_TRUE(std::isinf(DilationFactor(0.3, 20.0, 4.0)));
+}
+
+TEST(ResourceContentionTest, SerialWorkMatchesZeroLoadResponse) {
+  ModelParams params = Paper();
+  double work =
+      SerialWorkPerOperation(Algorithm::kOptimisticDescent, params);
+  auto analyzer = MakeAnalyzer(Algorithm::kOptimisticDescent, params);
+  EXPECT_NEAR(work, analyzer->Analyze(1e-12).mean_response, 1e-6);
+}
+
+TEST(ResourceContentionTest, ManyProcessorsMatchesPlainModel) {
+  ResourceContentionAnalyzer contended(Algorithm::kOptimisticDescent,
+                                       Paper(), /*num_processors=*/1e9);
+  auto plain = MakeAnalyzer(Algorithm::kOptimisticDescent, Paper());
+  for (double lambda : {0.1, 0.5, 1.0}) {
+    AnalysisResult a = contended.Analyze(lambda);
+    AnalysisResult b = plain->Analyze(lambda);
+    ASSERT_TRUE(a.stable);
+    ASSERT_TRUE(b.stable);
+    EXPECT_NEAR(a.per_insert, b.per_insert, 1e-6 * b.per_insert);
+  }
+}
+
+TEST(ResourceContentionTest, FewProcessorsInflateResponse) {
+  ResourceContentionAnalyzer few(Algorithm::kOptimisticDescent, Paper(),
+                                 /*num_processors=*/40.0);
+  auto plain = MakeAnalyzer(Algorithm::kOptimisticDescent, Paper());
+  double lambda = 1.0;
+  AnalysisResult contended = few.Analyze(lambda);
+  AnalysisResult uncontended = plain->Analyze(lambda);
+  ASSERT_TRUE(contended.stable);
+  EXPECT_GT(contended.per_search, uncontended.per_search * 1.5);
+}
+
+TEST(ResourceContentionTest, CpuCanBecomeTheBottleneck) {
+  // With very few processors the CPU saturates before the root lock queue.
+  ResourceContentionAnalyzer tight(Algorithm::kLinkType, Paper(),
+                                   /*num_processors=*/10.0);
+  double max_rate = tight.MaxThroughput(/*cap=*/1e6);
+  double serial =
+      SerialWorkPerOperation(Algorithm::kLinkType, Paper());
+  // CPU capacity = processors / serial work; the combined model cannot
+  // exceed it (Link-type's lock saturation is far beyond).
+  EXPECT_LE(max_rate, 10.0 / serial + 1e-6);
+  EXPECT_GT(max_rate, 0.5 * 10.0 / serial);
+}
+
+TEST(ResourceContentionTest, ThroughputGrowsWithProcessors) {
+  double last = 0.0;
+  for (double processors : {5.0, 20.0, 80.0}) {
+    ResourceContentionAnalyzer analyzer(Algorithm::kOptimisticDescent,
+                                        Paper(), processors);
+    double max_rate = analyzer.MaxThroughput(1e6);
+    EXPECT_GT(max_rate, last);
+    last = max_rate;
+  }
+}
+
+TEST(ResourceContentionTest, NameReflectsComposition) {
+  ResourceContentionAnalyzer analyzer(Algorithm::kNaiveLockCoupling,
+                                      Paper(), 8.0);
+  EXPECT_EQ(analyzer.name(), "naive-lock-coupling+resource-contention");
+}
+
+}  // namespace
+}  // namespace cbtree

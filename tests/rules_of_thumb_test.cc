@@ -1,0 +1,87 @@
+// Rules of Thumb 1-4 (§6) against the full analytical models.
+
+#include <gtest/gtest.h>
+
+#include "core/naive_model.h"
+#include "core/optimistic_model.h"
+#include "core/rules_of_thumb.h"
+
+namespace cbtree {
+namespace {
+
+OperationMix Mix() { return OperationMix{0.3, 0.5, 0.2}; }
+
+TEST(RulesOfThumbTest, NaiveRuleTracksModelInMemory) {
+  // With everything in memory the rule of thumb is close to the model's
+  // lambda_{rho=.5} (Figure 13's in-memory curve).
+  for (int n : {13, 29, 59}) {
+    ModelParams params = ModelParams::ForTree(40000, n, 1.0, Mix());
+    NaiveLockCouplingModel model(params);
+    auto exact = model.ArrivalRateForRootUtilization(0.5);
+    ASSERT_TRUE(exact.has_value());
+    double rule = NaiveRuleOfThumb(params);
+    EXPECT_NEAR(rule / *exact, 1.0, 0.35) << "node size " << n;
+  }
+}
+
+TEST(RulesOfThumbTest, NaiveRuleApproachesLimitForLargeNodes) {
+  ModelParams params = ModelParams::ForTree(1000000, 400, 1.0, Mix());
+  double rule = NaiveRuleOfThumb(params);
+  double limit = NaiveRuleOfThumbLimit(params);
+  EXPECT_NEAR(rule / limit, 1.0, 0.1);
+}
+
+TEST(RulesOfThumbTest, NaiveLimitIndependentOfNodeSize) {
+  // §6: the Naive effective maximum does not improve with node size.
+  ModelParams a = ModelParams::ForTree(40000, 13, 5.0, Mix());
+  ModelParams b = ModelParams::ForTree(40000, 200, 5.0, Mix());
+  EXPECT_DOUBLE_EQ(NaiveRuleOfThumbLimit(a), NaiveRuleOfThumbLimit(b));
+}
+
+TEST(RulesOfThumbTest, OptimisticRuleTracksModelInMemory) {
+  for (int n : {13, 29, 59}) {
+    ModelParams params = ModelParams::ForTree(40000, n, 1.0, Mix());
+    OptimisticDescentModel model(params);
+    auto exact = model.ArrivalRateForRootUtilization(0.5);
+    ASSERT_TRUE(exact.has_value()) << "node size " << n;
+    double rule = OptimisticRuleOfThumb(params);
+    EXPECT_NEAR(rule / *exact, 1.0, 0.45) << "node size " << n;
+  }
+}
+
+TEST(RulesOfThumbTest, OptimisticGrowsWithNodeSize) {
+  // §6: OD's effective max rate is ~ N / log^2 N: bigger nodes, more rate.
+  double last = 0.0;
+  for (int n : {13, 29, 59, 127}) {
+    ModelParams params = ModelParams::ForTree(40000, n, 5.0, Mix());
+    double rule = OptimisticRuleOfThumb(params);
+    EXPECT_GT(rule, last) << "node size " << n;
+    last = rule;
+  }
+}
+
+TEST(RulesOfThumbTest, OptimisticRuleApproachesLimit) {
+  ModelParams params = ModelParams::ForTree(1000000, 400, 1.0, Mix());
+  EXPECT_NEAR(OptimisticRuleOfThumb(params) /
+                  OptimisticRuleOfThumbLimit(params),
+              1.0, 0.15);
+}
+
+TEST(RulesOfThumbTest, OptimisticRuleAboveNaiveRule) {
+  ModelParams params = ModelParams::PaperDefault();
+  EXPECT_GT(OptimisticRuleOfThumb(params), NaiveRuleOfThumb(params));
+  EXPECT_GT(OptimisticRuleOfThumbLimit(params),
+            NaiveRuleOfThumbLimit(params));
+}
+
+TEST(RulesOfThumbTest, MoreSearchesRaiseNaiveLimit) {
+  // Fewer writers at the root means a higher effective maximum.
+  ModelParams searchy = ModelParams::ForTree(40000, 13, 5.0,
+                                             OperationMix{0.8, 0.15, 0.05});
+  ModelParams writey = ModelParams::ForTree(40000, 13, 5.0,
+                                            OperationMix{0.1, 0.6, 0.3});
+  EXPECT_GT(NaiveRuleOfThumbLimit(searchy), NaiveRuleOfThumbLimit(writey));
+}
+
+}  // namespace
+}  // namespace cbtree

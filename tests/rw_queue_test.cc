@@ -1,0 +1,117 @@
+// Theorem 6 (the FCFS R/W queue) — degenerate cases, fixed-point sanity,
+// monotonicity, and saturation behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rw_queue.h"
+
+namespace cbtree {
+namespace {
+
+TEST(RwQueueTest, WritersOnlyReducesToMM1) {
+  RwQueueResult result = SolveRwQueue({0.0, 0.4, 1.0, 1.0});
+  EXPECT_TRUE(result.stable);
+  EXPECT_DOUBLE_EQ(result.rho_w, 0.4);
+  EXPECT_EQ(result.r_u, 0.0);
+  EXPECT_EQ(result.r_e, 0.0);
+  EXPECT_DOUBLE_EQ(result.t_a, 1.0);
+}
+
+TEST(RwQueueTest, WritersOnlySaturatesAtOne) {
+  RwQueueResult result = SolveRwQueue({0.0, 1.2, 1.0, 1.0});
+  EXPECT_FALSE(result.stable);
+  EXPECT_DOUBLE_EQ(result.rho_w, 1.0);
+}
+
+TEST(RwQueueTest, ReadersOnlyNeverSaturates) {
+  RwQueueResult result = SolveRwQueue({100.0, 0.0, 1.0, 1.0});
+  EXPECT_TRUE(result.stable);
+  EXPECT_EQ(result.rho_w, 0.0);
+  // Concurrent readers: the drain time grows only logarithmically.
+  EXPECT_NEAR(result.r_e, std::log1p(100.0), 1e-9);
+}
+
+TEST(RwQueueTest, FixedPointSatisfiesEquation) {
+  RwQueueInput in{0.5, 0.2, 1.0, 0.8};
+  RwQueueResult result = SolveRwQueue(in);
+  ASSERT_TRUE(result.stable);
+  EXPECT_NEAR(result.rho_w, RwQueueFixedPointRhs(in, result.rho_w), 1e-8);
+  // Theorem 6's r_u / r_e at the fixed point.
+  EXPECT_NEAR(result.r_u,
+              std::log1p(result.rho_w * in.lambda_r / in.lambda_w) / in.mu_r,
+              1e-12);
+  EXPECT_NEAR(result.r_e,
+              std::log1p((1 + result.rho_w) * in.lambda_r /
+                         (in.mu_r + in.lambda_w)) /
+                  in.mu_r,
+              1e-12);
+  EXPECT_NEAR(result.t_a,
+              1.0 / in.mu_w + result.rho_w * result.r_u +
+                  (1 - result.rho_w) * result.r_e,
+              1e-12);
+}
+
+TEST(RwQueueTest, RhoIncreasesWithWriterArrivalRate) {
+  double last = 0.0;
+  for (double lw = 0.05; lw < 0.5; lw += 0.05) {
+    RwQueueResult result = SolveRwQueue({0.3, lw, 1.0, 1.0});
+    ASSERT_TRUE(result.stable) << "lambda_w = " << lw;
+    EXPECT_GT(result.rho_w, last);
+    last = result.rho_w;
+  }
+}
+
+TEST(RwQueueTest, RhoIncreasesWithReaderArrivalRate) {
+  double last = 0.0;
+  for (double lr = 0.1; lr < 2.0; lr += 0.2) {
+    RwQueueResult result = SolveRwQueue({lr, 0.2, 1.0, 1.0});
+    ASSERT_TRUE(result.stable) << "lambda_r = " << lr;
+    EXPECT_GT(result.rho_w, last);
+    last = result.rho_w;
+  }
+}
+
+TEST(RwQueueTest, RhoExceedsPureWriterUtilization) {
+  // Readers ahead of writers can only lengthen the writer busy period.
+  RwQueueResult with_readers = SolveRwQueue({0.5, 0.3, 1.0, 1.0});
+  ASSERT_TRUE(with_readers.stable);
+  EXPECT_GT(with_readers.rho_w, 0.3);
+}
+
+TEST(RwQueueTest, HeavyWriterLoadSaturates) {
+  RwQueueResult result = SolveRwQueue({1.0, 0.95, 1.0, 1.0});
+  EXPECT_FALSE(result.stable);
+  EXPECT_EQ(result.rho_w, 1.0);
+}
+
+TEST(RwQueueTest, RuExceedsNothingWhenNoReaders) {
+  RwQueueResult result = SolveRwQueue({0.0, 0.5, 2.0, 2.0});
+  EXPECT_EQ(result.ReaderWait(), 0.0);
+}
+
+TEST(RwQueueTest, ReaderWaitBetweenReAndRu) {
+  RwQueueResult result = SolveRwQueue({0.8, 0.1, 1.0, 1.0});
+  ASSERT_TRUE(result.stable);
+  // r_u uses the conditional (writer-present) geometry; both are positive.
+  EXPECT_GT(result.r_u, 0.0);
+  EXPECT_GT(result.r_e, 0.0);
+  double rw = result.ReaderWait();
+  EXPECT_GE(rw, std::min(result.r_u, result.r_e));
+  EXPECT_LE(rw, std::max(result.r_u, result.r_e));
+}
+
+TEST(RwQueueTest, ScalesWithTimeUnits) {
+  // Scaling all rates by c scales all times by 1/c and keeps rho fixed.
+  RwQueueResult base = SolveRwQueue({0.5, 0.2, 1.0, 0.8});
+  RwQueueResult scaled = SolveRwQueue({5.0, 2.0, 10.0, 8.0});
+  ASSERT_TRUE(base.stable);
+  ASSERT_TRUE(scaled.stable);
+  EXPECT_NEAR(base.rho_w, scaled.rho_w, 1e-8);
+  EXPECT_NEAR(base.r_e, scaled.r_e * 10.0, 1e-8);
+  EXPECT_NEAR(base.t_a, scaled.t_a * 10.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace cbtree

@@ -1,0 +1,174 @@
+// Regression and internal-consistency tests of the simulator: the
+// lock-manager reentrancy bug class, per-level wait accounting against the
+// model, the closed-system mode, and buffer/recovery interactions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analyzer.h"
+#include "sim/lock_manager.h"
+#include "sim/simulator.h"
+
+namespace cbtree {
+namespace {
+
+// Regression: a grant callback that synchronously releases the very lock it
+// was granted (Optimistic Descent's unsafe-leaf path, Link-type crossings)
+// re-enters the lock manager mid-release; this used to invalidate the outer
+// frame's iterator. The callback below also immediately requests other
+// nodes, forcing rehashes.
+TEST(LockManagerReentrancyTest, SynchronousReleaseInsideGrant) {
+  double now = 0.0;
+  LockManager locks([&now] { return now; });
+  int follow_ups = 0;
+  locks.Request(1, LockMode::kWrite, 100, [] {});
+  // Queue ten ops that, when granted, instantly release node 1 and touch a
+  // fresh node each (growing the map).
+  for (OpId op = 1; op <= 10; ++op) {
+    locks.Request(1, LockMode::kWrite, op, [&, op] {
+      locks.Release(1, op);
+      locks.Request(1000 + op, LockMode::kRead, op,
+                    [&follow_ups] { ++follow_ups; });
+    });
+  }
+  locks.Release(1, 100);  // cascades through all ten
+  EXPECT_EQ(follow_ups, 10);
+  for (OpId op = 1; op <= 10; ++op) {
+    EXPECT_TRUE(locks.Holds(1000 + op, op));
+    locks.Release(1000 + op, op);
+  }
+  EXPECT_EQ(locks.total_held(), 0u);
+}
+
+TEST(LockManagerReentrancyTest, ReaderBatchWithSynchronousReleases) {
+  double now = 0.0;
+  LockManager locks([&now] { return now; });
+  locks.Request(5, LockMode::kWrite, 99, [] {});
+  int granted = 0;
+  for (OpId op = 1; op <= 8; ++op) {
+    locks.Request(5, LockMode::kRead, op, [&, op] {
+      ++granted;
+      locks.Release(5, op);  // reader releases within its own grant
+    });
+  }
+  locks.Release(5, 99);
+  EXPECT_EQ(granted, 8);
+  EXPECT_EQ(locks.total_held(), 0u);
+}
+
+SimConfig BaseConfig(Algorithm algorithm) {
+  SimConfig config;
+  config.algorithm = algorithm;
+  config.mix = OperationMix{0.3, 0.5, 0.2};
+  config.num_operations = 8000;
+  config.warmup_operations = 800;
+  config.num_items = 4000;
+  config.seed = 1;
+  return config;
+}
+
+TEST(SimInternalsTest, PerLevelLockWaitsTrackModel) {
+  SimConfig config = BaseConfig(Algorithm::kNaiveLockCoupling);
+  config.lambda = 0.06;
+  Simulator sim(config);
+  SimResult result = sim.Run();
+  ASSERT_FALSE(result.saturated);
+  ModelParams params = ModelParams::ForTree(4000, 13, 5.0, config.mix);
+  auto analyzer = MakeAnalyzer(Algorithm::kNaiveLockCoupling, params);
+  AnalysisResult analysis = analyzer->Analyze(config.lambda);
+  ASSERT_TRUE(analysis.stable);
+  int h = params.height();
+  // Per-level waits are the roughest part of the approximation (the paper
+  // validates response times, which agree much tighter — see
+  // sim_vs_model_test). Require the same order of magnitude at the root and
+  // the same root-dominates-leaves ordering in both views.
+  ASSERT_GT(result.lock_wait_w[h].count(), 100u);
+  double ratio = result.lock_wait_w[h].mean() / analysis.levels[h].wait_w;
+  EXPECT_GT(ratio, 1.0 / 3.0);
+  EXPECT_LT(ratio, 3.0);
+  EXPECT_LT(result.lock_wait_w[1].mean(), result.lock_wait_w[h].mean());
+  EXPECT_LT(analysis.levels[1].wait_w, analysis.levels[h].wait_w);
+}
+
+TEST(SimInternalsTest, ClosedSystemRunsExactPopulation) {
+  SimConfig config = BaseConfig(Algorithm::kOptimisticDescent);
+  config.closed_population = 8;
+  config.think_time = 0.0;
+  config.num_operations = 4000;
+  config.warmup_operations = 400;
+  SimResult result = Simulator(config).Run();
+  EXPECT_FALSE(result.saturated);
+  EXPECT_EQ(result.completed, 3600u);
+  // With zero think time the in-flight population sits at the MPL.
+  EXPECT_NEAR(result.mean_active_ops, 8.0, 0.5);
+  EXPECT_LE(result.max_active_ops, 8u);
+}
+
+TEST(SimInternalsTest, ClosedThroughputPlateausAtOpenMax) {
+  ModelParams params = ModelParams::ForTree(4000, 13, 5.0,
+                                            OperationMix{0.3, 0.5, 0.2});
+  auto analyzer = MakeAnalyzer(Algorithm::kNaiveLockCoupling, params);
+  double open_max = analyzer->MaxThroughput();
+  SimConfig config = BaseConfig(Algorithm::kNaiveLockCoupling);
+  config.closed_population = 64;  // far past the knee
+  SimResult result = Simulator(config).Run();
+  ASSERT_FALSE(result.saturated);
+  EXPECT_NEAR(result.throughput / open_max, 1.0, 0.35);
+}
+
+TEST(SimInternalsTest, ClosedThroughputMonotoneInPopulation) {
+  double last = 0.0;
+  for (uint64_t mpl : {1u, 4u, 16u}) {
+    SimConfig config = BaseConfig(Algorithm::kLinkType);
+    config.closed_population = mpl;
+    config.num_operations = 4000;
+    config.warmup_operations = 400;
+    SimResult result = Simulator(config).Run();
+    ASSERT_FALSE(result.saturated);
+    EXPECT_GT(result.throughput, last) << "mpl " << mpl;
+    last = result.throughput;
+  }
+}
+
+TEST(SimInternalsTest, ThinkTimeReducesOfferedLoad) {
+  SimConfig busy = BaseConfig(Algorithm::kNaiveLockCoupling);
+  busy.closed_population = 16;
+  busy.think_time = 0.0;
+  busy.num_operations = 4000;
+  busy.warmup_operations = 400;
+  SimConfig idle = busy;
+  idle.think_time = 200.0;
+  SimResult r_busy = Simulator(busy).Run();
+  SimResult r_idle = Simulator(idle).Run();
+  EXPECT_LT(r_idle.throughput, r_busy.throughput);
+  EXPECT_LT(r_idle.resp_all.mean(), r_busy.resp_all.mean())
+      << "less contention with thinking terminals";
+}
+
+TEST(SimInternalsTest, BufferPoolComposesWithRecovery) {
+  SimConfig config = BaseConfig(Algorithm::kOptimisticDescent);
+  config.lambda = 0.03;
+  config.buffer_pool_nodes = 100;
+  config.recovery = {RecoveryPolicy::kLeafOnly, 50.0};
+  config.num_operations = 4000;
+  config.warmup_operations = 400;
+  SimResult result = Simulator(config).Run();
+  EXPECT_FALSE(result.saturated);
+  EXPECT_GT(result.buffer_hit_rate, 0.0);
+  EXPECT_LT(result.buffer_hit_rate, 1.0);
+}
+
+TEST(SimInternalsTest, TwoPhaseWithNaiveRecoveryStillCompletes) {
+  SimConfig config = BaseConfig(Algorithm::kTwoPhaseLocking);
+  config.lambda = 0.01;
+  config.recovery = {RecoveryPolicy::kNaive, 20.0};
+  config.num_operations = 3000;
+  config.warmup_operations = 300;
+  SimResult result = Simulator(config).Run();
+  EXPECT_FALSE(result.saturated);
+  EXPECT_EQ(result.completed, 2700u);
+}
+
+}  // namespace
+}  // namespace cbtree

@@ -1,0 +1,139 @@
+// The paper's validation claim (§5.3, Figures 3-8): the analytical model and
+// the simulator predict the same response times. These are the repo's
+// integration tests — coarse tolerances, exactly like reading the paper's
+// figures, but on a smaller tree so they run quickly.
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "sim/simulator.h"
+
+namespace cbtree {
+namespace {
+
+constexpr uint64_t kItems = 4000;
+constexpr int kNodeSize = 13;
+constexpr double kDiskCost = 5.0;
+
+SimConfig MakeSimConfig(Algorithm algorithm, double lambda, uint64_t seed) {
+  SimConfig config;
+  config.algorithm = algorithm;
+  config.lambda = lambda;
+  config.mix = OperationMix{0.3, 0.5, 0.2};
+  config.num_operations = 8000;
+  config.warmup_operations = 800;
+  config.num_items = kItems;
+  config.max_node_size = kNodeSize;
+  config.disk_cost = kDiskCost;
+  config.seed = seed;
+  return config;
+}
+
+ModelParams MakeModelParams() {
+  return ModelParams::ForTree(kItems, kNodeSize, kDiskCost,
+                              OperationMix{0.3, 0.5, 0.2});
+}
+
+struct Agreement {
+  double analytic;
+  double simulated;
+};
+
+Agreement CompareSearch(Algorithm algorithm, double lambda) {
+  auto analyzer = MakeAnalyzer(algorithm, MakeModelParams());
+  AnalysisResult analysis = analyzer->Analyze(lambda);
+  EXPECT_TRUE(analysis.stable);
+  Accumulator sim_mean;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    SimResult r = Simulator(MakeSimConfig(algorithm, lambda, seed)).Run();
+    EXPECT_FALSE(r.saturated);
+    sim_mean.Add(r.resp_search.mean());
+  }
+  return {analysis.per_search, sim_mean.mean()};
+}
+
+Agreement CompareInsert(Algorithm algorithm, double lambda) {
+  auto analyzer = MakeAnalyzer(algorithm, MakeModelParams());
+  AnalysisResult analysis = analyzer->Analyze(lambda);
+  EXPECT_TRUE(analysis.stable);
+  Accumulator sim_mean;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    SimResult r = Simulator(MakeSimConfig(algorithm, lambda, seed)).Run();
+    EXPECT_FALSE(r.saturated);
+    sim_mean.Add(r.resp_insert.mean());
+  }
+  return {analysis.per_insert, sim_mean.mean()};
+}
+
+// Tolerances: the paper's own figures show the analysis tracking the
+// simulation within roughly 10-20% until close to saturation.
+constexpr double kTolerance = 0.30;
+
+TEST(SimVsModelTest, NaiveSearchLowLoad) {
+  Agreement a = CompareSearch(Algorithm::kNaiveLockCoupling, 0.01);
+  EXPECT_NEAR(a.simulated / a.analytic, 1.0, kTolerance);
+}
+
+TEST(SimVsModelTest, NaiveSearchModerateLoad) {
+  Agreement a = CompareSearch(Algorithm::kNaiveLockCoupling, 0.06);
+  EXPECT_NEAR(a.simulated / a.analytic, 1.0, kTolerance);
+}
+
+TEST(SimVsModelTest, NaiveInsertModerateLoad) {
+  Agreement a = CompareInsert(Algorithm::kNaiveLockCoupling, 0.06);
+  EXPECT_NEAR(a.simulated / a.analytic, 1.0, kTolerance);
+}
+
+TEST(SimVsModelTest, OptimisticSearchModerateLoad) {
+  Agreement a = CompareSearch(Algorithm::kOptimisticDescent, 0.1);
+  EXPECT_NEAR(a.simulated / a.analytic, 1.0, kTolerance);
+}
+
+TEST(SimVsModelTest, OptimisticInsertModerateLoad) {
+  Agreement a = CompareInsert(Algorithm::kOptimisticDescent, 0.1);
+  EXPECT_NEAR(a.simulated / a.analytic, 1.0, kTolerance);
+}
+
+TEST(SimVsModelTest, LinkTypeSearchHighLoad) {
+  Agreement a = CompareSearch(Algorithm::kLinkType, 0.3);
+  EXPECT_NEAR(a.simulated / a.analytic, 1.0, kTolerance);
+}
+
+TEST(SimVsModelTest, LinkTypeInsertHighLoad) {
+  Agreement a = CompareInsert(Algorithm::kLinkType, 0.3);
+  EXPECT_NEAR(a.simulated / a.analytic, 1.0, kTolerance);
+}
+
+TEST(SimVsModelTest, SimulatedRootUtilizationTracksModel) {
+  double lambda = 0.06;
+  auto analyzer = MakeAnalyzer(Algorithm::kNaiveLockCoupling,
+                               MakeModelParams());
+  AnalysisResult analysis = analyzer->Analyze(lambda);
+  ASSERT_TRUE(analysis.stable);
+  SimResult r =
+      Simulator(MakeSimConfig(Algorithm::kNaiveLockCoupling, lambda, 1))
+          .Run();
+  ASSERT_FALSE(r.saturated);
+  EXPECT_NEAR(r.root_writer_utilization, analysis.root_writer_utilization(),
+              0.15);
+}
+
+TEST(SimVsModelTest, SaturationPointsAgreeInOrder) {
+  // The simulator should saturate somewhere near the model's maximum
+  // throughput for Naive Lock-coupling: stable well below, saturated well
+  // above.
+  auto analyzer = MakeAnalyzer(Algorithm::kNaiveLockCoupling,
+                               MakeModelParams());
+  double max_rate = analyzer->MaxThroughput();
+  SimConfig below = MakeSimConfig(Algorithm::kNaiveLockCoupling,
+                                  max_rate * 0.6, 1);
+  below.max_active_ops = 3000;
+  EXPECT_FALSE(Simulator(below).Run().saturated);
+  SimConfig above = MakeSimConfig(Algorithm::kNaiveLockCoupling,
+                                  max_rate * 2.0, 1);
+  above.max_active_ops = 3000;
+  EXPECT_TRUE(Simulator(above).Run().saturated);
+}
+
+}  // namespace
+}  // namespace cbtree

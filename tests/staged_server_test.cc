@@ -1,0 +1,98 @@
+// The hyperexponential staged server (Theorem 3's B*(s) machinery): moments
+// against hand computations and a numerical Laplace-transform check.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/staged_server.h"
+
+namespace cbtree {
+namespace {
+
+TEST(StagedServerTest, SingleExponentialMoments) {
+  StagedServer server;
+  server.AddExponentialStage(2.0);
+  EXPECT_DOUBLE_EQ(server.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(server.SecondMoment(), 8.0);  // 2 m^2
+}
+
+TEST(StagedServerTest, SumOfExponentials) {
+  StagedServer server;
+  server.AddExponentialStage(1.0).AddExponentialStage(3.0);
+  EXPECT_DOUBLE_EQ(server.Mean(), 4.0);
+  // E[(A+B)^2] = 2*1 + 2*1*3*... : 2a^2 + 2ab*2? compute: 2 + 2*(1*3) + 18
+  EXPECT_DOUBLE_EQ(server.SecondMoment(), 2.0 + 6.0 + 18.0);
+}
+
+TEST(StagedServerTest, ProbabilisticStage) {
+  StagedServer server;
+  server.AddStage({{0.25, 4.0}});  // Exp(4) with prob 1/4, else zero
+  EXPECT_DOUBLE_EQ(server.Mean(), 1.0);
+  EXPECT_DOUBLE_EQ(server.SecondMoment(), 0.25 * 2.0 * 16.0);
+}
+
+TEST(StagedServerTest, MixtureStage) {
+  StagedServer server;
+  server.AddStage({{0.3, 2.0}, {0.7, 5.0}});
+  EXPECT_DOUBLE_EQ(server.Mean(), 0.3 * 2.0 + 0.7 * 5.0);
+  EXPECT_DOUBLE_EQ(server.SecondMoment(),
+                   0.3 * 2 * 4.0 + 0.7 * 2 * 25.0);
+}
+
+// Numerically differentiate the product-form Laplace transform twice at 0
+// and compare with the closed-form second moment (this is exactly how the
+// paper derives Theorem 3).
+TEST(StagedServerTest, MatchesNumericalLaplaceDerivative) {
+  struct Stage {
+    std::vector<Branch> branches;
+  };
+  std::vector<Stage> stages = {
+      {{{1.0, 1.7}}},
+      {{{0.4, 3.1}}},
+      {{{0.6, 2.2}, {0.4, 0.9}}},
+  };
+  StagedServer server;
+  for (const Stage& stage : stages) server.AddStage(stage.branches);
+
+  auto transform = [&stages](double s) {
+    double product = 1.0;
+    for (const Stage& stage : stages) {
+      double value = 0.0;
+      double rest = 1.0;
+      for (const Branch& b : stage.branches) {
+        value += b.prob / (1.0 + b.mean * s);
+        rest -= b.prob;
+      }
+      product *= value + rest;
+    }
+    return product;
+  };
+  // Central differences at 0 (the transform is analytic in a neighbourhood
+  // of the origin): B''(0) = E[X^2], -B'(0) = E[X].
+  const double eps = 1e-5;
+  double second_numeric =
+      (transform(eps) - 2 * transform(0.0) + transform(-eps)) / (eps * eps);
+  EXPECT_NEAR(server.SecondMoment(), second_numeric,
+              1e-4 * server.SecondMoment());
+  double first_numeric = -(transform(eps) - transform(-eps)) / (2 * eps);
+  EXPECT_NEAR(server.Mean(), first_numeric, 1e-4 * server.Mean());
+}
+
+TEST(StagedServerTest, MG1WaitMatchesPollaczekKhinchine) {
+  StagedServer server;
+  server.AddExponentialStage(1.0);
+  // M/M/1: W_q = rho/(mu (1-rho)); with mu=1, lambda=.5: W_q = 1.
+  double wait = server.MG1Wait(0.5, 0.5);
+  EXPECT_NEAR(wait, 1.0, 1e-12);
+}
+
+TEST(StagedServerTest, SaturatedUtilizationYieldsZeroGuard) {
+  StagedServer server;
+  server.AddExponentialStage(1.0);
+  EXPECT_EQ(server.MG1Wait(2.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace cbtree

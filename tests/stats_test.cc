@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/accumulator.h"
+#include "stats/distributions.h"
+#include "stats/rng.h"
+#include "stats/solver.h"
+
+namespace cbtree {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedIsUnbiasedEnough) {
+  Rng rng(11);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(bound)];
+  for (uint64_t v = 0; v < bound; ++v) {
+    EXPECT_NEAR(counts[v], n / static_cast<int>(bound), 700);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng b = a.Fork();
+  // The parent and the fork should diverge immediately.
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(DistributionsTest, ExponentialMeanMatches) {
+  Rng rng(3);
+  const double mean = 4.0;
+  double total = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) total += SampleExponential(rng, mean);
+  EXPECT_NEAR(total / n, mean, 0.05);
+}
+
+TEST(DistributionsTest, ExponentialZeroMeanDegenerates) {
+  Rng rng(3);
+  EXPECT_EQ(SampleExponential(rng, 0.0), 0.0);
+}
+
+TEST(DistributionsTest, DiscreteFollowsWeights) {
+  Rng rng(9);
+  std::vector<double> weights = {0.3, 0.5, 0.2};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[SampleDiscrete(rng, weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.2, 0.01);
+}
+
+TEST(DistributionsTest, ZipfSkewsTowardsLowRanks) {
+  Rng rng(13);
+  ZipfGenerator zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(DistributionsTest, PoissonProcessRateMatches) {
+  PoissonProcess process(2.0, 17);
+  double last = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) last = process.NextArrival();
+  // n arrivals at rate 2 should span about n/2 time units.
+  EXPECT_NEAR(last, n / 2.0, n * 0.02);
+}
+
+TEST(AccumulatorTest, MeanVarianceMinMax) {
+  Accumulator acc;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) acc.Add(v);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_EQ(acc.min(), 1.0);
+  EXPECT_EQ(acc.max(), 4.0);
+}
+
+TEST(AccumulatorTest, MergeEqualsBulk) {
+  Accumulator a, b, bulk;
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    (i % 2 ? a : b).Add(v);
+    bulk.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), bulk.count());
+  EXPECT_NEAR(a.mean(), bulk.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), bulk.variance(), 1e-9);
+}
+
+TEST(TimeWeightedTest, AveragesPiecewiseConstantSignal) {
+  TimeWeightedAccumulator acc(0.0);
+  acc.Update(0.0, 1.0);   // value 1 on [0, 2)
+  acc.Update(2.0, 3.0);   // value 3 on [2, 4)
+  EXPECT_DOUBLE_EQ(acc.Average(4.0), 2.0);
+}
+
+TEST(HistogramTest, QuantilesApproximate) {
+  Histogram hist(10.0, 100);
+  for (int i = 0; i < 1000; ++i) hist.Add(i % 10 + 0.5);
+  EXPECT_NEAR(hist.Quantile(0.5), 5.0, 0.6);
+  EXPECT_NEAR(hist.Quantile(0.95), 9.5, 0.6);
+}
+
+TEST(SolverTest, BisectFindsSqrt2) {
+  auto f = [](double x) { return x * x - 2.0; };
+  auto root = Bisect(f, 0.0, 2.0);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_NEAR(*root, std::sqrt(2.0), 1e-10);
+}
+
+TEST(SolverTest, BisectRejectsBadBracket) {
+  auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_FALSE(Bisect(f, -1.0, 1.0).has_value());
+}
+
+TEST(SolverTest, FirstRootPicksSmallest) {
+  // Roots at 1 and 3.
+  auto f = [](double x) { return (x - 1.0) * (x - 3.0); };
+  auto root = FirstRoot(f, 0.0, 4.0, 64);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_NEAR(*root, 1.0, 1e-9);
+}
+
+TEST(SolverTest, FixedPointConverges) {
+  auto g = [](double x) { return std::cos(x); };
+  auto fp = FixedPoint(g, 0.5, 1e-12);
+  ASSERT_TRUE(fp.has_value());
+  EXPECT_NEAR(*fp, 0.7390851332151607, 1e-8);
+}
+
+}  // namespace
+}  // namespace cbtree

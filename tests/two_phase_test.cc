@@ -1,0 +1,128 @@
+// Two-Phase Locking, across all three layers: the analytical model (worst of
+// the family, root-bottlenecked), the simulator, and the threaded tree.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/naive_model.h"
+#include "core/two_phase_model.h"
+#include "ctree/ctree.h"
+#include "sim/simulator.h"
+
+namespace cbtree {
+namespace {
+
+ModelParams Paper() { return ModelParams::PaperDefault(); }
+
+TEST(TwoPhaseModelTest, ZeroLoadSearchEqualsSerialTime) {
+  TwoPhaseLockingModel model(Paper());
+  AnalysisResult result = model.Analyze(1e-9);
+  ASSERT_TRUE(result.stable);
+  double serial = 0.0;
+  for (int i = 1; i <= model.params().height(); ++i) {
+    serial += model.params().cost.Se(i);
+  }
+  EXPECT_NEAR(result.per_search, serial, 1e-3);
+}
+
+TEST(TwoPhaseModelTest, ZeroLoadInsertMatchesNaive) {
+  // With no contention, holding locks longer costs nothing: 2PL and Naive
+  // Lock-coupling do identical serial work.
+  TwoPhaseLockingModel two_phase(Paper());
+  NaiveLockCouplingModel naive(Paper());
+  EXPECT_NEAR(two_phase.Analyze(1e-9).per_insert,
+              naive.Analyze(1e-9).per_insert, 1e-3);
+}
+
+TEST(TwoPhaseModelTest, StrictlyWorseThanNaiveUnderLoad) {
+  TwoPhaseLockingModel two_phase(Paper());
+  NaiveLockCouplingModel naive(Paper());
+  double max_2pl = two_phase.MaxThroughput();
+  double max_naive = naive.MaxThroughput();
+  EXPECT_LT(max_2pl, max_naive);
+  double lambda = max_2pl * 0.9;
+  AnalysisResult r2 = two_phase.Analyze(lambda);
+  AnalysisResult rn = naive.Analyze(lambda);
+  ASSERT_TRUE(r2.stable);
+  ASSERT_TRUE(rn.stable);
+  EXPECT_GT(r2.per_insert, rn.per_insert);
+  EXPECT_GT(r2.per_search, rn.per_search);
+}
+
+TEST(TwoPhaseModelTest, RootIsTheBottleneck) {
+  TwoPhaseLockingModel model(Paper());
+  double max_rate = model.MaxThroughput();
+  AnalysisResult result = model.Analyze(max_rate * 1.05);
+  ASSERT_FALSE(result.stable);
+  EXPECT_EQ(result.bottleneck_level, model.params().height());
+}
+
+TEST(TwoPhaseModelTest, HoldTimesTelescope) {
+  TwoPhaseLockingModel model(Paper());
+  AnalysisResult result = model.Analyze(model.MaxThroughput() * 0.5);
+  ASSERT_TRUE(result.stable);
+  // T(S, i) strictly grows with the level: each lock covers all work below.
+  for (int i = 2; i <= model.params().height(); ++i) {
+    EXPECT_GT(result.levels[i].t_s, result.levels[i - 1].t_s);
+    EXPECT_GT(result.levels[i].t_i, result.levels[i - 1].t_i);
+  }
+}
+
+TEST(TwoPhaseSimTest, CompletesAndMatchesModelAtLowLoad) {
+  SimConfig config;
+  config.algorithm = Algorithm::kTwoPhaseLocking;
+  config.lambda = 0.02;
+  config.mix = OperationMix{0.3, 0.5, 0.2};
+  config.num_operations = 4000;
+  config.warmup_operations = 400;
+  config.num_items = 4000;
+  config.seed = 1;
+  SimResult result = Simulator(config).Run();
+  ASSERT_FALSE(result.saturated);
+  ModelParams params = ModelParams::ForTree(4000, 13, 5.0, config.mix);
+  TwoPhaseLockingModel model(params);
+  AnalysisResult analysis = model.Analyze(config.lambda);
+  ASSERT_TRUE(analysis.stable);
+  EXPECT_NEAR(result.resp_search.mean() / analysis.per_search, 1.0, 0.3);
+  EXPECT_NEAR(result.resp_insert.mean() / analysis.per_insert, 1.0, 0.3);
+}
+
+TEST(TwoPhaseSimTest, SaturatesBeforeNaive) {
+  ModelParams params = ModelParams::ForTree(4000, 13, 5.0,
+                                            OperationMix{0.3, 0.5, 0.2});
+  TwoPhaseLockingModel model(params);
+  double max_rate = model.MaxThroughput();
+  SimConfig config;
+  config.algorithm = Algorithm::kTwoPhaseLocking;
+  config.lambda = max_rate * 4.0;
+  config.mix = OperationMix{0.3, 0.5, 0.2};
+  config.num_operations = 6000;
+  config.warmup_operations = 400;
+  config.num_items = 4000;
+  config.max_active_ops = 500;
+  config.seed = 1;
+  SimResult result = Simulator(config).Run();
+  EXPECT_TRUE(result.saturated);
+}
+
+TEST(TwoPhaseCTreeTest, ConcurrentCorrectness) {
+  auto tree = MakeConcurrentBTree(Algorithm::kTwoPhaseLocking, 8);
+  EXPECT_EQ(tree->name(), "two-phase-tree");
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tree, t] {
+      for (Key k = t; k < 6000; k += kThreads) tree->Insert(k, k);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(tree->size(), 6000u);
+  tree->CheckInvariants();
+  for (Key k = 0; k < 6000; k += 17) {
+    EXPECT_TRUE(tree->Search(k).has_value()) << k;
+  }
+}
+
+}  // namespace
+}  // namespace cbtree

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace cbtree {
+namespace {
+
+TEST(TableTest, AlignsColumnsAndFormatsCells) {
+  Table table({"x", "name", "value"});
+  table.NewRow().Add(1).Add(std::string("alpha")).Add(1.5);
+  table.NewRow().Add(22).Add(std::string("b")).Add(0.333333333);
+  std::ostringstream out;
+  table.Print(out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("0.333333"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table table({"a", "b"});
+  table.NewRow().Add(1).Add(2.5);
+  table.NewRow().Add(3).AddNA();
+  std::ostringstream out;
+  table.PrintCsv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2.5\n3,n/a\n");
+}
+
+TEST(TableTest, FormatDoubleHandlesSpecials) {
+  EXPECT_EQ(Table::FormatDouble(std::nan("")), "n/a");
+  EXPECT_EQ(Table::FormatDouble(1.0), "1");
+  EXPECT_EQ(Table::FormatDouble(0.5), "0.5");
+  EXPECT_EQ(Table::FormatDouble(std::numeric_limits<double>::infinity()),
+            "inf");
+}
+
+TEST(FlagsTest, ParsesTypedFlags) {
+  FlagSet flags;
+  double d = 1.0;
+  int i = 2;
+  bool b = false;
+  std::string s = "x";
+  flags.Register("dbl", &d, "a double");
+  flags.Register("int", &i, "an int");
+  flags.Register("flag", &b, "a bool");
+  flags.Register("str", &s, "a string");
+  const char* argv[] = {"prog", "--dbl=2.5", "--int", "7", "--flag",
+                        "--str=hello", "positional"};
+  auto positional = flags.Parse(7, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_EQ(i, 7);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(s, "hello");
+  ASSERT_EQ(positional.size(), 1u);
+  EXPECT_EQ(positional[0], "positional");
+}
+
+TEST(FlagsTest, BoolAcceptsExplicitValue) {
+  FlagSet flags;
+  bool b = true;
+  flags.Register("flag", &b, "a bool");
+  const char* argv[] = {"prog", "--flag=false"};
+  flags.Parse(2, const_cast<char**>(argv));
+  EXPECT_FALSE(b);
+}
+
+}  // namespace
+}  // namespace cbtree

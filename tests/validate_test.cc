@@ -1,0 +1,121 @@
+// Adversarial tests of the structural validator: corrupt a healthy tree in
+// each way the validator claims to detect, and check it actually does.
+
+#include <gtest/gtest.h>
+
+#include "btree/btree.h"
+#include "btree/validate.h"
+
+namespace cbtree {
+namespace {
+
+BTree HealthyTree() {
+  BTree tree(BTree::Options{5, MergePolicy::kAtEmpty});
+  for (Key k = 0; k < 200; ++k) tree.Insert(k * 2, k);
+  EXPECT_TRUE(ValidateTree(tree));
+  EXPECT_GE(tree.height(), 3);
+  return tree;
+}
+
+// Finds some leaf and its parent for corruption.
+std::pair<NodeId, NodeId> LeafAndParent(const BTree& tree) {
+  NodeId parent = tree.root();
+  while (tree.node(tree.node(parent).children[0]).level > 1) {
+    parent = tree.node(parent).children[0];
+  }
+  return {tree.node(parent).children[0], parent};
+}
+
+TEST(ValidateTest, DetectsOutOfOrderKeys) {
+  BTree tree = HealthyTree();
+  auto [leaf, parent] = LeafAndParent(tree);
+  Node& n = tree.mutable_store().Get(leaf);
+  ASSERT_GE(n.keys.size(), 2u);
+  std::swap(n.keys[0], n.keys[1]);
+  auto result = ValidateTree(tree);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("order"), std::string::npos) << result.error;
+}
+
+TEST(ValidateTest, DetectsKeyAboveParentBound) {
+  BTree tree = HealthyTree();
+  auto [leaf, parent] = LeafAndParent(tree);
+  Node& n = tree.mutable_store().Get(leaf);
+  n.keys.back() = kInfKey - 1;  // far above the leaf's range
+  EXPECT_FALSE(ValidateTree(tree).ok);
+}
+
+TEST(ValidateTest, DetectsOverCapacityNode) {
+  BTree tree = HealthyTree();
+  auto [leaf, parent] = LeafAndParent(tree);
+  Node& n = tree.mutable_store().Get(leaf);
+  // Blow past max_node_size = 5. (Capacity is checked before key ranges, so
+  // the verdict is "over capacity" even though some keys also leave the
+  // leaf's range.)
+  Key base = n.keys.front();
+  n.keys.clear();
+  n.values.clear();
+  for (int i = 0; i < 9; ++i) {
+    n.keys.push_back(base + i);
+    n.values.push_back(0);
+  }
+  auto result = ValidateTree(tree);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(ValidateTest, DetectsSizeMismatch) {
+  BTree tree = HealthyTree();
+  auto [leaf, parent] = LeafAndParent(tree);
+  Node& n = tree.mutable_store().Get(leaf);
+  // Silently drop a key: reachable count no longer matches size().
+  n.keys.pop_back();
+  n.values.pop_back();
+  auto result = ValidateTree(tree);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("reachable"), std::string::npos)
+      << result.error;
+}
+
+TEST(ValidateTest, DetectsBrokenRightLink) {
+  BTree tree = HealthyTree();
+  auto [leaf, parent] = LeafAndParent(tree);
+  Node& n = tree.mutable_store().Get(leaf);
+  NodeId orig = n.right;
+  ASSERT_NE(orig, kInvalidNode);
+  n.right = kInvalidNode;
+  EXPECT_FALSE(ValidateTree(tree, {.check_links = true}).ok);
+  // With link checking off, the rest of the structure is still fine.
+  EXPECT_TRUE(ValidateTree(tree, {.check_links = false}).ok);
+  n.right = orig;
+  EXPECT_TRUE(ValidateTree(tree).ok);
+}
+
+TEST(ValidateTest, DetectsInternalBoundHighKeyMismatch) {
+  BTree tree = HealthyTree();
+  auto [leaf, parent] = LeafAndParent(tree);
+  Node& p = tree.mutable_store().Get(parent);
+  p.high_key = p.keys.back() + 1;  // breaks keys.back() == high_key
+  EXPECT_FALSE(ValidateTree(tree).ok);
+}
+
+TEST(ValidateTest, DetectsUnderOccupancyOnlyWhenAsked) {
+  BTree tree(BTree::Options{6, MergePolicy::kAtHalf});
+  for (Key k = 0; k < 300; ++k) tree.Insert(k, k);
+  EXPECT_TRUE(
+      ValidateTree(tree, {.check_links = true, .check_min_occupancy = true})
+          .ok);
+  auto [leaf, parent] = LeafAndParent(tree);
+  Node& n = tree.mutable_store().Get(leaf);
+  // Strip it below ceil(6/2) = 3 entries but keep size() consistent by
+  // moving keys nowhere — so only run the occupancy check.
+  while (n.keys.size() > 1) {
+    n.keys.pop_back();
+    n.values.pop_back();
+  }
+  EXPECT_FALSE(
+      ValidateTree(tree, {.check_links = false, .check_min_occupancy = true})
+          .ok);
+}
+
+}  // namespace
+}  // namespace cbtree

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "btree/validate.h"
+#include "workload/workload.h"
+
+namespace cbtree {
+namespace {
+
+TEST(KeyPoolTest, AddSampleRemove) {
+  KeyPool pool;
+  Rng rng(1);
+  pool.Add(10);
+  pool.Add(20);
+  pool.Add(30);
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_TRUE(pool.Contains(20));
+  Key sampled = pool.Sample(rng);
+  EXPECT_TRUE(sampled == 10 || sampled == 20 || sampled == 30);
+  pool.Remove(20);
+  EXPECT_FALSE(pool.Contains(20));
+  EXPECT_EQ(pool.size(), 2u);
+  Key removed = pool.SampleAndRemove(rng);
+  EXPECT_FALSE(pool.Contains(removed));
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(KeyPoolTest, AddDuplicateIsNoop) {
+  KeyPool pool;
+  pool.Add(5);
+  pool.Add(5);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(WorkloadGeneratorTest, MixProportionsRespected) {
+  WorkloadGenerator gen({OperationMix{0.3, 0.5, 0.2}, 42, 0.0});
+  int counts[3] = {0, 0, 0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    Operation op = gen.Next();
+    ++counts[static_cast<int>(op.type)];
+  }
+  EXPECT_NEAR(counts[0] / double(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), 0.5, 0.01);
+  EXPECT_NEAR(counts[2] / double(n), 0.2, 0.01);
+}
+
+TEST(WorkloadGeneratorTest, DeletesTargetLiveKeys) {
+  WorkloadGenerator gen({OperationMix{0.0, 0.6, 0.4}, 7, 0.0});
+  std::set<Key> live;
+  for (int i = 0; i < 20000; ++i) {
+    Operation op = gen.Next();
+    if (op.type == OpType::kInsert) {
+      live.insert(op.key);
+    } else if (op.type == OpType::kDelete && !live.empty()) {
+      // Every delete must name a key that was inserted and not yet deleted.
+      ASSERT_TRUE(live.count(op.key)) << "op " << i;
+      live.erase(op.key);
+    }
+  }
+  EXPECT_EQ(gen.pool().size(), live.size());
+}
+
+TEST(WorkloadGeneratorTest, Deterministic) {
+  WorkloadGenerator a({OperationMix{0.3, 0.5, 0.2}, 5, 0.0});
+  WorkloadGenerator b({OperationMix{0.3, 0.5, 0.2}, 5, 0.0});
+  for (int i = 0; i < 1000; ++i) {
+    Operation oa = a.Next();
+    Operation ob = b.Next();
+    EXPECT_EQ(oa.type, ob.type);
+    EXPECT_EQ(oa.key, ob.key);
+  }
+}
+
+TEST(BuildTreeTest, ReachesTargetSizeAndValidates) {
+  BTree tree(BTree::Options{13, MergePolicy::kAtEmpty});
+  std::vector<Key> keys = BuildTree(&tree, 10000, {0.3, 0.5, 0.2}, 11);
+  EXPECT_GE(tree.size(), 10000u);
+  EXPECT_EQ(keys.size(), tree.size());
+  auto result = ValidateTree(tree, {.check_links = false});
+  EXPECT_TRUE(result) << result.error;
+  // The returned keys are exactly the live contents, in order.
+  for (size_t i = 1; i < keys.size(); ++i) EXPECT_LT(keys[i - 1], keys[i]);
+  EXPECT_TRUE(tree.Search(keys.front()).has_value());
+  EXPECT_TRUE(tree.Search(keys.back()).has_value());
+}
+
+TEST(BuildTreeTest, MixedConstructionExercisesDeletes) {
+  BTree tree(BTree::Options{13, MergePolicy::kAtEmpty});
+  BuildTree(&tree, 5000, {0.3, 0.5, 0.2}, 13);
+  EXPECT_GT(tree.restructure_stats().TotalSplits(), 0u);
+}
+
+}  // namespace
+}  // namespace cbtree

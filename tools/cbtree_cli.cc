@@ -1,0 +1,298 @@
+// cbtree — command-line front end to the analytical framework and the
+// simulator.
+//
+//   cbtree analyze   --algorithm=link --lambda=0.3 [tree flags]
+//   cbtree sweep     --algorithm=naive [--points=10]
+//   cbtree compare   --lambda=0.3
+//   cbtree capacity  --algorithm=optimistic [--rho=0.5]
+//   cbtree rules     [tree flags]
+//   cbtree simulate  --algorithm=link --lambda=0.3 [--seeds=5 --ops=10000]
+//
+// Tree flags (all subcommands): --items, --node_size, --disk_cost,
+// --qs/--qi/--qd, and for simulate also --seed, --buffer_pool, --zipf.
+// The unit of time is one in-memory node search (paper §5.3).
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/analyzer.h"
+#include "core/buffer_model.h"
+#include "core/optimistic_model.h"
+#include "core/rules_of_thumb.h"
+#include "sim/simulator.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace cbtree {
+namespace {
+
+struct CommonOptions {
+  std::string algorithm = "optimistic";
+  double lambda = 0.3;
+  uint64_t items = 40000;
+  int node_size = 13;
+  double disk_cost = 5.0;
+  double q_s = 0.3, q_i = 0.5, q_d = 0.2;
+  int points = 10;
+  double rho = 0.5;
+  // simulate-only
+  int seeds = 5;
+  uint64_t ops = 10000;
+  uint64_t seed = 1;
+  uint64_t buffer_pool = 0;
+  double zipf = 0.0;
+  std::string recovery = "none";
+  double t_trans = 100.0;
+  bool csv = false;
+
+  void Register(FlagSet* flags) {
+    flags->Register("algorithm", &algorithm,
+                    "naive | optimistic | link | two-phase");
+    flags->Register("lambda", &lambda, "arrival rate");
+    flags->Register("items", &items, "tree size (keys)");
+    flags->Register("node_size", &node_size, "max entries per node (N)");
+    flags->Register("disk_cost", &disk_cost, "on-disk access multiplier");
+    flags->Register("qs", &q_s, "search fraction");
+    flags->Register("qi", &q_i, "insert fraction");
+    flags->Register("qd", &q_d, "delete fraction");
+    flags->Register("points", &points, "sweep points");
+    flags->Register("rho", &rho, "target root writer utilization");
+    flags->Register("seeds", &seeds, "simulation seeds");
+    flags->Register("ops", &ops, "simulated operations per seed");
+    flags->Register("seed", &seed, "base RNG seed");
+    flags->Register("buffer_pool", &buffer_pool,
+                    "LRU buffer pool size in nodes (0 = fixed 2 levels)");
+    flags->Register("zipf", &zipf, "key skew for searches/deletes");
+    flags->Register("recovery", &recovery, "none | leaf-only | naive");
+    flags->Register("t_trans", &t_trans, "remaining transaction time");
+    flags->Register("csv", &csv, "CSV output");
+  }
+
+  Algorithm ParseAlgorithm() const {
+    if (algorithm == "naive") return Algorithm::kNaiveLockCoupling;
+    if (algorithm == "optimistic") return Algorithm::kOptimisticDescent;
+    if (algorithm == "link") return Algorithm::kLinkType;
+    if (algorithm == "two-phase") return Algorithm::kTwoPhaseLocking;
+    std::cerr << "unknown --algorithm '" << algorithm
+              << "' (naive | optimistic | link | two-phase)\n";
+    std::exit(1);
+  }
+
+  OperationMix Mix() const { return OperationMix{q_s, q_i, q_d}; }
+
+  ModelParams Params() const {
+    ModelParams params =
+        ModelParams::ForTree(items, node_size, disk_cost, Mix());
+    if (buffer_pool > 0) {
+      params = WithBufferPool(params, static_cast<double>(buffer_pool));
+    }
+    return params;
+  }
+
+  RecoveryConfig Recovery() const {
+    if (recovery == "none") return {RecoveryPolicy::kNone, 0.0};
+    if (recovery == "leaf-only") return {RecoveryPolicy::kLeafOnly, t_trans};
+    if (recovery == "naive") return {RecoveryPolicy::kNaive, t_trans};
+    std::cerr << "unknown --recovery '" << recovery << "'\n";
+    std::exit(1);
+  }
+};
+
+int CmdAnalyze(const CommonOptions& options) {
+  ModelParams params = options.Params();
+  auto analyzer = MakeAnalyzer(options.ParseAlgorithm(), params);
+  AnalysisResult result = analyzer->Analyze(options.lambda);
+  std::printf("%s, lambda=%g, N=%d, %lu items (height %d), D=%g\n\n",
+              analyzer->name().c_str(), options.lambda, options.node_size,
+              static_cast<unsigned long>(options.items), params.height(),
+              options.disk_cost);
+  if (!result.stable) {
+    std::printf("UNSTABLE: level %d saturates; max throughput = %g\n",
+                result.bottleneck_level, analyzer->MaxThroughput(1e6));
+    return 0;
+  }
+  Table table({"level", "lambda_r", "lambda_w", "t_s", "t_w", "rho_w",
+               "R(i)", "W(i)"});
+  for (int i = params.height(); i >= 1; --i) {
+    const LevelAnalysis& level = result.levels[i];
+    table.NewRow()
+        .Add(i)
+        .Add(level.lambda_r)
+        .Add(level.lambda_w)
+        .Add(level.t_s)
+        .Add(level.t_i)
+        .Add(level.rho_w)
+        .Add(level.wait_r)
+        .Add(level.wait_w);
+  }
+  table.Print(std::cout, options.csv);
+  std::printf(
+      "\nresponse times: search %.3f  insert %.3f  delete %.3f  "
+      "(mix-weighted %.3f)\n",
+      result.per_search, result.per_insert, result.per_delete,
+      result.mean_response);
+  return 0;
+}
+
+int CmdSweep(const CommonOptions& options) {
+  auto analyzer = MakeAnalyzer(options.ParseAlgorithm(), options.Params());
+  double max_rate = analyzer->MaxThroughput(1e6);
+  double cap = std::isfinite(max_rate) ? max_rate : 1e3;
+  std::printf("%s: max throughput %g\n\n", analyzer->name().c_str(),
+              max_rate);
+  Table table({"lambda", "search", "insert", "delete", "rho_w_root"});
+  for (int i = 1; i <= options.points; ++i) {
+    double lambda = cap * 0.95 * i / options.points;
+    AnalysisResult result = analyzer->Analyze(lambda);
+    table.NewRow().Add(lambda);
+    if (result.stable) {
+      table.Add(result.per_search)
+          .Add(result.per_insert)
+          .Add(result.per_delete)
+          .Add(result.root_writer_utilization());
+    } else {
+      table.AddNA().AddNA().AddNA().AddNA();
+    }
+  }
+  table.Print(std::cout, options.csv);
+  return 0;
+}
+
+int CmdCompare(const CommonOptions& options) {
+  ModelParams params = options.Params();
+  std::printf("all algorithms at lambda=%g (N=%d, %lu items, D=%g)\n\n",
+              options.lambda, options.node_size,
+              static_cast<unsigned long>(options.items), options.disk_cost);
+  Table table({"algorithm", "search", "insert", "delete", "rho_w_root",
+               "max_throughput"});
+  for (Algorithm algorithm :
+       {Algorithm::kTwoPhaseLocking, Algorithm::kNaiveLockCoupling,
+        Algorithm::kOptimisticDescent, Algorithm::kLinkType}) {
+    auto analyzer = MakeAnalyzer(algorithm, params);
+    AnalysisResult result = analyzer->Analyze(options.lambda);
+    table.NewRow().Add(analyzer->name());
+    if (result.stable) {
+      table.Add(result.per_search)
+          .Add(result.per_insert)
+          .Add(result.per_delete)
+          .Add(result.root_writer_utilization());
+    } else {
+      table.AddNA().AddNA().AddNA().AddNA();
+    }
+    table.Add(analyzer->MaxThroughput(1e6));
+  }
+  table.Print(std::cout, options.csv);
+  return 0;
+}
+
+int CmdCapacity(const CommonOptions& options) {
+  auto analyzer = MakeAnalyzer(options.ParseAlgorithm(), options.Params());
+  double max_rate = analyzer->MaxThroughput(1e6);
+  auto at_rho = analyzer->ArrivalRateForRootUtilization(options.rho);
+  std::printf("%s:\n  max throughput:            %g\n",
+              analyzer->name().c_str(), max_rate);
+  if (at_rho.has_value()) {
+    std::printf("  lambda at root rho_w=%.2f:  %g\n", options.rho, *at_rho);
+  } else {
+    std::printf("  root rho_w never reaches %.2f while stable\n",
+                options.rho);
+  }
+  return 0;
+}
+
+int CmdRules(const CommonOptions& options) {
+  ModelParams params = options.Params();
+  std::printf("rules of thumb (N=%d, %lu items, D=%g, height %d):\n",
+              options.node_size, static_cast<unsigned long>(options.items),
+              options.disk_cost, params.height());
+  std::printf("  RoT 1  naive lambda(rho=.5):       %g\n",
+              NaiveRuleOfThumb(params));
+  std::printf("  RoT 2  naive limit (large N):      %g\n",
+              NaiveRuleOfThumbLimit(params));
+  std::printf("  RoT 3  optimistic lambda(rho=.5):  %g\n",
+              OptimisticRuleOfThumb(params));
+  std::printf("  RoT 4  optimistic limit (large N): %g\n",
+              OptimisticRuleOfThumbLimit(params));
+  return 0;
+}
+
+int CmdSimulate(const CommonOptions& options) {
+  Accumulator search, insert, del, rho, p50, p95, p99;
+  uint64_t crossings = 0, restarts = 0, completed = 0;
+  for (int s = 0; s < options.seeds; ++s) {
+    SimConfig config;
+    config.algorithm = options.ParseAlgorithm();
+    config.lambda = options.lambda;
+    config.mix = options.Mix();
+    config.num_operations = options.ops;
+    config.warmup_operations = options.ops / 10;
+    config.num_items = options.items;
+    config.max_node_size = options.node_size;
+    config.disk_cost = options.disk_cost;
+    config.buffer_pool_nodes = options.buffer_pool;
+    config.zipf_skew = options.zipf;
+    config.recovery = options.Recovery();
+    config.seed = options.seed + s;
+    SimResult result = Simulator(config).Run();
+    if (result.saturated) {
+      std::printf("seed %lu: SATURATED (open system outran the servers)\n",
+                  static_cast<unsigned long>(config.seed));
+      continue;
+    }
+    search.Add(result.resp_search.mean());
+    insert.Add(result.resp_insert.mean());
+    del.Add(result.resp_delete.mean());
+    rho.Add(result.root_writer_utilization);
+    p50.Add(result.resp_p50);
+    p95.Add(result.resp_p95);
+    p99.Add(result.resp_p99);
+    crossings += result.link_crossings;
+    restarts += result.restarts;
+    completed += result.completed;
+  }
+  if (search.count() == 0) return 0;
+  std::printf(
+      "%s simulated at lambda=%g (%zu stable seeds x %lu ops):\n"
+      "  response: search %.3f  insert %.3f  delete %.3f\n"
+      "  percentiles (all ops): p50 %.2f  p95 %.2f  p99 %.2f\n"
+      "  root writer utilization: %.4f\n"
+      "  restarts/op: %.5f   link crossings/op: %.5f\n",
+      AlgorithmName(options.ParseAlgorithm()).c_str(), options.lambda,
+      search.count(), static_cast<unsigned long>(options.ops), search.mean(),
+      insert.mean(), del.mean(), p50.mean(), p95.mean(), p99.mean(),
+      rho.mean(), restarts / static_cast<double>(completed),
+      crossings / static_cast<double>(completed));
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: cbtree <analyze|sweep|compare|capacity|rules|"
+               "simulate> [flags]\nrun 'cbtree <cmd> --help' for flags\n");
+}
+
+}  // namespace
+}  // namespace cbtree
+
+int main(int argc, char** argv) {
+  using namespace cbtree;
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  std::string command = argv[1];
+  CommonOptions options;
+  FlagSet flags;
+  options.Register(&flags);
+  flags.Parse(argc - 1, argv + 1);
+  if (command == "analyze") return CmdAnalyze(options);
+  if (command == "sweep") return CmdSweep(options);
+  if (command == "compare") return CmdCompare(options);
+  if (command == "capacity") return CmdCapacity(options);
+  if (command == "rules") return CmdRules(options);
+  if (command == "simulate") return CmdSimulate(options);
+  Usage();
+  return 1;
+}
