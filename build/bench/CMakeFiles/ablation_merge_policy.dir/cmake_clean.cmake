@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_merge_policy.dir/ablation_merge_policy.cc.o"
+  "CMakeFiles/ablation_merge_policy.dir/ablation_merge_policy.cc.o.d"
+  "ablation_merge_policy"
+  "ablation_merge_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merge_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rw_queue.dir/ablation_rw_queue.cc.o"
+  "CMakeFiles/ablation_rw_queue.dir/ablation_rw_queue.cc.o.d"
+  "ablation_rw_queue"
+  "ablation_rw_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rw_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

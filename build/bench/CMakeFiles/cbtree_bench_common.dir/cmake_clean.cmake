@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbtree_bench_common.dir/figure_common.cc.o"
+  "CMakeFiles/cbtree_bench_common.dir/figure_common.cc.o.d"
+  "CMakeFiles/cbtree_bench_common.dir/recovery_figure.cc.o"
+  "CMakeFiles/cbtree_bench_common.dir/recovery_figure.cc.o.d"
+  "CMakeFiles/cbtree_bench_common.dir/response_figure.cc.o"
+  "CMakeFiles/cbtree_bench_common.dir/response_figure.cc.o.d"
+  "libcbtree_bench_common.a"
+  "libcbtree_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbtree_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

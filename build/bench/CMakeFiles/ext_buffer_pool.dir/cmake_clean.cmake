@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_buffer_pool.dir/ext_buffer_pool.cc.o"
+  "CMakeFiles/ext_buffer_pool.dir/ext_buffer_pool.cc.o.d"
+  "ext_buffer_pool"
+  "ext_buffer_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_buffer_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

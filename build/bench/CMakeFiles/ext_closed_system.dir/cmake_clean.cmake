@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_closed_system.dir/ext_closed_system.cc.o"
+  "CMakeFiles/ext_closed_system.dir/ext_closed_system.cc.o.d"
+  "ext_closed_system"
+  "ext_closed_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_closed_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mix_sensitivity.dir/ext_mix_sensitivity.cc.o"
+  "CMakeFiles/ext_mix_sensitivity.dir/ext_mix_sensitivity.cc.o.d"
+  "ext_mix_sensitivity"
+  "ext_mix_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mix_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

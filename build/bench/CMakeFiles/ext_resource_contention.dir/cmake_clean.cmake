@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_resource_contention.dir/ext_resource_contention.cc.o"
+  "CMakeFiles/ext_resource_contention.dir/ext_resource_contention.cc.o.d"
+  "ext_resource_contention"
+  "ext_resource_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_resource_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

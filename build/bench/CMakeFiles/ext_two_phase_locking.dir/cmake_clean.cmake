@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_two_phase_locking.dir/ext_two_phase_locking.cc.o"
+  "CMakeFiles/ext_two_phase_locking.dir/ext_two_phase_locking.cc.o.d"
+  "ext_two_phase_locking"
+  "ext_two_phase_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_two_phase_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_two_phase_locking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_naive_insert_response.dir/fig03_naive_insert_response.cc.o"
+  "CMakeFiles/fig03_naive_insert_response.dir/fig03_naive_insert_response.cc.o.d"
+  "fig03_naive_insert_response"
+  "fig03_naive_insert_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_naive_insert_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

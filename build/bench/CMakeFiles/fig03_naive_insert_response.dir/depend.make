@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_naive_insert_response.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_naive_search_response.dir/fig04_naive_search_response.cc.o"
+  "CMakeFiles/fig04_naive_search_response.dir/fig04_naive_search_response.cc.o.d"
+  "fig04_naive_search_response"
+  "fig04_naive_search_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_naive_search_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

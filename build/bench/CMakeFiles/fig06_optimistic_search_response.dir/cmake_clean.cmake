@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_optimistic_search_response.dir/fig06_optimistic_search_response.cc.o"
+  "CMakeFiles/fig06_optimistic_search_response.dir/fig06_optimistic_search_response.cc.o.d"
+  "fig06_optimistic_search_response"
+  "fig06_optimistic_search_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_optimistic_search_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

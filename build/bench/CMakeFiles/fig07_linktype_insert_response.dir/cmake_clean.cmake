@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_linktype_insert_response.dir/fig07_linktype_insert_response.cc.o"
+  "CMakeFiles/fig07_linktype_insert_response.dir/fig07_linktype_insert_response.cc.o.d"
+  "fig07_linktype_insert_response"
+  "fig07_linktype_insert_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_linktype_insert_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

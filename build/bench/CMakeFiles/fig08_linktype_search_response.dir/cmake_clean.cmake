@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_linktype_search_response.dir/fig08_linktype_search_response.cc.o"
+  "CMakeFiles/fig08_linktype_search_response.dir/fig08_linktype_search_response.cc.o.d"
+  "fig08_linktype_search_response"
+  "fig08_linktype_search_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_linktype_search_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

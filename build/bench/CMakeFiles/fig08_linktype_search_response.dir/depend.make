@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_linktype_search_response.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_link_crossing.dir/fig09_link_crossing.cc.o"
+  "CMakeFiles/fig09_link_crossing.dir/fig09_link_crossing.cc.o.d"
+  "fig09_link_crossing"
+  "fig09_link_crossing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_link_crossing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

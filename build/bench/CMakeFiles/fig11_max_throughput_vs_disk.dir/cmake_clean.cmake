@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_max_throughput_vs_disk.dir/fig11_max_throughput_vs_disk.cc.o"
+  "CMakeFiles/fig11_max_throughput_vs_disk.dir/fig11_max_throughput_vs_disk.cc.o.d"
+  "fig11_max_throughput_vs_disk"
+  "fig11_max_throughput_vs_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_max_throughput_vs_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_max_throughput_vs_disk.
+# This may be replaced when dependencies are built.

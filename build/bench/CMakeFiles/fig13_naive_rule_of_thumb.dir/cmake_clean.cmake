@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_naive_rule_of_thumb.dir/fig13_naive_rule_of_thumb.cc.o"
+  "CMakeFiles/fig13_naive_rule_of_thumb.dir/fig13_naive_rule_of_thumb.cc.o.d"
+  "fig13_naive_rule_of_thumb"
+  "fig13_naive_rule_of_thumb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_naive_rule_of_thumb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

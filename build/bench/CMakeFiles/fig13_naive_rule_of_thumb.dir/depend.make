@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_naive_rule_of_thumb.
+# This may be replaced when dependencies are built.

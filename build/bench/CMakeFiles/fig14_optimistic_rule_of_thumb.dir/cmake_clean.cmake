@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_optimistic_rule_of_thumb.dir/fig14_optimistic_rule_of_thumb.cc.o"
+  "CMakeFiles/fig14_optimistic_rule_of_thumb.dir/fig14_optimistic_rule_of_thumb.cc.o.d"
+  "fig14_optimistic_rule_of_thumb"
+  "fig14_optimistic_rule_of_thumb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_optimistic_rule_of_thumb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_recovery_node13.dir/fig15_recovery_node13.cc.o"
+  "CMakeFiles/fig15_recovery_node13.dir/fig15_recovery_node13.cc.o.d"
+  "fig15_recovery_node13"
+  "fig15_recovery_node13.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_recovery_node13.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_recovery_node59.dir/fig16_recovery_node59.cc.o"
+  "CMakeFiles/fig16_recovery_node59.dir/fig16_recovery_node59.cc.o.d"
+  "fig16_recovery_node59"
+  "fig16_recovery_node59.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_recovery_node59.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

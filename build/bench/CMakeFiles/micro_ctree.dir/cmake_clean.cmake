@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ctree.dir/micro_ctree.cc.o"
+  "CMakeFiles/micro_ctree.dir/micro_ctree.cc.o.d"
+  "micro_ctree"
+  "micro_ctree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ctree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

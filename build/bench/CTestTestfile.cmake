@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_fig11_smoke "/root/repo/build/bench/fig11_max_throughput_vs_disk" "--csv")
+set_tests_properties(bench_fig11_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;49;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig13_smoke "/root/repo/build/bench/fig13_naive_rule_of_thumb" "--csv")
+set_tests_properties(bench_fig13_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;50;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig14_smoke "/root/repo/build/bench/fig14_optimistic_rule_of_thumb" "--csv")
+set_tests_properties(bench_fig14_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;51;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig03_smoke "/root/repo/build/bench/fig03_naive_insert_response" "--seeds=1" "--ops=2000" "--warmup=200" "--items=4000" "--points=3")
+set_tests_properties(bench_fig03_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;52;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig12_smoke "/root/repo/build/bench/fig12_algorithm_comparison" "--sim=false" "--points=4")
+set_tests_properties(bench_fig12_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;55;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig15_smoke "/root/repo/build/bench/fig15_recovery_node13" "--sim=false" "--points=4")
+set_tests_properties(bench_fig15_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;57;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_ext_mix_smoke "/root/repo/build/bench/ext_mix_sensitivity" "--csv")
+set_tests_properties(bench_ext_mix_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;59;add_test;/root/repo/bench/CMakeLists.txt;0;")

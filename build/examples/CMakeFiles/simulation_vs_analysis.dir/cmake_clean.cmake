@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulation_vs_analysis.dir/simulation_vs_analysis.cpp.o"
+  "CMakeFiles/simulation_vs_analysis.dir/simulation_vs_analysis.cpp.o.d"
+  "simulation_vs_analysis"
+  "simulation_vs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulation_vs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_btree_demo.dir/threaded_btree_demo.cpp.o"
+  "CMakeFiles/threaded_btree_demo.dir/threaded_btree_demo.cpp.o.d"
+  "threaded_btree_demo"
+  "threaded_btree_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_btree_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btree/btree.cc" "src/btree/CMakeFiles/cbtree_btree.dir/btree.cc.o" "gcc" "src/btree/CMakeFiles/cbtree_btree.dir/btree.cc.o.d"
+  "/root/repo/src/btree/bulk_load.cc" "src/btree/CMakeFiles/cbtree_btree.dir/bulk_load.cc.o" "gcc" "src/btree/CMakeFiles/cbtree_btree.dir/bulk_load.cc.o.d"
+  "/root/repo/src/btree/node_store.cc" "src/btree/CMakeFiles/cbtree_btree.dir/node_store.cc.o" "gcc" "src/btree/CMakeFiles/cbtree_btree.dir/node_store.cc.o.d"
+  "/root/repo/src/btree/tree_stats.cc" "src/btree/CMakeFiles/cbtree_btree.dir/tree_stats.cc.o" "gcc" "src/btree/CMakeFiles/cbtree_btree.dir/tree_stats.cc.o.d"
+  "/root/repo/src/btree/validate.cc" "src/btree/CMakeFiles/cbtree_btree.dir/validate.cc.o" "gcc" "src/btree/CMakeFiles/cbtree_btree.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cbtree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbtree_btree.dir/btree.cc.o"
+  "CMakeFiles/cbtree_btree.dir/btree.cc.o.d"
+  "CMakeFiles/cbtree_btree.dir/bulk_load.cc.o"
+  "CMakeFiles/cbtree_btree.dir/bulk_load.cc.o.d"
+  "CMakeFiles/cbtree_btree.dir/node_store.cc.o"
+  "CMakeFiles/cbtree_btree.dir/node_store.cc.o.d"
+  "CMakeFiles/cbtree_btree.dir/tree_stats.cc.o"
+  "CMakeFiles/cbtree_btree.dir/tree_stats.cc.o.d"
+  "CMakeFiles/cbtree_btree.dir/validate.cc.o"
+  "CMakeFiles/cbtree_btree.dir/validate.cc.o.d"
+  "libcbtree_btree.a"
+  "libcbtree_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbtree_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

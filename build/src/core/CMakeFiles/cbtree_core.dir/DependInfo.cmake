@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyzer.cc" "src/core/CMakeFiles/cbtree_core.dir/analyzer.cc.o" "gcc" "src/core/CMakeFiles/cbtree_core.dir/analyzer.cc.o.d"
+  "/root/repo/src/core/buffer_model.cc" "src/core/CMakeFiles/cbtree_core.dir/buffer_model.cc.o" "gcc" "src/core/CMakeFiles/cbtree_core.dir/buffer_model.cc.o.d"
+  "/root/repo/src/core/level_solver.cc" "src/core/CMakeFiles/cbtree_core.dir/level_solver.cc.o" "gcc" "src/core/CMakeFiles/cbtree_core.dir/level_solver.cc.o.d"
+  "/root/repo/src/core/linktype_model.cc" "src/core/CMakeFiles/cbtree_core.dir/linktype_model.cc.o" "gcc" "src/core/CMakeFiles/cbtree_core.dir/linktype_model.cc.o.d"
+  "/root/repo/src/core/naive_model.cc" "src/core/CMakeFiles/cbtree_core.dir/naive_model.cc.o" "gcc" "src/core/CMakeFiles/cbtree_core.dir/naive_model.cc.o.d"
+  "/root/repo/src/core/optimistic_model.cc" "src/core/CMakeFiles/cbtree_core.dir/optimistic_model.cc.o" "gcc" "src/core/CMakeFiles/cbtree_core.dir/optimistic_model.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/core/CMakeFiles/cbtree_core.dir/params.cc.o" "gcc" "src/core/CMakeFiles/cbtree_core.dir/params.cc.o.d"
+  "/root/repo/src/core/resource_contention.cc" "src/core/CMakeFiles/cbtree_core.dir/resource_contention.cc.o" "gcc" "src/core/CMakeFiles/cbtree_core.dir/resource_contention.cc.o.d"
+  "/root/repo/src/core/rules_of_thumb.cc" "src/core/CMakeFiles/cbtree_core.dir/rules_of_thumb.cc.o" "gcc" "src/core/CMakeFiles/cbtree_core.dir/rules_of_thumb.cc.o.d"
+  "/root/repo/src/core/rw_queue.cc" "src/core/CMakeFiles/cbtree_core.dir/rw_queue.cc.o" "gcc" "src/core/CMakeFiles/cbtree_core.dir/rw_queue.cc.o.d"
+  "/root/repo/src/core/staged_server.cc" "src/core/CMakeFiles/cbtree_core.dir/staged_server.cc.o" "gcc" "src/core/CMakeFiles/cbtree_core.dir/staged_server.cc.o.d"
+  "/root/repo/src/core/two_phase_model.cc" "src/core/CMakeFiles/cbtree_core.dir/two_phase_model.cc.o" "gcc" "src/core/CMakeFiles/cbtree_core.dir/two_phase_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cbtree_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cbtree_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

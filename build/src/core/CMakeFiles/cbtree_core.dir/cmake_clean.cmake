@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbtree_core.dir/analyzer.cc.o"
+  "CMakeFiles/cbtree_core.dir/analyzer.cc.o.d"
+  "CMakeFiles/cbtree_core.dir/buffer_model.cc.o"
+  "CMakeFiles/cbtree_core.dir/buffer_model.cc.o.d"
+  "CMakeFiles/cbtree_core.dir/level_solver.cc.o"
+  "CMakeFiles/cbtree_core.dir/level_solver.cc.o.d"
+  "CMakeFiles/cbtree_core.dir/linktype_model.cc.o"
+  "CMakeFiles/cbtree_core.dir/linktype_model.cc.o.d"
+  "CMakeFiles/cbtree_core.dir/naive_model.cc.o"
+  "CMakeFiles/cbtree_core.dir/naive_model.cc.o.d"
+  "CMakeFiles/cbtree_core.dir/optimistic_model.cc.o"
+  "CMakeFiles/cbtree_core.dir/optimistic_model.cc.o.d"
+  "CMakeFiles/cbtree_core.dir/params.cc.o"
+  "CMakeFiles/cbtree_core.dir/params.cc.o.d"
+  "CMakeFiles/cbtree_core.dir/resource_contention.cc.o"
+  "CMakeFiles/cbtree_core.dir/resource_contention.cc.o.d"
+  "CMakeFiles/cbtree_core.dir/rules_of_thumb.cc.o"
+  "CMakeFiles/cbtree_core.dir/rules_of_thumb.cc.o.d"
+  "CMakeFiles/cbtree_core.dir/rw_queue.cc.o"
+  "CMakeFiles/cbtree_core.dir/rw_queue.cc.o.d"
+  "CMakeFiles/cbtree_core.dir/staged_server.cc.o"
+  "CMakeFiles/cbtree_core.dir/staged_server.cc.o.d"
+  "CMakeFiles/cbtree_core.dir/two_phase_model.cc.o"
+  "CMakeFiles/cbtree_core.dir/two_phase_model.cc.o.d"
+  "libcbtree_core.a"
+  "libcbtree_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbtree_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctree/blink_tree.cc" "src/ctree/CMakeFiles/cbtree_ctree.dir/blink_tree.cc.o" "gcc" "src/ctree/CMakeFiles/cbtree_ctree.dir/blink_tree.cc.o.d"
+  "/root/repo/src/ctree/cnode.cc" "src/ctree/CMakeFiles/cbtree_ctree.dir/cnode.cc.o" "gcc" "src/ctree/CMakeFiles/cbtree_ctree.dir/cnode.cc.o.d"
+  "/root/repo/src/ctree/ctree.cc" "src/ctree/CMakeFiles/cbtree_ctree.dir/ctree.cc.o" "gcc" "src/ctree/CMakeFiles/cbtree_ctree.dir/ctree.cc.o.d"
+  "/root/repo/src/ctree/lock_coupling_tree.cc" "src/ctree/CMakeFiles/cbtree_ctree.dir/lock_coupling_tree.cc.o" "gcc" "src/ctree/CMakeFiles/cbtree_ctree.dir/lock_coupling_tree.cc.o.d"
+  "/root/repo/src/ctree/optimistic_tree.cc" "src/ctree/CMakeFiles/cbtree_ctree.dir/optimistic_tree.cc.o" "gcc" "src/ctree/CMakeFiles/cbtree_ctree.dir/optimistic_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cbtree_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/cbtree_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cbtree_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cbtree_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

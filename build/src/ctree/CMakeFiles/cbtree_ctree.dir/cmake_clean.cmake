@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbtree_ctree.dir/blink_tree.cc.o"
+  "CMakeFiles/cbtree_ctree.dir/blink_tree.cc.o.d"
+  "CMakeFiles/cbtree_ctree.dir/cnode.cc.o"
+  "CMakeFiles/cbtree_ctree.dir/cnode.cc.o.d"
+  "CMakeFiles/cbtree_ctree.dir/ctree.cc.o"
+  "CMakeFiles/cbtree_ctree.dir/ctree.cc.o.d"
+  "CMakeFiles/cbtree_ctree.dir/lock_coupling_tree.cc.o"
+  "CMakeFiles/cbtree_ctree.dir/lock_coupling_tree.cc.o.d"
+  "CMakeFiles/cbtree_ctree.dir/optimistic_tree.cc.o"
+  "CMakeFiles/cbtree_ctree.dir/optimistic_tree.cc.o.d"
+  "libcbtree_ctree.a"
+  "libcbtree_ctree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbtree_ctree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcbtree_ctree.a"
+)

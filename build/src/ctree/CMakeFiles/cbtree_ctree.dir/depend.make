@@ -1,0 +1,2 @@
+# Empty dependencies file for cbtree_ctree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/buffer_pool.cc" "src/sim/CMakeFiles/cbtree_sim.dir/buffer_pool.cc.o" "gcc" "src/sim/CMakeFiles/cbtree_sim.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/cbtree_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/cbtree_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/linktype_ops.cc" "src/sim/CMakeFiles/cbtree_sim.dir/linktype_ops.cc.o" "gcc" "src/sim/CMakeFiles/cbtree_sim.dir/linktype_ops.cc.o.d"
+  "/root/repo/src/sim/lock_manager.cc" "src/sim/CMakeFiles/cbtree_sim.dir/lock_manager.cc.o" "gcc" "src/sim/CMakeFiles/cbtree_sim.dir/lock_manager.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/cbtree_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/cbtree_sim.dir/metrics.cc.o.d"
+  "/root/repo/src/sim/naive_ops.cc" "src/sim/CMakeFiles/cbtree_sim.dir/naive_ops.cc.o" "gcc" "src/sim/CMakeFiles/cbtree_sim.dir/naive_ops.cc.o.d"
+  "/root/repo/src/sim/operation.cc" "src/sim/CMakeFiles/cbtree_sim.dir/operation.cc.o" "gcc" "src/sim/CMakeFiles/cbtree_sim.dir/operation.cc.o.d"
+  "/root/repo/src/sim/optimistic_ops.cc" "src/sim/CMakeFiles/cbtree_sim.dir/optimistic_ops.cc.o" "gcc" "src/sim/CMakeFiles/cbtree_sim.dir/optimistic_ops.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/cbtree_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/cbtree_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/two_phase_ops.cc" "src/sim/CMakeFiles/cbtree_sim.dir/two_phase_ops.cc.o" "gcc" "src/sim/CMakeFiles/cbtree_sim.dir/two_phase_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cbtree_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cbtree_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/cbtree_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cbtree_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cbtree_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbtree_sim.dir/buffer_pool.cc.o"
+  "CMakeFiles/cbtree_sim.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/cbtree_sim.dir/event_queue.cc.o"
+  "CMakeFiles/cbtree_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/cbtree_sim.dir/linktype_ops.cc.o"
+  "CMakeFiles/cbtree_sim.dir/linktype_ops.cc.o.d"
+  "CMakeFiles/cbtree_sim.dir/lock_manager.cc.o"
+  "CMakeFiles/cbtree_sim.dir/lock_manager.cc.o.d"
+  "CMakeFiles/cbtree_sim.dir/metrics.cc.o"
+  "CMakeFiles/cbtree_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/cbtree_sim.dir/naive_ops.cc.o"
+  "CMakeFiles/cbtree_sim.dir/naive_ops.cc.o.d"
+  "CMakeFiles/cbtree_sim.dir/operation.cc.o"
+  "CMakeFiles/cbtree_sim.dir/operation.cc.o.d"
+  "CMakeFiles/cbtree_sim.dir/optimistic_ops.cc.o"
+  "CMakeFiles/cbtree_sim.dir/optimistic_ops.cc.o.d"
+  "CMakeFiles/cbtree_sim.dir/simulator.cc.o"
+  "CMakeFiles/cbtree_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/cbtree_sim.dir/two_phase_ops.cc.o"
+  "CMakeFiles/cbtree_sim.dir/two_phase_ops.cc.o.d"
+  "libcbtree_sim.a"
+  "libcbtree_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbtree_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

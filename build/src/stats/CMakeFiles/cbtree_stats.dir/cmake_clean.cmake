@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbtree_stats.dir/accumulator.cc.o"
+  "CMakeFiles/cbtree_stats.dir/accumulator.cc.o.d"
+  "CMakeFiles/cbtree_stats.dir/distributions.cc.o"
+  "CMakeFiles/cbtree_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/cbtree_stats.dir/rng.cc.o"
+  "CMakeFiles/cbtree_stats.dir/rng.cc.o.d"
+  "CMakeFiles/cbtree_stats.dir/solver.cc.o"
+  "CMakeFiles/cbtree_stats.dir/solver.cc.o.d"
+  "libcbtree_stats.a"
+  "libcbtree_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbtree_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbtree_util.dir/flags.cc.o"
+  "CMakeFiles/cbtree_util.dir/flags.cc.o.d"
+  "CMakeFiles/cbtree_util.dir/table.cc.o"
+  "CMakeFiles/cbtree_util.dir/table.cc.o.d"
+  "libcbtree_util.a"
+  "libcbtree_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbtree_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

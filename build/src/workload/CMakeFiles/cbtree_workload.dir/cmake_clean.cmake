@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbtree_workload.dir/workload.cc.o"
+  "CMakeFiles/cbtree_workload.dir/workload.cc.o.d"
+  "libcbtree_workload.a"
+  "libcbtree_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbtree_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btree_property_test.dir/btree_property_test.cc.o"
+  "CMakeFiles/btree_property_test.dir/btree_property_test.cc.o.d"
+  "btree_property_test"
+  "btree_property_test.pdb"
+  "btree_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btree_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_model_test.dir/recovery_model_test.cc.o"
+  "CMakeFiles/recovery_model_test.dir/recovery_model_test.cc.o.d"
+  "recovery_model_test"
+  "recovery_model_test.pdb"
+  "recovery_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

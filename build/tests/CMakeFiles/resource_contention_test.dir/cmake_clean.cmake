@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_contention_test.dir/resource_contention_test.cc.o"
+  "CMakeFiles/resource_contention_test.dir/resource_contention_test.cc.o.d"
+  "resource_contention_test"
+  "resource_contention_test.pdb"
+  "resource_contention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_contention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_queue_test.dir/rw_queue_test.cc.o"
+  "CMakeFiles/rw_queue_test.dir/rw_queue_test.cc.o.d"
+  "rw_queue_test"
+  "rw_queue_test.pdb"
+  "rw_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

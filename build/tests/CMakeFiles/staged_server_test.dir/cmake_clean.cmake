@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staged_server_test.dir/staged_server_test.cc.o"
+  "CMakeFiles/staged_server_test.dir/staged_server_test.cc.o.d"
+  "staged_server_test"
+  "staged_server_test.pdb"
+  "staged_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staged_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_property_test[1]_include.cmake")
+include("/root/repo/build/tests/rw_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/staged_server_test[1]_include.cmake")
+include("/root/repo/build/tests/params_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/rules_of_thumb_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_model_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_vs_model_test[1]_include.cmake")
+include("/root/repo/build/tests/ctree_test[1]_include.cmake")
+include("/root/repo/build/tests/two_phase_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_model_test[1]_include.cmake")
+include("/root/repo/build/tests/resource_contention_test[1]_include.cmake")
+include("/root/repo/build/tests/bulk_load_test[1]_include.cmake")
+include("/root/repo/build/tests/model_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/validate_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_internals_test[1]_include.cmake")
+include("/root/repo/build/tests/contract_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbtree_cli.dir/cbtree_cli.cc.o"
+  "CMakeFiles/cbtree_cli.dir/cbtree_cli.cc.o.d"
+  "cbtree"
+  "cbtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbtree_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
