@@ -30,10 +30,13 @@ int main(int argc, char** argv) {
 
   Table table({"lambda", "sim_crossings_per_op", "sim_restarts_per_op",
                "sim_insert_resp"});
-  for (double lambda :
-       LambdaGrid(max_rate, options.sweep_points, /*max_fraction=*/0.5)) {
-    SimPoint point = RunSimPoint(options, Algorithm::kLinkType, lambda);
-    table.NewRow().Add(lambda);
+  std::vector<double> lambdas =
+      LambdaGrid(max_rate, options.sweep_points, /*max_fraction=*/0.5);
+  std::vector<SimPoint> points =
+      RunSimPoints(options, Algorithm::kLinkType, lambdas);
+  for (size_t i = 0; i < lambdas.size(); ++i) {
+    const SimPoint& point = points[i];
+    table.NewRow().Add(lambdas[i]);
     AddSimCell(&table, point, &SimPoint::crossings_per_op);
     AddSimCell(&table, point, &SimPoint::restarts_per_op);
     AddSimCell(&table, point, &SimPoint::insert);

@@ -18,6 +18,8 @@ void FigureOptions::Register(FlagSet* flags) {
   flags->Register("qi", &q_i, "insert fraction");
   flags->Register("qd", &q_d, "delete fraction");
   flags->Register("points", &sweep_points, "operating points per curve");
+  flags->Register("jobs", &jobs,
+                  "parallel jobs (0 = one per hardware thread, 1 = serial)");
 }
 
 void FigureOptions::Parse(int argc, char** argv) {
@@ -52,29 +54,26 @@ SimConfig MakeSimConfig(const FigureOptions& options, Algorithm algorithm,
 
 SimPoint RunSimPoint(const FigureOptions& options, Algorithm algorithm,
                      double lambda, RecoveryConfig recovery) {
-  SimPoint point;
-  point.ok = true;
-  for (int seed = 1; seed <= options.seeds; ++seed) {
-    SimConfig config = MakeSimConfig(options, algorithm, lambda, seed);
-    config.recovery = recovery;
-    Simulator sim(config);
-    SimResult result = sim.Run();
-    if (result.saturated) {
-      point.ok = false;
-      return point;
+  return RunSimPoints(options, algorithm, {lambda}, recovery).front();
+}
+
+std::vector<SimPoint> RunSimPoints(const FigureOptions& options,
+                                   Algorithm algorithm,
+                                   const std::vector<double>& lambdas,
+                                   RecoveryConfig recovery) {
+  std::vector<std::vector<SimConfig>> grid;
+  grid.reserve(lambdas.size());
+  for (double lambda : lambdas) {
+    std::vector<SimConfig> seeds;
+    seeds.reserve(options.seeds);
+    for (int seed = 1; seed <= options.seeds; ++seed) {
+      SimConfig config = MakeSimConfig(options, algorithm, lambda, seed);
+      config.recovery = recovery;
+      seeds.push_back(config);
     }
-    point.search.Add(result.resp_search.mean());
-    point.insert.Add(result.resp_insert.mean());
-    point.del.Add(result.resp_delete.mean());
-    point.all.Add(result.resp_all.mean());
-    point.root_utilization.Add(result.root_writer_utilization);
-    double measured = static_cast<double>(result.completed);
-    if (measured > 0) {
-      point.crossings_per_op.Add(result.link_crossings / measured);
-      point.restarts_per_op.Add(result.restarts / measured);
-    }
+    grid.push_back(std::move(seeds));
   }
-  return point;
+  return runner::RunSimGrid(grid, options.jobs).points;
 }
 
 std::vector<double> LambdaGrid(double max_rate, int points,

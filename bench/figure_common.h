@@ -14,6 +14,7 @@
 
 #include "core/analyzer.h"
 #include "core/optimistic_model.h"
+#include "runner/experiment.h"
 #include "sim/simulator.h"
 #include "stats/accumulator.h"
 #include "util/flags.h"
@@ -37,6 +38,7 @@ struct FigureOptions {
   double q_i = 0.5;
   double q_d = 0.2;
   int sweep_points = 8;  ///< operating points per curve
+  int jobs = 0;          ///< parallel jobs; 0 = one per hardware thread
 
   OperationMix mix() const { return OperationMix{q_s, q_i, q_d}; }
 
@@ -55,19 +57,20 @@ SimConfig MakeSimConfig(const FigureOptions& options, Algorithm algorithm,
 
 /// One simulated operating point, aggregated over `options.seeds` seeds
 /// (each seed contributes its mean, as the paper's per-seed runs do).
-struct SimPoint {
-  bool ok = false;  ///< every seed ran to completion without saturating
-  Accumulator search;
-  Accumulator insert;
-  Accumulator del;
-  Accumulator all;
-  Accumulator root_utilization;
-  Accumulator crossings_per_op;
-  Accumulator restarts_per_op;
-};
+/// point.ok means every seed ran to completion without saturating.
+using SimPoint = runner::SimPoint;
 
 SimPoint RunSimPoint(const FigureOptions& options, Algorithm algorithm,
                      double lambda, RecoveryConfig recovery = {});
+
+/// Runs a whole curve at once: every (lambda, seed) pair is one job on the
+/// runner's pool (options.jobs workers), and each point's seeds are merged
+/// in seed order — the result is identical to calling RunSimPoint per
+/// lambda, at a fraction of the wall-clock.
+std::vector<SimPoint> RunSimPoints(const FigureOptions& options,
+                                   Algorithm algorithm,
+                                   const std::vector<double>& lambdas,
+                                   RecoveryConfig recovery = {});
 
 /// Arrival-rate grid from ~0 up to max_fraction * max_rate.
 std::vector<double> LambdaGrid(double max_rate, int points,

@@ -35,7 +35,19 @@ int RunRecoveryFigure(int argc, char** argv, const std::string& title,
   Table table({"lambda", "model_no_recovery", "model_leaf_only",
                "model_naive_recovery", "sim_no_recovery", "sim_leaf_only",
                "sim_naive_recovery"});
-  for (double lambda : LambdaGrid(naive_max, options.sweep_points, 0.95)) {
+  std::vector<double> lambdas =
+      LambdaGrid(naive_max, options.sweep_points, 0.95);
+  // One simulated curve per recovery policy, each fanned out on the runner.
+  std::vector<std::vector<SimPoint>> sim_curves;
+  if (options.run_sim) {
+    for (OptimisticDescentModel* model : {&none, &leaf, &naive}) {
+      sim_curves.push_back(RunSimPoints(
+          options, Algorithm::kOptimisticDescent, lambdas,
+          model->recovery()));
+    }
+  }
+  for (size_t i = 0; i < lambdas.size(); ++i) {
+    double lambda = lambdas[i];
     table.NewRow().Add(lambda);
     for (OptimisticDescentModel* model : {&none, &leaf, &naive}) {
       AnalysisResult analysis = model->Analyze(lambda);
@@ -45,14 +57,12 @@ int RunRecoveryFigure(int argc, char** argv, const std::string& title,
         table.AddNA();
       }
     }
-    for (OptimisticDescentModel* model : {&none, &leaf, &naive}) {
+    for (size_t curve = 0; curve < 3; ++curve) {
       if (!options.run_sim) {
         table.AddNA();
         continue;
       }
-      SimPoint point = RunSimPoint(options, Algorithm::kOptimisticDescent,
-                                   lambda, model->recovery());
-      AddSimCell(&table, point, &SimPoint::insert);
+      AddSimCell(&table, sim_curves[curve][i], &SimPoint::insert);
     }
   }
   table.Print(std::cout, options.csv);

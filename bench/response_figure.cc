@@ -29,8 +29,15 @@ int RunResponseFigure(int argc, char** argv, const std::string& title,
   Table table({"lambda", std::string("model_") + which + "_resp",
                std::string("sim_") + which + "_resp", "sim_ci95",
                "model_root_rho_w"});
-  for (double lambda : LambdaGrid(max_rate, options.sweep_points,
-                                  max_fraction)) {
+  std::vector<double> lambdas =
+      LambdaGrid(max_rate, options.sweep_points, max_fraction);
+  // All (lambda, seed) simulator replicas go through the runner at once.
+  std::vector<SimPoint> sim_points;
+  if (options.run_sim) {
+    sim_points = RunSimPoints(options, algorithm, lambdas);
+  }
+  for (size_t i = 0; i < lambdas.size(); ++i) {
+    double lambda = lambdas[i];
     AnalysisResult analysis = analyzer->Analyze(lambda);
     table.NewRow().Add(lambda);
     double model_resp = kind == ResponseKind::kSearch ? analysis.per_search
@@ -41,7 +48,7 @@ int RunResponseFigure(int argc, char** argv, const std::string& title,
       table.AddNA();
     }
     if (options.run_sim) {
-      SimPoint point = RunSimPoint(options, algorithm, lambda);
+      const SimPoint& point = sim_points[i];
       const Accumulator& acc =
           kind == ResponseKind::kSearch ? point.search : point.insert;
       if (point.ok) {

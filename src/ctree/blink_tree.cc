@@ -135,10 +135,14 @@ bool BLinkTree::Insert(Key key, Value value) {
     int level = cur->level;
     Key separator;
     CNode* right = cnode::HalfSplit(cur, arena(), &separator);
+    // Capture the sibling's bound while `cur`'s latch still makes it
+    // unreachable; after the unlock, writers arriving over the right link
+    // may split `right` and rewrite its high key concurrently.
+    Key right_high = right->high_key;
     cur->latch.unlock();
     // Post the separator one level up; at most one latch is ever held.
     cur = LockTargetForSeparator(level + 1, separator, anchors);
-    cnode::InsertSplitEntry(cur, separator, right);
+    cnode::InsertSplitEntry(cur, separator, right, right_high);
   }
   cur->latch.unlock();
   return inserted;

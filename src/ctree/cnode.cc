@@ -97,7 +97,8 @@ void SplitRootInPlace(CNode* root, CNodeArena* arena) {
   root->values.clear();
 }
 
-void InsertSplitEntry(CNode* parent, Key separator, CNode* right) {
+void InsertSplitEntry(CNode* parent, Key separator, CNode* right,
+                      Key right_high_key) {
   CBTREE_DCHECK(!parent->is_leaf());
   CBTREE_CHECK_LT(separator, kInfKey);
   CBTREE_CHECK_LE(separator, parent->high_key);
@@ -107,11 +108,15 @@ void InsertSplitEntry(CNode* parent, Key separator, CNode* right) {
   CBTREE_CHECK_NE(*it, separator) << "duplicate separator";
   size_t idx = it - parent->keys.begin();
   Key old_bound = parent->keys[idx];
-  // When two half-splits of the same node post to the parent out of order,
-  // the later-created sibling is posted first and receives the full old
-  // bound while only covering a prefix of it — its right link covers the
-  // rest (Lehman & Yao's delayed-update tolerance). Hence <=, not ==.
-  CBTREE_CHECK_LE(right->high_key, old_bound) << "split bound mismatch";
+  // `right_high_key` is the sibling's bound captured at split time: a
+  // B-link poster no longer latches `right` when it reaches the parent
+  // (`right` may itself be splitting), so `right->high_key` must not be
+  // re-read here. Out-of-order posts (Lehman & Yao's delayed-update
+  // tolerance) mean the captured bound can land on either side of the
+  // entry being cut — a later-created sibling posted first receives the
+  // full old bound while covering only a prefix of it — so the only
+  // order-free invariant is that the sibling covered a non-empty range.
+  CBTREE_CHECK_LT(separator, right_high_key) << "empty split range";
   parent->keys[idx] = separator;
   parent->keys.insert(parent->keys.begin() + idx + 1, old_bound);
   parent->children.insert(parent->children.begin() + idx + 1, right);

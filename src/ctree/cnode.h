@@ -76,8 +76,11 @@ void SplitRootInPlace(CNode* root, CNodeArena* arena);
 
 /// Posts a split into the parent: cut the covering entry at `separator` and
 /// insert `right` after it (may overflow by one entry). Requires
-/// separator <= parent->high_key.
-void InsertSplitEntry(CNode* parent, Key separator, CNode* right);
+/// separator <= parent->high_key. `right_high_key` is the sibling's high
+/// key captured while it was still latched/private — callers that release
+/// the split node before posting (B-link) cannot safely re-read it.
+void InsertSplitEntry(CNode* parent, Key separator, CNode* right,
+                      Key right_high_key);
 
 }  // namespace cnode
 }  // namespace cbtree

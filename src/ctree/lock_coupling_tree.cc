@@ -58,7 +58,7 @@ bool LockCouplingTree::CoupledInsert(Key key, Value value) {
     CBTREE_CHECK_GT(i, 0u) << "overflow without a retained parent";
     Key separator;
     CNode* right = cnode::HalfSplit(cur, arena(), &separator);
-    cnode::InsertSplitEntry(chain[i - 1], separator, right);
+    cnode::InsertSplitEntry(chain[i - 1], separator, right, right->high_key);
   }
   for (CNode* held : chain) held->latch.unlock();
   return inserted;

@@ -1,0 +1,240 @@
+#include "runner/experiment.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace cbtree {
+namespace runner {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// JSON scalar emission. %.17g round-trips every finite double and formats
+// identically for identical bits, which is what keeps --jobs out of the
+// output; JSON has no Inf/NaN, so non-finite values become null.
+void AppendJsonDouble(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    out->append("null");
+    return;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out->append(buffer);
+}
+
+void AppendField(std::string* out, const char* name, double value) {
+  out->push_back('"');
+  out->append(name);
+  out->append("\":");
+  AppendJsonDouble(out, value);
+}
+
+void AppendAccumulator(std::string* out, const char* name,
+                       const Accumulator& acc) {
+  out->push_back('"');
+  out->append(name);
+  out->append("\":{");
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "\"count\":%zu,", acc.count());
+  out->append(buffer);
+  AppendField(out, "mean", acc.mean());
+  out->push_back(',');
+  AppendField(out, "stddev", acc.stddev());
+  out->push_back(',');
+  AppendField(out, "ci95", acc.ci95_halfwidth());
+  out->push_back('}');
+}
+
+void AppendTiming(std::string* out, int jobs, double wall_seconds,
+                  const std::vector<double>& point_seconds) {
+  out->append(",\"timing\":{");
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "\"jobs\":%d,", jobs);
+  out->append(buffer);
+  AppendField(out, "wall_seconds", wall_seconds);
+  out->append(",\"point_seconds\":[");
+  for (size_t i = 0; i < point_seconds.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendJsonDouble(out, point_seconds[i]);
+  }
+  out->append("]}");
+}
+
+}  // namespace
+
+int EffectiveJobs(int jobs) {
+  return jobs >= 1 ? jobs : ThreadPool::DefaultJobs();
+}
+
+SweepRun RunAnalyticalSweep(const Analyzer& analyzer,
+                            const std::vector<double>& lambdas, int jobs) {
+  SweepRun run;
+  run.algorithm = analyzer.name();
+  run.jobs = EffectiveJobs(jobs);
+  auto start = std::chrono::steady_clock::now();
+  run.points = ParallelMap(lambdas.size(), run.jobs, [&](size_t i) {
+    auto point_start = std::chrono::steady_clock::now();
+    SweepPoint point;
+    point.lambda = lambdas[i];
+    point.analysis = analyzer.Analyze(lambdas[i]);
+    point.seconds = Seconds(point_start);
+    return point;
+  });
+  run.wall_seconds = Seconds(start);
+  return run;
+}
+
+SeedStats ReduceSeed(const SimResult& result) {
+  SeedStats stats;
+  stats.saturated = result.saturated;
+  if (stats.saturated) return stats;
+  stats.search = result.resp_search.mean();
+  stats.insert = result.resp_insert.mean();
+  stats.del = result.resp_delete.mean();
+  stats.all = result.resp_all.mean();
+  stats.root_utilization = result.root_writer_utilization;
+  if (result.completed > 0) {
+    stats.has_per_op = true;
+    double measured = static_cast<double>(result.completed);
+    stats.crossings_per_op = result.link_crossings / measured;
+    stats.restarts_per_op = result.restarts / measured;
+  }
+  return stats;
+}
+
+SimPoint MergeSeedStats(const std::vector<SeedStats>& seeds) {
+  SimPoint point;
+  point.ok = true;
+  for (const SeedStats& stats : seeds) {
+    point.seconds += stats.seconds;
+    if (stats.saturated) point.ok = false;
+  }
+  if (!point.ok) return point;  // accumulators stay empty, as serial did
+  for (const SeedStats& stats : seeds) {
+    point.search.Add(stats.search);
+    point.insert.Add(stats.insert);
+    point.del.Add(stats.del);
+    point.all.Add(stats.all);
+    point.root_utilization.Add(stats.root_utilization);
+    if (stats.has_per_op) {
+      point.crossings_per_op.Add(stats.crossings_per_op);
+      point.restarts_per_op.Add(stats.restarts_per_op);
+    }
+  }
+  return point;
+}
+
+SimGridRun RunSimGrid(const std::vector<std::vector<SimConfig>>& grid,
+                      int jobs) {
+  SimGridRun run;
+  run.jobs = EffectiveJobs(jobs);
+  auto start = std::chrono::steady_clock::now();
+
+  // Flatten to one job per (point, seed) so a slow point cannot leave
+  // workers idle while another still has seeds queued.
+  std::vector<std::pair<size_t, size_t>> flat;
+  for (size_t p = 0; p < grid.size(); ++p) {
+    CBTREE_CHECK_GE(grid[p].size(), 1u) << "point " << p << " has no seeds";
+    for (size_t s = 0; s < grid[p].size(); ++s) flat.emplace_back(p, s);
+  }
+  std::vector<SeedStats> outcomes =
+      ParallelMap(flat.size(), run.jobs, [&](size_t i) {
+        auto [p, s] = flat[i];
+        auto seed_start = std::chrono::steady_clock::now();
+        SeedStats stats = ReduceSeed(Simulator(grid[p][s]).Run());
+        stats.seconds = Seconds(seed_start);
+        return stats;
+      });
+
+  run.points.reserve(grid.size());
+  size_t offset = 0;
+  for (size_t p = 0; p < grid.size(); ++p) {
+    std::vector<SeedStats> seeds(outcomes.begin() + offset,
+                                 outcomes.begin() + offset + grid[p].size());
+    offset += grid[p].size();
+    run.points.push_back(MergeSeedStats(seeds));
+  }
+  run.wall_seconds = Seconds(start);
+  return run;
+}
+
+void WriteSweepJson(std::ostream& out, const SweepRun& run,
+                    bool include_timing) {
+  std::string json;
+  json.append("{\"kind\":\"sweep\",\"algorithm\":\"");
+  json.append(run.algorithm);
+  json.append("\",\"points\":[");
+  std::vector<double> point_seconds;
+  point_seconds.reserve(run.points.size());
+  for (size_t i = 0; i < run.points.size(); ++i) {
+    const SweepPoint& point = run.points[i];
+    point_seconds.push_back(point.seconds);
+    if (i > 0) json.push_back(',');
+    json.push_back('{');
+    AppendField(&json, "lambda", point.lambda);
+    json.append(",\"stable\":");
+    json.append(point.analysis.stable ? "true" : "false");
+    json.push_back(',');
+    AppendField(&json, "search", point.analysis.per_search);
+    json.push_back(',');
+    AppendField(&json, "insert", point.analysis.per_insert);
+    json.push_back(',');
+    AppendField(&json, "delete", point.analysis.per_delete);
+    json.push_back(',');
+    AppendField(&json, "mean_response", point.analysis.mean_response);
+    json.push_back(',');
+    AppendField(&json, "root_rho_w",
+                point.analysis.root_writer_utilization());
+    json.push_back('}');
+  }
+  json.append("]");
+  if (include_timing) {
+    AppendTiming(&json, run.jobs, run.wall_seconds, point_seconds);
+  }
+  json.append("}\n");
+  out << json;
+}
+
+void WriteSimPointJson(std::ostream& out, const SimRunInfo& info,
+                       const SimPoint& point, bool include_timing) {
+  std::string json;
+  json.append("{\"kind\":\"simulate\",\"algorithm\":\"");
+  json.append(info.algorithm);
+  json.append("\",");
+  AppendField(&json, "lambda", info.lambda);
+  json.append(",\"ok\":");
+  json.append(point.ok ? "true" : "false");
+  json.append(",\"stats\":{");
+  AppendAccumulator(&json, "search", point.search);
+  json.push_back(',');
+  AppendAccumulator(&json, "insert", point.insert);
+  json.push_back(',');
+  AppendAccumulator(&json, "delete", point.del);
+  json.push_back(',');
+  AppendAccumulator(&json, "all", point.all);
+  json.push_back(',');
+  AppendAccumulator(&json, "root_utilization", point.root_utilization);
+  json.push_back(',');
+  AppendAccumulator(&json, "crossings_per_op", point.crossings_per_op);
+  json.push_back(',');
+  AppendAccumulator(&json, "restarts_per_op", point.restarts_per_op);
+  json.push_back('}');
+  if (include_timing) {
+    AppendTiming(&json, info.jobs, info.wall_seconds, {point.seconds});
+  }
+  json.append("}\n");
+  out << json;
+}
+
+}  // namespace runner
+}  // namespace cbtree

@@ -1,0 +1,162 @@
+// The parallel experiment runner: fans analytical sweep points and
+// multi-seed simulation replicas out over a fixed-size thread pool.
+//
+// Determinism guarantee: every job is fully described by its index before
+// anything runs (seeds are pre-assigned, the grid is fixed), and results
+// are folded in job-index order on the calling thread. The statistics a
+// run produces are therefore bit-identical for any --jobs value — the
+// thread count changes only wall-clock time. The one exception is the
+// timing metadata itself (wall-clock and per-point seconds), which is why
+// the JSON writers take an include_timing switch.
+
+#ifndef CBTREE_RUNNER_EXPERIMENT_H_
+#define CBTREE_RUNNER_EXPERIMENT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "runner/thread_pool.h"
+#include "sim/simulator.h"
+#include "stats/accumulator.h"
+
+namespace cbtree {
+namespace runner {
+
+/// Resolves a --jobs flag value: anything below 1 means "one per hardware
+/// thread".
+int EffectiveJobs(int jobs);
+
+/// Runs fn(0), ..., fn(n-1) on min(jobs, n) workers and returns the results
+/// in index order. fn must be safe to call concurrently for distinct
+/// indices. jobs <= 1 runs inline on the calling thread — the serial
+/// reference path. If invocations throw, the lowest-index exception is
+/// rethrown (the remaining jobs still run to completion first).
+template <typename F>
+auto ParallelMap(size_t n, int jobs, F&& fn)
+    -> std::vector<std::invoke_result_t<F, size_t>> {
+  using T = std::invoke_result_t<F, size_t>;
+  std::vector<T> results;
+  results.reserve(n);
+  if (jobs != 1) jobs = EffectiveJobs(jobs);
+  if (jobs <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) results.push_back(fn(i));
+    return results;
+  }
+  ThreadPool pool(static_cast<int>(
+      std::min(static_cast<size_t>(jobs), n)));
+  std::vector<std::future<T>> futures;
+  futures.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.Submit([&fn, i] { return fn(i); }));
+  }
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Analytical sweeps
+// ---------------------------------------------------------------------------
+
+struct SweepPoint {
+  double lambda = 0.0;
+  AnalysisResult analysis;
+  double seconds = 0.0;  ///< wall-clock of this point's job
+};
+
+struct SweepRun {
+  std::string algorithm;
+  int jobs = 1;              ///< effective worker count used
+  double wall_seconds = 0.0;
+  std::vector<SweepPoint> points;  ///< in grid order
+};
+
+/// Analyzes every lambda of the grid in parallel (Analyzer::Analyze is
+/// const and reentrant). The points depend only on the grid, never on jobs.
+SweepRun RunAnalyticalSweep(const Analyzer& analyzer,
+                            const std::vector<double>& lambdas, int jobs);
+
+// ---------------------------------------------------------------------------
+// Multi-seed simulation
+// ---------------------------------------------------------------------------
+
+/// One seed's contribution to a simulated operating point — exactly the
+/// scalars the serial harnesses folded per seed.
+struct SeedStats {
+  bool saturated = false;
+  double search = 0.0;
+  double insert = 0.0;
+  double del = 0.0;
+  double all = 0.0;
+  double root_utilization = 0.0;
+  bool has_per_op = false;  ///< at least one measured completion
+  double crossings_per_op = 0.0;
+  double restarts_per_op = 0.0;
+  double seconds = 0.0;  ///< wall-clock of this seed's job
+};
+
+/// Extracts the per-seed scalars from a finished simulation.
+SeedStats ReduceSeed(const SimResult& result);
+
+/// One simulated operating point, folded over its seeds in seed order.
+/// The accumulators are meaningful only when ok (no seed saturated);
+/// a saturated point keeps them empty, like the serial harnesses did.
+struct SimPoint {
+  bool ok = false;
+  Accumulator search;
+  Accumulator insert;
+  Accumulator del;
+  Accumulator all;
+  Accumulator root_utilization;
+  Accumulator crossings_per_op;
+  Accumulator restarts_per_op;
+  double seconds = 0.0;  ///< summed per-seed wall-clock
+};
+
+/// Folds per-seed stats in index order (the deterministic merge).
+SimPoint MergeSeedStats(const std::vector<SeedStats>& seeds);
+
+struct SimGridRun {
+  int jobs = 1;
+  double wall_seconds = 0.0;
+  std::vector<SimPoint> points;  ///< in grid order
+};
+
+/// Runs grid[p][s] — operating point p, pre-seeded replica s — one job per
+/// (point, seed) pair, all pairs in flight together, and merges each
+/// point's seeds in seed order.
+SimGridRun RunSimGrid(const std::vector<std::vector<SimConfig>>& grid,
+                      int jobs);
+
+// ---------------------------------------------------------------------------
+// Machine-readable results (BENCH_*.json shape)
+// ---------------------------------------------------------------------------
+
+/// Sweep results as JSON: {"kind":"sweep","algorithm":...,"points":[...]}
+/// plus a "timing" object when include_timing. Doubles are emitted with
+/// round-trip precision; non-finite values become null. Without timing the
+/// output is byte-identical for any jobs count.
+void WriteSweepJson(std::ostream& out, const SweepRun& run,
+                    bool include_timing);
+
+/// Labels one simulated point for JSON output.
+struct SimRunInfo {
+  std::string algorithm;
+  double lambda = 0.0;
+  int jobs = 1;
+  double wall_seconds = 0.0;
+};
+
+/// A merged multi-seed point as JSON:
+/// {"kind":"simulate","algorithm":...,"ok":...,"stats":{...}}.
+void WriteSimPointJson(std::ostream& out, const SimRunInfo& info,
+                       const SimPoint& point, bool include_timing);
+
+}  // namespace runner
+}  // namespace cbtree
+
+#endif  // CBTREE_RUNNER_EXPERIMENT_H_

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <limits>
 #include <map>
 #include <thread>
 #include <vector>
@@ -229,6 +231,105 @@ TEST_P(CTreeTest, ScanSurvivesConcurrentInserts) {
   stop.store(true);
   writer.join();
   tree->CheckInvariants();
+}
+
+TEST_P(CTreeTest, MixedStressWithPostHocOracle) {
+  // ≥8 threads hammer one tree with the full operation set — insert,
+  // delete, search, range scan — under maximum node-level contention:
+  // thread t owns the keys with key % kThreads == t, so neighbouring keys
+  // (and therefore shared leaves, splits, merges) belong to different
+  // threads. Ownership makes an exact post-hoc oracle possible: only the
+  // owner ever writes a key, so after the join the tree must equal the
+  // union of the per-thread oracles.
+  auto tree = Make(6);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 12000;
+  constexpr Key kKeySpan = 16000;  // keys in [0, kKeySpan), dense
+
+  // Warm start so early deletes and scans see data from every partition.
+  for (Key k = 0; k < kKeySpan; k += 3) tree->Insert(k, k * 31);
+
+  std::vector<std::map<Key, Value>> oracles(kThreads);
+  for (Key k = 0; k < kKeySpan; k += 3) {
+    oracles[k % kThreads][k] = k * 31;
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tree, &oracles, t] {
+      std::map<Key, Value>& oracle = oracles[t];
+      Rng rng(9000 + t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        Key key = static_cast<Key>(rng.NextBounded(kKeySpan / kThreads)) *
+                      kThreads +
+                  t;  // owned key
+        uint64_t dice = rng.NextBounded(100);
+        if (dice < 40) {
+          Value value = static_cast<Value>(rng.Next() & 0xffffff);
+          ASSERT_EQ(tree->Insert(key, value),
+                    oracle.insert_or_assign(key, value).second);
+        } else if (dice < 65) {
+          ASSERT_EQ(tree->Delete(key), oracle.erase(key) > 0);
+        } else if (dice < 95) {
+          // Owned keys have exactly one writer: the lookup must agree with
+          // the local oracle even mid-stress.
+          auto found = tree->Search(key);
+          auto it = oracle.find(key);
+          ASSERT_EQ(found.has_value(), it != oracle.end()) << key;
+          if (found.has_value()) {
+            ASSERT_EQ(*found, it->second);
+          }
+        } else {
+          // Global range scan across every partition while writers run:
+          // results must be strictly ordered and in bounds.
+          Key lo = static_cast<Key>(rng.NextBounded(kKeySpan));
+          Key hi = lo + 500;
+          if (hi > kKeySpan) hi = kKeySpan;
+          std::vector<std::pair<Key, Value>> out;
+          tree->Scan(lo, hi, 1000, &out);
+          Key last = std::numeric_limits<Key>::min();
+          for (const auto& [k, v] : out) {
+            ASSERT_GE(k, lo);
+            ASSERT_LE(k, hi);
+            ASSERT_GT(k, last);
+            last = k;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Post-hoc verification against the exact oracle.
+  tree->CheckInvariants();
+  size_t expected_size = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_size += oracles[t].size();
+    for (const auto& [key, value] : oracles[t]) {
+      auto found = tree->Search(key);
+      ASSERT_TRUE(found.has_value()) << "thread " << t << " key " << key;
+      ASSERT_EQ(*found, value) << "thread " << t << " key " << key;
+    }
+  }
+  EXPECT_EQ(tree->size(), expected_size);
+  EXPECT_EQ(tree->CountKeys(), expected_size);
+  // Deleted / never-inserted keys must be absent (sampled).
+  Rng rng(4242);
+  for (int i = 0; i < 2000; ++i) {
+    Key key = static_cast<Key>(rng.NextBounded(kKeySpan));
+    bool in_oracle = oracles[key % kThreads].count(key) > 0;
+    ASSERT_EQ(tree->Search(key).has_value(), in_oracle) << key;
+  }
+  // A full-tree scan must reproduce the oracle union in key order.
+  std::vector<std::pair<Key, Value>> all;
+  tree->Scan(0, kKeySpan, expected_size + 10, &all);
+  ASSERT_EQ(all.size(), expected_size);
+  for (size_t i = 1; i < all.size(); ++i) {
+    ASSERT_LT(all[i - 1].first, all[i].first);
+  }
+  for (const auto& [key, value] : all) {
+    ASSERT_EQ(oracles[key % kThreads].at(key), value);
+  }
 }
 
 TEST(CTreeStatsTest, OptimisticCountsRestarts) {

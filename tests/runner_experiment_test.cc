@@ -1,0 +1,148 @@
+// The runner's multi-seed fan-out: merging per-seed simulator statistics in
+// job-index order must reproduce the serial fold exactly — same Adds in the
+// same order, so bit-identical means and variances for any jobs count.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "runner/experiment.h"
+#include "sim/simulator.h"
+#include "stats/accumulator.h"
+
+namespace cbtree {
+namespace {
+
+SimConfig MakeConfig(Algorithm algorithm, double lambda, uint64_t seed) {
+  SimConfig config;
+  config.algorithm = algorithm;
+  config.lambda = lambda;
+  config.mix = OperationMix{0.3, 0.5, 0.2};
+  config.num_operations = 2000;
+  config.warmup_operations = 200;
+  config.num_items = 4000;
+  config.max_node_size = 13;
+  config.disk_cost = 5.0;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<SimConfig> SeedConfigs(Algorithm algorithm, double lambda,
+                                   int seeds) {
+  std::vector<SimConfig> configs;
+  for (int s = 1; s <= seeds; ++s) {
+    configs.push_back(MakeConfig(algorithm, lambda, s));
+  }
+  return configs;
+}
+
+TEST(RunnerMergeTest, ParallelMergeEqualsSerialFoldExactly) {
+  constexpr int kSeeds = 5;
+  std::vector<SimConfig> configs =
+      SeedConfigs(Algorithm::kLinkType, 0.2, kSeeds);
+
+  // The serial fold, exactly as the harnesses did it before the runner:
+  // each seed contributes its mean, in seed order.
+  Accumulator search, insert, del, root;
+  for (const SimConfig& config : configs) {
+    SimResult result = Simulator(config).Run();
+    ASSERT_FALSE(result.saturated);
+    search.Add(result.resp_search.mean());
+    insert.Add(result.resp_insert.mean());
+    del.Add(result.resp_delete.mean());
+    root.Add(result.root_writer_utilization);
+  }
+
+  runner::SimGridRun run = runner::RunSimGrid({configs}, /*jobs=*/4);
+  ASSERT_EQ(run.points.size(), 1u);
+  const runner::SimPoint& point = run.points[0];
+  ASSERT_TRUE(point.ok);
+
+  // Bit-identical, not approximately equal: same values, same fold order.
+  EXPECT_EQ(point.search.count(), static_cast<size_t>(kSeeds));
+  EXPECT_EQ(point.search.mean(), search.mean());
+  EXPECT_EQ(point.search.variance(), search.variance());
+  EXPECT_EQ(point.insert.mean(), insert.mean());
+  EXPECT_EQ(point.insert.variance(), insert.variance());
+  EXPECT_EQ(point.del.mean(), del.mean());
+  EXPECT_EQ(point.del.variance(), del.variance());
+  EXPECT_EQ(point.root_utilization.mean(), root.mean());
+  EXPECT_EQ(point.root_utilization.variance(), root.variance());
+}
+
+TEST(RunnerMergeTest, GridIdenticalForOneAndEightJobs) {
+  std::vector<std::vector<SimConfig>> grid;
+  for (double lambda : {0.1, 0.2, 0.3}) {
+    grid.push_back(SeedConfigs(Algorithm::kOptimisticDescent, lambda, 3));
+  }
+  runner::SimGridRun serial = runner::RunSimGrid(grid, 1);
+  runner::SimGridRun parallel = runner::RunSimGrid(grid, 8);
+  ASSERT_EQ(serial.points.size(), 3u);
+  ASSERT_EQ(parallel.points.size(), 3u);
+  for (size_t p = 0; p < serial.points.size(); ++p) {
+    const runner::SimPoint& a = serial.points[p];
+    const runner::SimPoint& b = parallel.points[p];
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.search.mean(), b.search.mean());
+    EXPECT_EQ(a.search.variance(), b.search.variance());
+    EXPECT_EQ(a.insert.mean(), b.insert.mean());
+    EXPECT_EQ(a.insert.variance(), b.insert.variance());
+    EXPECT_EQ(a.all.mean(), b.all.mean());
+    EXPECT_EQ(a.restarts_per_op.mean(), b.restarts_per_op.mean());
+  }
+}
+
+TEST(RunnerMergeTest, SaturatedSeedPoisonsThePoint) {
+  std::vector<runner::SeedStats> seeds(3);
+  seeds[0].search = 1.0;
+  seeds[1].saturated = true;
+  seeds[2].search = 3.0;
+  runner::SimPoint point = runner::MergeSeedStats(seeds);
+  EXPECT_FALSE(point.ok);
+  // The serial harnesses reported nothing for a saturated point; the merge
+  // must not leak partial statistics either.
+  EXPECT_EQ(point.search.count(), 0u);
+}
+
+TEST(RunnerMergeTest, ReduceSeedExtractsPerOpRates) {
+  SimResult result;
+  result.resp_search.Add(2.0);
+  result.resp_insert.Add(4.0);
+  result.resp_delete.Add(6.0);
+  result.resp_all.Add(4.0);
+  result.root_writer_utilization = 0.25;
+  result.completed = 100;
+  result.link_crossings = 10;
+  result.restarts = 5;
+  runner::SeedStats stats = runner::ReduceSeed(result);
+  EXPECT_FALSE(stats.saturated);
+  EXPECT_TRUE(stats.has_per_op);
+  EXPECT_EQ(stats.search, 2.0);
+  EXPECT_EQ(stats.crossings_per_op, 0.1);
+  EXPECT_EQ(stats.restarts_per_op, 0.05);
+
+  SimResult saturated;
+  saturated.saturated = true;
+  EXPECT_TRUE(runner::ReduceSeed(saturated).saturated);
+}
+
+TEST(RunnerMergeTest, SimPointJsonIsStableAcrossJobs) {
+  std::vector<SimConfig> configs =
+      SeedConfigs(Algorithm::kNaiveLockCoupling, 0.05, 3);
+  runner::SimGridRun serial = runner::RunSimGrid({configs}, 1);
+  runner::SimGridRun parallel = runner::RunSimGrid({configs}, 8);
+  runner::SimRunInfo info;
+  info.algorithm = "naive";
+  info.lambda = 0.05;
+  std::ostringstream a, b;
+  runner::WriteSimPointJson(a, info, serial.points[0],
+                            /*include_timing=*/false);
+  runner::WriteSimPointJson(b, info, parallel.points[0],
+                            /*include_timing=*/false);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("\"kind\":\"simulate\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cbtree

@@ -1,0 +1,162 @@
+// The experiment runner's thread pool and fan-out primitives: FIFO task
+// ordering, exception propagation through futures, shutdown with queued
+// work, and the determinism contract — identical sweep output for any
+// jobs count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "runner/experiment.h"
+#include "runner/thread_pool.h"
+
+namespace cbtree {
+namespace {
+
+TEST(ThreadPoolTest, SingleWorkerRunsTasksInSubmissionOrder) {
+  std::vector<int> order;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&order, i] { order.push_back(i); });
+    }
+  }  // destructor drains the queue
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ReturnsValuesThroughFutures) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] { return 7; });
+  auto boom = pool.Submit(
+      []() -> int { throw std::runtime_error("job failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  try {
+    boom.get();
+    FAIL() << "expected the job's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job failed");
+  }
+}
+
+TEST(ThreadPoolTest, ShutdownRunsAllQueuedWork) {
+  std::atomic<int> completed{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      futures.push_back(pool.Submit([&completed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }));
+    }
+    // Destruction begins with most tasks still queued; all must run.
+  }
+  EXPECT_EQ(completed.load(), 200);
+  for (auto& future : futures) {
+    EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+}
+
+TEST(ThreadPoolTest, DefaultJobsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultJobs(), 1);
+  EXPECT_EQ(runner::EffectiveJobs(0), ThreadPool::DefaultJobs());
+  EXPECT_EQ(runner::EffectiveJobs(-3), ThreadPool::DefaultJobs());
+  EXPECT_EQ(runner::EffectiveJobs(4), 4);
+}
+
+TEST(ParallelMapTest, ResultsComeBackInIndexOrder) {
+  std::vector<int> results = runner::ParallelMap(64, 8, [](size_t i) {
+    // Stagger so later indices tend to finish first.
+    std::this_thread::sleep_for(std::chrono::microseconds(200 - 3 * i));
+    return static_cast<int>(i) * 10;
+  });
+  ASSERT_EQ(results.size(), 64u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i) * 10);
+  }
+}
+
+TEST(ParallelMapTest, SerialAndParallelAgree) {
+  auto fn = [](size_t i) { return static_cast<double>(i) / 7.0; };
+  EXPECT_EQ(runner::ParallelMap(33, 1, fn), runner::ParallelMap(33, 8, fn));
+}
+
+TEST(ParallelMapTest, RethrowsLowestIndexException) {
+  try {
+    runner::ParallelMap(16, 4, [](size_t i) -> int {
+      if (i == 3) throw std::runtime_error("index 3");
+      if (i == 11) throw std::runtime_error("index 11");
+      return 0;
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 3");
+  }
+}
+
+// The tentpole guarantee: a sweep's points — and their serialized JSON —
+// are byte-identical for any jobs count.
+TEST(SweepDeterminismTest, JsonIdenticalForOneAndEightJobs) {
+  ModelParams params =
+      ModelParams::ForTree(40000, 13, 5.0, OperationMix{0.3, 0.5, 0.2});
+  auto analyzer = MakeAnalyzer(Algorithm::kLinkType, params);
+  std::vector<double> lambdas;
+  for (int i = 1; i <= 20; ++i) lambdas.push_back(0.05 * i);
+
+  runner::SweepRun serial =
+      runner::RunAnalyticalSweep(*analyzer, lambdas, 1);
+  runner::SweepRun parallel =
+      runner::RunAnalyticalSweep(*analyzer, lambdas, 8);
+
+  ASSERT_EQ(serial.points.size(), parallel.points.size());
+  for (size_t i = 0; i < serial.points.size(); ++i) {
+    EXPECT_EQ(serial.points[i].lambda, parallel.points[i].lambda);
+    EXPECT_EQ(serial.points[i].analysis.stable,
+              parallel.points[i].analysis.stable);
+    EXPECT_EQ(serial.points[i].analysis.per_search,
+              parallel.points[i].analysis.per_search);
+    EXPECT_EQ(serial.points[i].analysis.per_insert,
+              parallel.points[i].analysis.per_insert);
+    EXPECT_EQ(serial.points[i].analysis.per_delete,
+              parallel.points[i].analysis.per_delete);
+  }
+
+  std::ostringstream json_serial, json_parallel;
+  runner::WriteSweepJson(json_serial, serial, /*include_timing=*/false);
+  runner::WriteSweepJson(json_parallel, parallel, /*include_timing=*/false);
+  EXPECT_EQ(json_serial.str(), json_parallel.str());
+}
+
+TEST(SweepDeterminismTest, TimingSectionIsOptIn) {
+  ModelParams params =
+      ModelParams::ForTree(4000, 13, 5.0, OperationMix{0.3, 0.5, 0.2});
+  auto analyzer = MakeAnalyzer(Algorithm::kNaiveLockCoupling, params);
+  runner::SweepRun run =
+      runner::RunAnalyticalSweep(*analyzer, {0.01, 0.02}, 2);
+  std::ostringstream bare, timed;
+  runner::WriteSweepJson(bare, run, /*include_timing=*/false);
+  runner::WriteSweepJson(timed, run, /*include_timing=*/true);
+  EXPECT_EQ(bare.str().find("timing"), std::string::npos);
+  EXPECT_NE(timed.str().find("\"timing\":{"), std::string::npos);
+  EXPECT_NE(timed.str().find("\"wall_seconds\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cbtree

@@ -12,15 +12,18 @@
 // --qs/--qi/--qd, and for simulate also --seed, --buffer_pool, --zipf.
 // The unit of time is one in-memory node search (paper §5.3).
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/analyzer.h"
 #include "core/buffer_model.h"
 #include "core/optimistic_model.h"
 #include "core/rules_of_thumb.h"
+#include "runner/experiment.h"
 #include "sim/simulator.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -46,6 +49,9 @@ struct CommonOptions {
   std::string recovery = "none";
   double t_trans = 100.0;
   bool csv = false;
+  int jobs = 0;
+  bool json = false;
+  bool timing = false;
 
   void Register(FlagSet* flags) {
     flags->Register("algorithm", &algorithm,
@@ -68,6 +74,12 @@ struct CommonOptions {
     flags->Register("recovery", &recovery, "none | leaf-only | naive");
     flags->Register("t_trans", &t_trans, "remaining transaction time");
     flags->Register("csv", &csv, "CSV output");
+    flags->Register("jobs", &jobs,
+                    "parallel jobs (0 = one per hardware thread, 1 = serial)");
+    flags->Register("json", &json,
+                    "emit machine-readable JSON (sweep, simulate)");
+    flags->Register("timing", &timing,
+                    "include wall-clock timing in the JSON output");
   }
 
   Algorithm ParseAlgorithm() const {
@@ -140,13 +152,25 @@ int CmdSweep(const CommonOptions& options) {
   auto analyzer = MakeAnalyzer(options.ParseAlgorithm(), options.Params());
   double max_rate = analyzer->MaxThroughput(1e6);
   double cap = std::isfinite(max_rate) ? max_rate : 1e3;
+  std::vector<double> lambdas;
+  lambdas.reserve(options.points);
+  for (int i = 1; i <= options.points; ++i) {
+    lambdas.push_back(cap * 0.95 * i / options.points);
+  }
+  // The grid fans out over the runner; the points depend only on the grid,
+  // so output is byte-identical for any --jobs value.
+  runner::SweepRun run =
+      runner::RunAnalyticalSweep(*analyzer, lambdas, options.jobs);
+  if (options.json) {
+    runner::WriteSweepJson(std::cout, run, options.timing);
+    return 0;
+  }
   std::printf("%s: max throughput %g\n\n", analyzer->name().c_str(),
               max_rate);
   Table table({"lambda", "search", "insert", "delete", "rho_w_root"});
-  for (int i = 1; i <= options.points; ++i) {
-    double lambda = cap * 0.95 * i / options.points;
-    AnalysisResult result = analyzer->Analyze(lambda);
-    table.NewRow().Add(lambda);
+  for (const runner::SweepPoint& point : run.points) {
+    const AnalysisResult& result = point.analysis;
+    table.NewRow().Add(point.lambda);
     if (result.stable) {
       table.Add(result.per_search)
           .Add(result.per_insert)
@@ -157,6 +181,10 @@ int CmdSweep(const CommonOptions& options) {
     }
   }
   table.Print(std::cout, options.csv);
+  if (options.timing) {
+    std::fprintf(stderr, "# wall_seconds=%.3f jobs=%d\n", run.wall_seconds,
+                 run.jobs);
+  }
   return 0;
 }
 
@@ -167,12 +195,24 @@ int CmdCompare(const CommonOptions& options) {
               static_cast<unsigned long>(options.items), options.disk_cost);
   Table table({"algorithm", "search", "insert", "delete", "rho_w_root",
                "max_throughput"});
-  for (Algorithm algorithm :
-       {Algorithm::kTwoPhaseLocking, Algorithm::kNaiveLockCoupling,
-        Algorithm::kOptimisticDescent, Algorithm::kLinkType}) {
-    auto analyzer = MakeAnalyzer(algorithm, params);
-    AnalysisResult result = analyzer->Analyze(options.lambda);
-    table.NewRow().Add(analyzer->name());
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kTwoPhaseLocking, Algorithm::kNaiveLockCoupling,
+      Algorithm::kOptimisticDescent, Algorithm::kLinkType};
+  struct Row {
+    std::string name;
+    AnalysisResult result;
+    double max_throughput;
+  };
+  // One job per algorithm; rows are printed in the fixed order above.
+  std::vector<Row> rows = runner::ParallelMap(
+      algorithms.size(), options.jobs, [&](size_t i) {
+        auto analyzer = MakeAnalyzer(algorithms[i], params);
+        return Row{analyzer->name(), analyzer->Analyze(options.lambda),
+                   analyzer->MaxThroughput(1e6)};
+      });
+  for (const Row& row : rows) {
+    const AnalysisResult& result = row.result;
+    table.NewRow().Add(row.name);
     if (result.stable) {
       table.Add(result.per_search)
           .Add(result.per_insert)
@@ -181,7 +221,7 @@ int CmdCompare(const CommonOptions& options) {
     } else {
       table.AddNA().AddNA().AddNA().AddNA();
     }
-    table.Add(analyzer->MaxThroughput(1e6));
+    table.Add(row.max_throughput);
   }
   table.Print(std::cout, options.csv);
   return 0;
@@ -219,8 +259,10 @@ int CmdRules(const CommonOptions& options) {
 }
 
 int CmdSimulate(const CommonOptions& options) {
-  Accumulator search, insert, del, rho, p50, p95, p99;
-  uint64_t crossings = 0, restarts = 0, completed = 0;
+  // Seeds are pre-assigned (options.seed + s) and folded in seed order
+  // below, so the report is identical for any --jobs value.
+  std::vector<SimConfig> configs;
+  configs.reserve(options.seeds);
   for (int s = 0; s < options.seeds; ++s) {
     SimConfig config;
     config.algorithm = options.ParseAlgorithm();
@@ -235,10 +277,39 @@ int CmdSimulate(const CommonOptions& options) {
     config.zipf_skew = options.zipf;
     config.recovery = options.Recovery();
     config.seed = options.seed + s;
-    SimResult result = Simulator(config).Run();
+    configs.push_back(config);
+  }
+  auto start = std::chrono::steady_clock::now();
+  std::vector<SimResult> results = runner::ParallelMap(
+      configs.size(), options.jobs,
+      [&](size_t s) { return Simulator(configs[s]).Run(); });
+  double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (options.json) {
+    std::vector<runner::SeedStats> seeds;
+    seeds.reserve(results.size());
+    for (const SimResult& result : results) {
+      seeds.push_back(runner::ReduceSeed(result));
+    }
+    runner::SimRunInfo info;
+    info.algorithm = AlgorithmName(options.ParseAlgorithm());
+    info.lambda = options.lambda;
+    info.jobs = runner::EffectiveJobs(options.jobs);
+    info.wall_seconds = wall_seconds;
+    runner::WriteSimPointJson(std::cout, info,
+                              runner::MergeSeedStats(seeds), options.timing);
+    return 0;
+  }
+
+  Accumulator search, insert, del, rho, p50, p95, p99;
+  uint64_t crossings = 0, restarts = 0, completed = 0;
+  for (int s = 0; s < options.seeds; ++s) {
+    const SimResult& result = results[s];
     if (result.saturated) {
       std::printf("seed %lu: SATURATED (open system outran the servers)\n",
-                  static_cast<unsigned long>(config.seed));
+                  static_cast<unsigned long>(configs[s].seed));
       continue;
     }
     search.Add(result.resp_search.mean());

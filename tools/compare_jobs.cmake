@@ -1,0 +1,19 @@
+# Runs ${CLI} ${ARGS} with --jobs=1 and --jobs=8 and fails unless stdout is
+# byte-identical — the runner's determinism contract.
+#
+#   cmake -DCLI=<cbtree binary> "-DARGS=sweep;--points=20" -P compare_jobs.cmake
+
+foreach(jobs 1 8)
+  execute_process(
+    COMMAND ${CLI} ${ARGS} --jobs=${jobs}
+    OUTPUT_VARIABLE out_${jobs}
+    RESULT_VARIABLE rc_${jobs})
+  if(NOT rc_${jobs} EQUAL 0)
+    message(FATAL_ERROR "${CLI} ${ARGS} --jobs=${jobs} exited with ${rc_${jobs}}")
+  endif()
+endforeach()
+
+if(NOT out_1 STREQUAL out_8)
+  message(FATAL_ERROR "output differs between --jobs=1 and --jobs=8:\n"
+                      "--- jobs=1 ---\n${out_1}\n--- jobs=8 ---\n${out_8}")
+endif()

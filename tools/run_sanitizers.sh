@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive targets under a sanitizer and runs their
+# tests. The threaded trees (src/ctree/) and the experiment runner
+# (src/runner/) are the only genuinely multi-threaded code in the repo, so
+# those suites are what a sanitizer can catch regressions in.
+#
+#   tools/run_sanitizers.sh            # thread sanitizer (the default)
+#   tools/run_sanitizers.sh address    # address sanitizer
+#   tools/run_sanitizers.sh thread address   # both, sequentially
+#
+# Each sanitizer gets its own build tree (build-tsan/, build-asan/, ...) so
+# repeated runs are incremental.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Any sanitizer report fails the run, even when the tests themselves pass.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-}:exitcode=1"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-}:exitcode=1"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-}:halt_on_error=1"
+
+sanitizers=("${@:-thread}")
+# Tests that exercise threads / the runner; everything else is covered by
+# the regular tier-1 run.
+test_targets=(ctree_test runner_test runner_experiment_test)
+
+for sanitizer in "${sanitizers[@]}"; do
+  case "$sanitizer" in
+    thread) build="build-tsan" ;;
+    address) build="build-asan" ;;
+    undefined) build="build-ubsan" ;;
+    *) echo "unknown sanitizer '$sanitizer' (thread|address|undefined)" >&2
+       exit 2 ;;
+  esac
+
+  echo "=== $sanitizer sanitizer -> $build/ ==="
+  cmake -B "$build" -S . \
+        -DCBTREE_SANITIZE="$sanitizer" \
+        -DCBTREE_BUILD_BENCHMARKS=OFF \
+        -DCBTREE_BUILD_EXAMPLES=OFF \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build" --target "${test_targets[@]}" -j "$(nproc)"
+
+  for target in "${test_targets[@]}"; do
+    echo "--- $target ($sanitizer) ---"
+    "$build/tests/$target"
+  done
+done
+
+echo "all sanitizer runs passed"
