@@ -20,6 +20,9 @@ void FigureOptions::Register(FlagSet* flags) {
   flags->Register("points", &sweep_points, "operating points per curve");
   flags->Register("jobs", &jobs,
                   "parallel jobs (0 = one per hardware thread, 1 = serial)");
+  flags->Register("trace", &trace, "write an event trace to this file");
+  flags->Register("trace_format", &trace_format,
+                  "trace file format: jsonl | chrome");
 }
 
 void FigureOptions::Parse(int argc, char** argv) {
@@ -30,6 +33,13 @@ void FigureOptions::Parse(int argc, char** argv) {
   CBTREE_CHECK_GE(seeds, 1);
   CBTREE_CHECK_GT(ops, warmup);
   CBTREE_CHECK_GE(sweep_points, 2);
+  if (!trace.empty()) {
+    auto format = obs::ParseTraceFormat(trace_format);
+    CBTREE_CHECK(format.has_value())
+        << "unknown --trace_format '" << trace_format
+        << "' (jsonl | chrome)";
+    trace_sink = obs::OpenTraceFile(trace, *format);
+  }
 }
 
 ModelParams MakeModelParams(const FigureOptions& options) {
@@ -73,7 +83,15 @@ std::vector<SimPoint> RunSimPoints(const FigureOptions& options,
     }
     grid.push_back(std::move(seeds));
   }
-  return runner::RunSimGrid(grid, options.jobs).points;
+  obs::TraceSink* sink = options.trace_sink.get();
+  if (sink != nullptr && !grid.empty() && !grid.front().empty()) {
+    // The first job additionally records its full simulator event stream.
+    grid.front().front().trace = sink;
+  }
+  std::vector<SimPoint> points = runner::RunSimGrid(grid, options.jobs,
+                                                    sink).points;
+  if (sink != nullptr) sink->Flush();
+  return points;
 }
 
 std::vector<double> LambdaGrid(double max_rate, int points,

@@ -9,8 +9,11 @@
 #ifndef CBTREE_BENCH_FIGURE_COMMON_H_
 #define CBTREE_BENCH_FIGURE_COMMON_H_
 
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "obs/trace.h"
 
 #include "core/analyzer.h"
 #include "core/optimistic_model.h"
@@ -39,6 +42,14 @@ struct FigureOptions {
   double q_d = 0.2;
   int sweep_points = 8;  ///< operating points per curve
   int jobs = 0;          ///< parallel jobs; 0 = one per hardware thread
+
+  /// --trace=<file> records job begin/end events for every (lambda, seed)
+  /// job plus the full event stream of the first job, in --trace_format
+  /// (jsonl | chrome). Parse() opens the sink; it lives as long as the
+  /// options object.
+  std::string trace;
+  std::string trace_format = "jsonl";
+  std::shared_ptr<obs::TraceSink> trace_sink;
 
   OperationMix mix() const { return OperationMix{q_s, q_i, q_d}; }
 

@@ -4,21 +4,21 @@ namespace cbtree {
 
 std::optional<Value> BLinkTree::Search(Key key) const {
   CNode* node = root();
-  node->latch.lock_shared();
+  LatchShared(node);
   while (true) {
     if (key > node->high_key) {
       link_crossings_.fetch_add(1, std::memory_order_relaxed);
       CNode* right = node->right;
       CBTREE_CHECK(right != nullptr);
       node->latch.unlock_shared();
-      right->latch.lock_shared();
+      LatchShared(right);
       node = right;
       continue;
     }
     if (node->is_leaf()) break;
     CNode* child = cnode::ChildFor(*node, key);
     node->latch.unlock_shared();
-    child->latch.lock_shared();
+    LatchShared(child);
     node = child;
   }
   Value value;
@@ -34,7 +34,7 @@ CNode* BLinkTree::MoveRightExclusive(CNode* node, Key key) const {
     CNode* right = node->right;
     CBTREE_CHECK(right != nullptr);
     node->latch.unlock();
-    right->latch.lock();
+    LatchExclusive(right);
     node = right;
   }
   return node;
@@ -43,12 +43,12 @@ CNode* BLinkTree::MoveRightExclusive(CNode* node, Key key) const {
 CNode* BLinkTree::DescendToLeafExclusive(
     Key key, std::vector<CNode*>* anchors) const {
   CNode* node = root();
-  node->latch.lock_shared();
+  LatchShared(node);
   if (node->is_leaf()) {
     // Single-leaf tree: re-latch exclusively; the root may have grown into
     // an internal node in between, in which case the caller restarts.
     node->latch.unlock_shared();
-    node->latch.lock();
+    LatchExclusive(node);
     if (!node->is_leaf()) {
       node->latch.unlock();
       return nullptr;
@@ -61,7 +61,7 @@ CNode* BLinkTree::DescendToLeafExclusive(
       CNode* right = node->right;
       CBTREE_CHECK(right != nullptr);
       node->latch.unlock_shared();
-      right->latch.lock_shared();
+      LatchShared(right);
       node = right;
       continue;
     }
@@ -75,10 +75,10 @@ CNode* BLinkTree::DescendToLeafExclusive(
     CNode* child = cnode::ChildFor(*node, key);
     node->latch.unlock_shared();
     if (level == 2) {
-      child->latch.lock();
+      LatchExclusive(child);
       return MoveRightExclusive(child, key);
     }
-    child->latch.lock_shared();
+    LatchShared(child);
     node = child;
   }
 }
@@ -89,14 +89,14 @@ CNode* BLinkTree::LockTargetForSeparator(int level, Key separator,
       (level < static_cast<int>(anchors.size()) && anchors[level] != nullptr)
           ? anchors[level]
           : root();
-  target->latch.lock();
+  LatchExclusive(target);
   while (true) {
     if (separator > target->high_key) {
       link_crossings_.fetch_add(1, std::memory_order_relaxed);
       CNode* right = target->right;
       CBTREE_CHECK(right != nullptr);
       target->latch.unlock();
-      right->latch.lock();
+      LatchExclusive(right);
       target = right;
       continue;
     }
@@ -105,7 +105,7 @@ CNode* BLinkTree::LockTargetForSeparator(int level, Key separator,
       // down, one exclusive latch at a time.
       CNode* child = cnode::ChildFor(*target, separator);
       target->latch.unlock();
-      child->latch.lock();
+      LatchExclusive(child);
       target = child;
       continue;
     }

@@ -1,17 +1,90 @@
 #include "ctree/ctree.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 
 #include "ctree/blink_tree.h"
 #include "ctree/lock_coupling_tree.h"
 #include "ctree/optimistic_tree.h"
 
 namespace cbtree {
+namespace {
+
+std::string LatchMetricName(const char* field, bool write, int level) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "latch.%s.%s.level%d",
+                write ? "exclusive" : "shared", field, level);
+  return name;
+}
+
+}  // namespace
 
 ConcurrentBTree::ConcurrentBTree(int max_node_size)
     : max_node_size_(max_node_size) {
   CBTREE_CHECK_GE(max_node_size, 3);
   root_ = arena_.Allocate(/*level=*/1);
+  for (int mode = 0; mode < 2; ++mode) {
+    bool write = mode == 1;
+    for (int level = 1; level <= kMaxLatchLevels; ++level) {
+      LatchInstruments& m = latch_[mode][level];
+      m.acquisitions =
+          obs_.counter(LatchMetricName("acquisitions", write, level));
+      m.contended = obs_.counter(LatchMetricName("contended", write, level));
+      m.wait = obs_.timer(LatchMetricName("wait", write, level));
+    }
+  }
+}
+
+void ConcurrentBTree::RecordLatch(bool write, int level, uint64_t wait_ns,
+                                  bool contended) const {
+  const LatchInstruments& m =
+      latch_[write ? 1 : 0][std::clamp(level, 1, kMaxLatchLevels)];
+  m.acquisitions.Add();
+  if (contended) {
+    m.contended.Add();
+    m.wait.RecordNs(wait_ns);
+  }
+}
+
+void ConcurrentBTree::LatchShared(const CNode* node) const {
+#if CBTREE_OBS_ENABLED
+  if (node->latch.try_lock_shared()) {
+    RecordLatch(/*write=*/false, node->level, 0, /*contended=*/false);
+    return;
+  }
+  auto start = std::chrono::steady_clock::now();
+  node->latch.lock_shared();
+  auto waited = std::chrono::steady_clock::now() - start;
+  RecordLatch(
+      /*write=*/false, node->level,
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+              .count()),
+      /*contended=*/true);
+#else
+  node->latch.lock_shared();
+#endif
+}
+
+void ConcurrentBTree::LatchExclusive(CNode* node) const {
+#if CBTREE_OBS_ENABLED
+  if (node->latch.try_lock()) {
+    RecordLatch(/*write=*/true, node->level, 0, /*contended=*/false);
+    return;
+  }
+  auto start = std::chrono::steady_clock::now();
+  node->latch.lock();
+  auto waited = std::chrono::steady_clock::now() - start;
+  RecordLatch(
+      /*write=*/true, node->level,
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+              .count()),
+      /*contended=*/true);
+#else
+  node->latch.lock();
+#endif
 }
 
 CTreeStats ConcurrentBTree::stats() const {
@@ -20,6 +93,23 @@ CTreeStats ConcurrentBTree::stats() const {
   stats.root_splits = root_splits_.load(std::memory_order_relaxed);
   stats.restarts = restarts_.load(std::memory_order_relaxed);
   stats.link_crossings = link_crossings_.load(std::memory_order_relaxed);
+  obs::Snapshot snapshot = obs_.Read();
+  for (int level = 1; level <= kMaxLatchLevels; ++level) {
+    LatchLevelStats entry;
+    entry.level = level;
+    for (int mode = 0; mode < 2; ++mode) {
+      bool write = mode == 1;
+      LatchWaitStats& side = write ? entry.exclusive : entry.shared;
+      side.acquisitions =
+          snapshot.counters[LatchMetricName("acquisitions", write, level)];
+      side.contended =
+          snapshot.counters[LatchMetricName("contended", write, level)];
+      side.wait = snapshot.timers[LatchMetricName("wait", write, level)];
+    }
+    if (entry.shared.acquisitions + entry.exclusive.acquisitions > 0) {
+      stats.latch_levels.push_back(std::move(entry));
+    }
+  }
   return stats;
 }
 
@@ -70,19 +160,19 @@ size_t ConcurrentBTree::Scan(Key lo, Key hi, size_t limit,
   if (limit == 0 || lo > hi) return 0;
   // Shared-latch crabbing descent to the leaf covering `lo`.
   CNode* node = root_;
-  node->latch.lock_shared();
+  LatchShared(node);
   while (true) {
     if (lo > node->high_key) {
       CNode* right = node->right;
       CBTREE_CHECK(right != nullptr);
-      right->latch.lock_shared();
+      LatchShared(right);
       node->latch.unlock_shared();
       node = right;
       continue;
     }
     if (node->is_leaf()) break;
     CNode* child = cnode::ChildFor(*node, lo);
-    child->latch.lock_shared();
+    LatchShared(child);
     node->latch.unlock_shared();
     node = child;
   }
@@ -107,7 +197,7 @@ size_t ConcurrentBTree::Scan(Key lo, Key hi, size_t limit,
       node->latch.unlock_shared();
       return appended;
     }
-    right->latch.lock_shared();
+    LatchShared(right);
     node->latch.unlock_shared();
     node = right;
   }

@@ -19,8 +19,28 @@
 #include "btree/node.h"
 #include "core/analyzer.h"
 #include "ctree/cnode.h"
+#include "obs/registry.h"
 
 namespace cbtree {
+
+/// Latch levels tracked per tree; deeper levels fold into the top slot.
+inline constexpr int kMaxLatchLevels = 24;
+
+/// One latch mode (shared or exclusive) at one level: how many
+/// acquisitions, how many had to block, and the blocked waits' timer.
+struct LatchWaitStats {
+  uint64_t acquisitions = 0;
+  uint64_t contended = 0;
+  obs::TimerSnapshot wait;  ///< contended acquisitions only
+};
+
+/// Real-thread latch telemetry for one tree level (1 = leaf), the measured
+/// counterpart of the model's per-level R(i)/W(i) waits.
+struct LatchLevelStats {
+  int level = 0;
+  LatchWaitStats shared;
+  LatchWaitStats exclusive;
+};
 
 /// Counters exposed by every concurrent tree (monotone, approximate under
 /// concurrency).
@@ -29,6 +49,9 @@ struct CTreeStats {
   uint64_t root_splits = 0;
   uint64_t restarts = 0;        ///< Optimistic Descent second passes
   uint64_t link_crossings = 0;  ///< B-link right-link follows
+  /// Levels with at least one recorded latch acquisition, ascending.
+  /// Empty when the build disables observability (CBTREE_OBS=OFF).
+  std::vector<LatchLevelStats> latch_levels;
 };
 
 class ConcurrentBTree {
@@ -61,6 +84,10 @@ class ConcurrentBTree {
   int max_node_size() const { return max_node_size_; }
   CTreeStats stats() const;
 
+  /// The tree's metrics registry (latch telemetry lives here; callers may
+  /// Read() it directly for machine-readable export).
+  const obs::Registry& metrics() const { return obs_; }
+
   /// Quiescent structural check (no concurrent mutators): key order, bounds,
   /// level uniformity, link chains. Aborts on violation.
   void CheckInvariants() const;
@@ -73,6 +100,15 @@ class ConcurrentBTree {
   void AdjustSize(int64_t delta) {
     size_.fetch_add(delta, std::memory_order_relaxed);
   }
+
+  /// Latch acquisition with contention telemetry: an uncontended acquire
+  /// (try_lock succeeds) costs one counter bump and no clock read; a
+  /// contended one blocks on the plain lock and records the wait against
+  /// the node's level. With CBTREE_OBS=OFF these are the bare lock calls.
+  /// The level is read only after the latch is held (the root's level
+  /// mutates in place under its exclusive latch during a root split).
+  void LatchShared(const CNode* node) const;
+  void LatchExclusive(CNode* node) const;
 
   bool IsFull(const CNode& node) const {
     return static_cast<int>(node.size()) >= max_node_size_;
@@ -91,11 +127,24 @@ class ConcurrentBTree {
  private:
   void CheckSubtree(const CNode* node, Key bound, int expected_level,
                     size_t* keys) const;
+  void RecordLatch(bool write, int level, uint64_t wait_ns,
+                   bool contended) const;
 
   int max_node_size_;
   CNodeArena arena_;
   CNode* root_;
   std::atomic<int64_t> size_{0};
+
+  /// Per-mode, per-level latch instruments ([0] = shared, [1] = exclusive;
+  /// level index 0 unused). Handles are registered once in the constructor
+  /// and are safe to record through from any thread.
+  struct LatchInstruments {
+    obs::Counter acquisitions;
+    obs::Counter contended;
+    obs::Timer wait;
+  };
+  obs::Registry obs_;
+  LatchInstruments latch_[2][kMaxLatchLevels + 1];
 };
 
 /// Factory over the three protocols.

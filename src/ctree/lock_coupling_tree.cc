@@ -6,10 +6,10 @@ namespace cbtree {
 
 std::optional<Value> LockCouplingTree::Search(Key key) const {
   CNode* node = root();
-  node->latch.lock_shared();
+  LatchShared(node);
   while (!node->is_leaf()) {
     CNode* child = cnode::ChildFor(*node, key);
-    child->latch.lock_shared();
+    LatchShared(child);
     node->latch.unlock_shared();
     node = child;
   }
@@ -29,11 +29,11 @@ bool LockCouplingTree::Delete(Key key) { return CoupledDelete(key); }
 bool LockCouplingTree::CoupledInsert(Key key, Value value) {
   std::vector<CNode*> chain;
   CNode* node = root();
-  node->latch.lock();
+  LatchExclusive(node);
   chain.push_back(node);
   while (!node->is_leaf()) {
     CNode* child = cnode::ChildFor(*node, key);
-    child->latch.lock();
+    LatchExclusive(child);
     if (release_safe_ancestors_ && !IsFull(*child)) {
       // The child is insert-safe: no split can propagate past it, so every
       // ancestor latch can go.
@@ -67,11 +67,11 @@ bool LockCouplingTree::CoupledInsert(Key key, Value value) {
 bool LockCouplingTree::CoupledDelete(Key key) {
   std::vector<CNode*> chain;
   CNode* node = root();
-  node->latch.lock();
+  LatchExclusive(node);
   chain.push_back(node);
   while (!node->is_leaf()) {
     CNode* child = cnode::ChildFor(*node, key);
-    child->latch.lock();
+    LatchExclusive(child);
     if (release_safe_ancestors_ && !IsDeleteUnsafe(*child)) {
       for (CNode* ancestor : chain) ancestor->latch.unlock();
       chain.clear();
@@ -90,11 +90,11 @@ std::optional<Value> TwoPhaseTree::Search(Key key) const {
   // Shared latches accumulate down the path and release together at the end.
   std::vector<const CNode*> chain;
   const CNode* node = root();
-  node->latch.lock_shared();
+  LatchShared(node);
   chain.push_back(node);
   while (!node->is_leaf()) {
     CNode* child = cnode::ChildFor(*node, key);
-    child->latch.lock_shared();
+    LatchShared(child);
     chain.push_back(child);
     node = child;
   }

@@ -4,20 +4,20 @@ namespace cbtree {
 
 CNode* OptimisticDescentTree::OptimisticDescend(Key key) {
   CNode* node = root();
-  node->latch.lock_shared();
+  LatchShared(node);
   if (node->is_leaf()) {
     node->latch.unlock_shared();
     return nullptr;  // single-leaf tree: no shared phase worth having
   }
   while (node->level > 2) {
     CNode* child = cnode::ChildFor(*node, key);
-    child->latch.lock_shared();
+    LatchShared(child);
     node->latch.unlock_shared();
     node = child;
   }
   // node->level == 2: couple into the leaf's exclusive latch.
   CNode* leaf = cnode::ChildFor(*node, key);
-  leaf->latch.lock();
+  LatchExclusive(leaf);
   node->latch.unlock_shared();
   return leaf;
 }

@@ -1,0 +1,377 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "util/check.h"
+
+namespace cbtree {
+namespace obs {
+namespace internal {
+
+namespace {
+
+enum class MetricKind : uint8_t { kCounter, kTimer };
+
+// Timer cell layout relative to its base: [count, total_ns, max_ns,
+// bucket 0 .. bucket kTimerBuckets-1].
+constexpr uint32_t kTimerCells = 3 + kTimerBuckets;
+
+uint32_t BucketFor(uint64_t ns) {
+  if (ns == 0) return 0;
+  return std::min<uint32_t>(std::bit_width(ns), kTimerBuckets - 1);
+}
+
+}  // namespace
+
+// One thread's private cells for one registry. Only the owning thread
+// writes; snapshotting threads read the atomics concurrently (every write
+// is a relaxed load + store by the single owner — a plain add in codegen).
+struct Shard {
+  explicit Shard(uint32_t capacity) : cells(capacity) {}
+  std::vector<std::atomic<uint64_t>> cells;
+};
+
+struct GaugeCell {
+  std::string name;
+  std::atomic<int64_t> value{0};
+};
+
+struct Metric {
+  std::string name;
+  MetricKind kind;
+  uint32_t base;
+};
+
+struct State : std::enable_shared_from_this<State> {
+  explicit State(uint32_t cell_capacity)
+      : capacity(cell_capacity), uid(NextUid()) {}
+  ~State() {
+    std::lock_guard<std::mutex> guard(mutex);
+    for (Shard* shard : live) delete shard;
+  }
+
+  static uint64_t NextUid() {
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Finds this thread's shard (fast: one thread_local cache probe),
+  /// creating and registering it on first touch.
+  Shard* LocalShard();
+
+  /// Thread-exit path: folds a shard into `retired` and frees it.
+  void RetireShard(Shard* shard) {
+    std::lock_guard<std::mutex> guard(mutex);
+    MergeShardLocked(*shard, &retired);
+    live.erase(std::remove(live.begin(), live.end(), shard), live.end());
+    delete shard;
+  }
+
+  void MergeShardLocked(const Shard& shard,
+                        std::vector<uint64_t>* totals) const {
+    if (totals->size() < next_cell) totals->resize(next_cell, 0);
+    for (uint32_t c = 0; c < next_cell; ++c) {
+      uint64_t v = shard.cells[c].load(std::memory_order_relaxed);
+      if (cell_is_max[c]) {
+        (*totals)[c] = std::max((*totals)[c], v);
+      } else {
+        (*totals)[c] += v;
+      }
+    }
+  }
+
+  const uint32_t capacity;
+  const uint64_t uid;  ///< globally unique; guards TLS-cache address reuse
+
+  mutable std::mutex mutex;
+  std::vector<Metric> metrics;       // guarded by mutex
+  uint32_t next_cell = 0;            // guarded by mutex
+  std::vector<uint8_t> cell_is_max;  // guarded by mutex; merge rule per cell
+  std::vector<Shard*> live;          // guarded by mutex; owned
+  std::vector<uint64_t> retired;     // guarded by mutex
+  std::deque<GaugeCell> gauge_cells;  // guarded by mutex; deque: stable addrs
+};
+
+namespace {
+
+// Per-thread shard directory. The one-entry cache makes the steady-state
+// lookup a pointer compare plus a uid compare; the vector handles threads
+// touching several registries and prunes entries whose registry died.
+struct TlsShards {
+  struct Entry {
+    std::weak_ptr<State> state;
+    uint64_t uid;
+    Shard* shard;
+  };
+
+  const State* cached_state = nullptr;
+  uint64_t cached_uid = 0;
+  Shard* cached_shard = nullptr;
+  std::vector<Entry> entries;
+
+  ~TlsShards() {
+    for (Entry& entry : entries) {
+      // A dead registry already freed its shards; skip those.
+      if (auto state = entry.state.lock()) state->RetireShard(entry.shard);
+    }
+  }
+};
+
+thread_local TlsShards tls_shards;
+
+}  // namespace
+
+Shard* State::LocalShard() {
+  TlsShards& tls = tls_shards;
+  // uid check defeats address reuse: a new State allocated where a dead one
+  // lived must not inherit the dead registry's (freed) shard.
+  if (tls.cached_state == this && tls.cached_uid == uid) {
+    return tls.cached_shard;
+  }
+  for (auto it = tls.entries.begin(); it != tls.entries.end();) {
+    if (it->state.expired()) {
+      it = tls.entries.erase(it);
+      continue;
+    }
+    if (it->uid == uid) {
+      tls.cached_state = this;
+      tls.cached_uid = uid;
+      tls.cached_shard = it->shard;
+      return it->shard;
+    }
+    ++it;
+  }
+  auto* shard = new Shard(capacity);
+  {
+    std::lock_guard<std::mutex> guard(mutex);
+    live.push_back(shard);
+  }
+  tls.entries.push_back({weak_from_this(), uid, shard});
+  tls.cached_state = this;
+  tls.cached_uid = uid;
+  tls.cached_shard = shard;
+  return shard;
+}
+
+namespace {
+
+// Owner-only cell updates: the relaxed load+store pair is not atomic as a
+// unit, but only this thread writes the cell, so nothing is lost; readers
+// always see an untorn 64-bit value.
+inline void CellAdd(std::atomic<uint64_t>& cell, uint64_t delta) {
+  cell.store(cell.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+inline void CellMax(std::atomic<uint64_t>& cell, uint64_t value) {
+  if (value > cell.load(std::memory_order_relaxed)) {
+    cell.store(value, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+}  // namespace internal
+
+void Counter::Add(uint64_t delta) const {
+#if CBTREE_OBS_ENABLED
+  if (state_ == nullptr) return;
+  internal::Shard* shard = state_->LocalShard();
+  internal::CellAdd(shard->cells[cell_], delta);
+#else
+  (void)delta;
+#endif
+}
+
+void Gauge::Set(int64_t value) const {
+#if CBTREE_OBS_ENABLED
+  if (cell_ == nullptr) return;
+  cell_->store(value, std::memory_order_relaxed);
+#else
+  (void)value;
+#endif
+}
+
+void Timer::RecordNs(uint64_t ns) const {
+#if CBTREE_OBS_ENABLED
+  if (state_ == nullptr) return;
+  internal::Shard* shard = state_->LocalShard();
+  internal::CellAdd(shard->cells[base_], 1);
+  internal::CellAdd(shard->cells[base_ + 1], ns);
+  internal::CellMax(shard->cells[base_ + 2], ns);
+  internal::CellAdd(shard->cells[base_ + 3 + internal::BucketFor(ns)], 1);
+#else
+  (void)ns;
+#endif
+}
+
+double TimerSnapshot::quantile_ns(double q) const {
+  CBTREE_CHECK_GE(q, 0.0);
+  CBTREE_CHECK_LE(q, 1.0);
+  if (count == 0) return 0.0;
+  double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    double next = cum + static_cast<double>(buckets[b]);
+    if (next >= target) {
+      if (b == 0) return 0.0;  // the zero-ns bucket
+      double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+      double hi = (b + 1 == buckets.size())
+                      ? std::max<double>(static_cast<double>(max_ns), lo)
+                      : lo * 2.0;
+      double frac =
+          buckets[b] ? (target - cum) / static_cast<double>(buckets[b]) : 0.0;
+      // Geometric interpolation matches the exponential bucket widths.
+      double value = lo * std::pow(hi / lo, frac);
+      return std::min(value, static_cast<double>(max_ns));
+    }
+    cum = next;
+  }
+  return static_cast<double>(max_ns);
+}
+
+void Snapshot::AppendJson(std::string* out) const {
+  auto append_u64 = [out](uint64_t v) {
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "%llu",
+                  static_cast<unsigned long long>(v));
+    out->append(buffer);
+  };
+  out->append("{\"counters\":{");
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->push_back('"');
+    out->append(name);
+    out->append("\":");
+    append_u64(value);
+  }
+  out->append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out->push_back(',');
+    first = false;
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "\"%s\":%lld", name.c_str(),
+                  static_cast<long long>(value));
+    out->append(buffer);
+  }
+  out->append("},\"timers\":{");
+  first = true;
+  for (const auto& [name, timer] : timers) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->push_back('"');
+    out->append(name);
+    out->append("\":{\"count\":");
+    append_u64(timer.count);
+    out->append(",\"total_ns\":");
+    append_u64(timer.total_ns);
+    out->append(",\"max_ns\":");
+    append_u64(timer.max_ns);
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), ",\"mean_ns\":%.17g",
+                  timer.mean_ns());
+    out->append(buffer);
+    std::snprintf(buffer, sizeof(buffer), ",\"p50_ns\":%.17g",
+                  timer.quantile_ns(0.50));
+    out->append(buffer);
+    std::snprintf(buffer, sizeof(buffer), ",\"p99_ns\":%.17g",
+                  timer.quantile_ns(0.99));
+    out->append(buffer);
+    out->push_back('}');
+  }
+  out->append("}}");
+}
+
+Registry::Registry(uint32_t cell_capacity)
+    : state_(std::make_shared<internal::State>(cell_capacity)) {}
+
+Registry::~Registry() = default;
+
+Counter Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> guard(state_->mutex);
+  for (const internal::Metric& metric : state_->metrics) {
+    if (metric.name == name) {
+      CBTREE_CHECK(metric.kind == internal::MetricKind::kCounter)
+          << "'" << metric.name << "' already registered with another type";
+      return Counter(state_, metric.base);
+    }
+  }
+  CBTREE_CHECK_LE(state_->next_cell + 1, state_->capacity)
+      << "registry cell capacity exhausted";
+  uint32_t base = state_->next_cell;
+  state_->next_cell += 1;
+  state_->cell_is_max.push_back(0);
+  state_->metrics.push_back(
+      {std::string(name), internal::MetricKind::kCounter, base});
+  return Counter(state_, base);
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> guard(state_->mutex);
+  for (internal::GaugeCell& cell : state_->gauge_cells) {
+    if (cell.name == name) return Gauge(state_, &cell.value);
+  }
+  internal::GaugeCell& cell = state_->gauge_cells.emplace_back();
+  cell.name = std::string(name);
+  return Gauge(state_, &cell.value);
+}
+
+Timer Registry::timer(std::string_view name) {
+  std::lock_guard<std::mutex> guard(state_->mutex);
+  for (const internal::Metric& metric : state_->metrics) {
+    if (metric.name == name) {
+      CBTREE_CHECK(metric.kind == internal::MetricKind::kTimer)
+          << "'" << metric.name << "' already registered with another type";
+      return Timer(state_, metric.base);
+    }
+  }
+  CBTREE_CHECK_LE(state_->next_cell + internal::kTimerCells, state_->capacity)
+      << "registry cell capacity exhausted";
+  uint32_t base = state_->next_cell;
+  state_->next_cell += internal::kTimerCells;
+  state_->cell_is_max.push_back(0);  // count
+  state_->cell_is_max.push_back(0);  // total_ns
+  state_->cell_is_max.push_back(1);  // max_ns
+  for (int b = 0; b < kTimerBuckets; ++b) state_->cell_is_max.push_back(0);
+  state_->metrics.push_back(
+      {std::string(name), internal::MetricKind::kTimer, base});
+  return Timer(state_, base);
+}
+
+Snapshot Registry::Read() const {
+  Snapshot snapshot;
+  std::lock_guard<std::mutex> guard(state_->mutex);
+  std::vector<uint64_t> totals = state_->retired;
+  totals.resize(state_->next_cell, 0);
+  for (const internal::Shard* shard : state_->live) {
+    state_->MergeShardLocked(*shard, &totals);
+  }
+  for (const internal::Metric& metric : state_->metrics) {
+    if (metric.kind == internal::MetricKind::kCounter) {
+      snapshot.counters[metric.name] = totals[metric.base];
+    } else {
+      TimerSnapshot timer;
+      timer.count = totals[metric.base];
+      timer.total_ns = totals[metric.base + 1];
+      timer.max_ns = totals[metric.base + 2];
+      timer.buckets.assign(totals.begin() + metric.base + 3,
+                           totals.begin() + metric.base + 3 + kTimerBuckets);
+      snapshot.timers[metric.name] = std::move(timer);
+    }
+  }
+  for (const internal::GaugeCell& cell : state_->gauge_cells) {
+    snapshot.gauges[cell.name] = cell.value.load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+}  // namespace obs
+}  // namespace cbtree

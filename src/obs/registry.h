@@ -1,0 +1,171 @@
+// Metrics registry: named counters, gauges, and timer-histograms with
+// thread-local sharded storage.
+//
+// Each thread that touches a registry gets its own shard — a flat array of
+// 64-bit cells it alone writes (single-writer relaxed load/store, which
+// compiles to a plain add: no lock-prefixed RMW on the fast path). Snapshots
+// merge the live shards plus the totals retired by exited threads, so
+// instrumentation costs ~nothing until somebody actually samples it.
+//
+// Lifetime: handles (Counter/Gauge/Timer) share ownership of the registry's
+// state, so a handle outliving its Registry keeps recording safely. Shards
+// belonging to a dead registry are detected (and dropped) through weak
+// references when the owning thread next looks one up or exits.
+//
+// The whole layer is compile-time removable: configure with -DCBTREE_OBS=OFF
+// and every update method becomes a no-op (registration and Read still work,
+// reporting zeros), so call sites need no #ifdefs.
+
+#ifndef CBTREE_OBS_REGISTRY_H_
+#define CBTREE_OBS_REGISTRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef CBTREE_OBS_ENABLED
+#define CBTREE_OBS_ENABLED 1
+#endif
+
+namespace cbtree {
+namespace obs {
+
+/// Timer histograms bucket by log2(nanoseconds): bucket 0 holds zero-ns
+/// samples, bucket b >= 1 covers [2^(b-1), 2^b) ns, and the last bucket is
+/// open-ended. 40 buckets reach ~9 minutes.
+inline constexpr int kTimerBuckets = 40;
+
+namespace internal {
+struct State;
+}  // namespace internal
+
+/// Monotone 64-bit counter. Copyable; default-constructed handles are inert.
+class Counter {
+ public:
+  Counter() = default;
+  void Add(uint64_t delta = 1) const;
+
+ private:
+  friend class Registry;
+  Counter(std::shared_ptr<internal::State> state, uint32_t cell)
+      : state_(std::move(state)), cell_(cell) {}
+  std::shared_ptr<internal::State> state_;
+  uint32_t cell_ = 0;
+};
+
+/// Last-writer-wins signed value (not sharded; gauges are set rarely).
+class Gauge {
+ public:
+  Gauge() = default;
+  void Set(int64_t value) const;
+
+ private:
+  friend class Registry;
+  Gauge(std::shared_ptr<internal::State> state, std::atomic<int64_t>* cell)
+      : state_(std::move(state)), cell_(cell) {}
+  std::shared_ptr<internal::State> state_;
+  std::atomic<int64_t>* cell_ = nullptr;
+};
+
+/// Latency recorder: count, total, max, and a log2-ns histogram.
+class Timer {
+ public:
+  Timer() = default;
+  void RecordNs(uint64_t ns) const;
+
+ private:
+  friend class Registry;
+  Timer(std::shared_ptr<internal::State> state, uint32_t base)
+      : state_(std::move(state)), base_(base) {}
+  std::shared_ptr<internal::State> state_;
+  uint32_t base_ = 0;
+};
+
+/// Records the wall-clock lifetime of a scope into a Timer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const Timer& timer) : timer_(&timer) {
+#if CBTREE_OBS_ENABLED
+    start_ = std::chrono::steady_clock::now();
+#endif
+  }
+  ~ScopedTimer() {
+#if CBTREE_OBS_ENABLED
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    timer_->RecordNs(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+#endif
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const Timer* timer_;
+#if CBTREE_OBS_ENABLED
+  std::chrono::steady_clock::time_point start_;
+#endif
+};
+
+/// A merged view of one timer.
+struct TimerSnapshot {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t max_ns = 0;
+  std::vector<uint64_t> buckets;  ///< kTimerBuckets entries
+
+  double mean_ns() const {
+    return count ? static_cast<double>(total_ns) / static_cast<double>(count)
+                 : 0.0;
+  }
+  /// Approximate quantile over the log2 buckets (geometric interpolation
+  /// within a bucket); 0 for an empty timer.
+  double quantile_ns(double q) const;
+};
+
+/// A merged, point-in-time view of a whole registry.
+struct Snapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, TimerSnapshot> timers;
+
+  /// Appends the snapshot as one JSON object:
+  /// {"counters":{...},"gauges":{...},"timers":{name:{count,...}}}.
+  void AppendJson(std::string* out) const;
+};
+
+class Registry {
+ public:
+  /// `cell_capacity` bounds the sharded cells (a counter takes 1, a timer
+  /// 3 + kTimerBuckets); registration past it aborts.
+  explicit Registry(uint32_t cell_capacity = 8192);
+  ~Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Registers (or finds) a metric by name. Registering the same name with
+  /// two different types aborts. Thread-safe, but meant for setup paths —
+  /// grab handles once, then record through them.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Timer timer(std::string_view name);
+
+  /// Merges every thread's shard with the retired totals. Safe to call
+  /// while other threads record; concurrent updates may or may not be
+  /// included. Quiescent (after joins) it is exact.
+  Snapshot Read() const;
+
+ private:
+  std::shared_ptr<internal::State> state_;
+};
+
+}  // namespace obs
+}  // namespace cbtree
+
+#endif  // CBTREE_OBS_REGISTRY_H_

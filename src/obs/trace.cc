@@ -1,0 +1,175 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace cbtree {
+namespace obs {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kOpArrive:
+      return "op_arrive";
+    case TraceEventKind::kOpComplete:
+      return "op_complete";
+    case TraceEventKind::kLockRequest:
+      return "lock_request";
+    case TraceEventKind::kLockAcquire:
+      return "lock_acquire";
+    case TraceEventKind::kLockRelease:
+      return "lock_release";
+    case TraceEventKind::kRestart:
+      return "restart";
+    case TraceEventKind::kLinkCrossing:
+      return "link_crossing";
+    case TraceEventKind::kJobBegin:
+      return "job_begin";
+    case TraceEventKind::kJobEnd:
+      return "job_end";
+  }
+  return "unknown";
+}
+
+void JsonlTraceSink::Record(const TraceEvent& event) {
+  char line[320];
+  std::snprintf(line, sizeof(line),
+                "{\"t\":%.17g,\"kind\":\"%s\",\"op\":%" PRIu64
+                ",\"what\":\"%s\",\"level\":%d,\"node\":%" PRId64
+                ",\"value\":%.17g,\"measured\":%s}\n",
+                event.time, TraceEventKindName(event.kind), event.id,
+                event.what, event.level, event.node, event.value,
+                event.measured ? "true" : "false");
+  std::lock_guard<std::mutex> guard(mutex_);
+  *out_ << line;
+}
+
+void JsonlTraceSink::Flush() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  out_->flush();
+}
+
+ChromeTraceSink::ChromeTraceSink(std::ostream* out) : out_(out) {
+  *out_ << "[";
+}
+
+ChromeTraceSink::~ChromeTraceSink() {
+  // The array terminator is written exactly once, at end of life; Flush()
+  // only flushes so a sink can keep recording across multiple flushes.
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (!closed_) {
+    *out_ << "]\n";
+    closed_ = true;
+  }
+  out_->flush();
+}
+
+void ChromeTraceSink::Record(const TraceEvent& event) {
+  // trace_event timestamps are microseconds; one simulated time unit maps
+  // to 1 ms so sub-unit waits stay visible.
+  double ts = event.time * 1000.0;
+  char line[440];
+  switch (event.kind) {
+    case TraceEventKind::kOpArrive:
+      std::snprintf(line, sizeof(line),
+                    "{\"ph\":\"b\",\"cat\":\"op\",\"id\":%" PRIu64
+                    ",\"name\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":1,"
+                    "\"args\":{\"measured\":%s}}",
+                    event.id, event.what, ts,
+                    event.measured ? "true" : "false");
+      break;
+    case TraceEventKind::kOpComplete:
+      std::snprintf(line, sizeof(line),
+                    "{\"ph\":\"e\",\"cat\":\"op\",\"id\":%" PRIu64
+                    ",\"name\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":1,"
+                    "\"args\":{\"response\":%.6g,\"measured\":%s}}",
+                    event.id, event.what, ts, event.value,
+                    event.measured ? "true" : "false");
+      break;
+    default:
+      std::snprintf(line, sizeof(line),
+                    "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"%s\",\"ts\":%.3f,"
+                    "\"pid\":1,\"tid\":1,\"args\":{\"op\":%" PRIu64
+                    ",\"what\":\"%s\",\"level\":%d,\"node\":%" PRId64
+                    ",\"value\":%.6g,\"measured\":%s}}",
+                    TraceEventKindName(event.kind), ts, event.id, event.what,
+                    event.level, event.node, event.value,
+                    event.measured ? "true" : "false");
+      break;
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (!first_) *out_ << ",\n";
+  first_ = false;
+  *out_ << line;
+}
+
+void ChromeTraceSink::Flush() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  out_->flush();
+}
+
+std::optional<TraceFormat> ParseTraceFormat(const std::string& name) {
+  if (name == "jsonl") return TraceFormat::kJsonl;
+  if (name == "chrome") return TraceFormat::kChrome;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Couples a file stream's lifetime to the sink writing into it.
+template <typename Sink>
+class OwningSink : public TraceSink {
+ public:
+  explicit OwningSink(std::unique_ptr<std::ofstream> file)
+      : file_(std::move(file)), sink_(file_.get()) {}
+  ~OwningSink() override { sink_.Flush(); }
+  void Record(const TraceEvent& event) override { sink_.Record(event); }
+  void Flush() override { sink_.Flush(); }
+
+ private:
+  std::unique_ptr<std::ofstream> file_;
+  Sink sink_;
+};
+
+}  // namespace
+
+std::unique_ptr<TraceSink> OpenTraceFile(const std::string& path,
+                                         TraceFormat format) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  CBTREE_CHECK(file->is_open()) << "cannot open trace file '" << path << "'";
+  if (format == TraceFormat::kJsonl) {
+    return std::make_unique<OwningSink<JsonlTraceSink>>(std::move(file));
+  }
+  return std::make_unique<OwningSink<ChromeTraceSink>>(std::move(file));
+}
+
+TraceTotals CountJsonlTrace(std::istream& in) {
+  TraceTotals totals;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++totals.lines;
+    if (line.find("\"measured\":true") == std::string::npos) continue;
+    auto has_kind = [&line](const char* kind) {
+      std::string needle = std::string("\"kind\":\"") + kind + "\"";
+      return line.find(needle) != std::string::npos;
+    };
+    if (has_kind("op_complete")) {
+      ++totals.completions;
+    } else if (has_kind("restart")) {
+      ++totals.restarts;
+    } else if (has_kind("link_crossing")) {
+      ++totals.link_crossings;
+    } else if (has_kind("lock_acquire")) {
+      ++totals.lock_acquires;
+    }
+  }
+  return totals;
+}
+
+}  // namespace obs
+}  // namespace cbtree

@@ -1,0 +1,117 @@
+// Opt-in event tracing: a sink interface plus JSONL and Chrome trace_event
+// writers, used by the simulator (operation lifecycle and lock queue
+// events) and the experiment runner (per-job progress/timing).
+//
+// Events carry a `measured` flag sampled at the instant the matching metric
+// records, so trace-derived totals reconcile exactly with SimMetrics (which
+// discards warm-up samples). CountJsonlTrace does that reconciliation.
+//
+// Sinks are thread-safe (the runner records from its pool workers); the
+// simulator itself is single-threaded, so its tracing costs one virtual
+// call plus a formatted line.
+
+#ifndef CBTREE_OBS_TRACE_H_
+#define CBTREE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace cbtree {
+namespace obs {
+
+enum class TraceEventKind {
+  kOpArrive,
+  kOpComplete,
+  kLockRequest,
+  kLockAcquire,
+  kLockRelease,
+  kRestart,
+  kLinkCrossing,
+  kJobBegin,
+  kJobEnd,
+};
+
+/// Stable wire name ("op_complete", "lock_acquire", ...).
+const char* TraceEventKindName(TraceEventKind kind);
+
+struct TraceEvent {
+  double time = 0.0;     ///< simulated time (runner jobs: wall seconds)
+  TraceEventKind kind = TraceEventKind::kOpArrive;
+  uint64_t id = 0;       ///< operation / job id
+  const char* what = ""; ///< op type, lock mode, job label
+  int level = -1;        ///< tree level, when applicable
+  int64_t node = -1;     ///< node id, when applicable
+  double value = 0.0;    ///< wait / response / duration, when applicable
+  bool measured = true;  ///< false during the simulator's warm-up
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Record(const TraceEvent& event) = 0;
+  virtual void Flush() {}
+};
+
+/// One JSON object per line:
+/// {"t":..,"kind":"..","op":..,"what":"..","level":..,"node":..,
+///  "value":..,"measured":true}
+class JsonlTraceSink : public TraceSink {
+ public:
+  /// Writes to `out` (not owned; must outlive the sink).
+  explicit JsonlTraceSink(std::ostream* out) : out_(out) {}
+  void Record(const TraceEvent& event) override;
+  void Flush() override;
+
+ private:
+  std::mutex mutex_;
+  std::ostream* out_;
+};
+
+/// Chrome trace_event JSON array (load in chrome://tracing or Perfetto):
+/// op arrive/complete become async "b"/"e" pairs, everything else instant
+/// events. Timestamps are microseconds = simulated time x 1000.
+class ChromeTraceSink : public TraceSink {
+ public:
+  explicit ChromeTraceSink(std::ostream* out);
+  ~ChromeTraceSink() override;
+  void Record(const TraceEvent& event) override;
+  /// Flushes the stream; the array terminator is written by the destructor.
+  void Flush() override;
+
+ private:
+  std::mutex mutex_;
+  std::ostream* out_;
+  bool first_ = true;
+  bool closed_ = false;
+};
+
+enum class TraceFormat { kJsonl, kChrome };
+
+/// "jsonl" | "chrome" -> format; nullopt for anything else.
+std::optional<TraceFormat> ParseTraceFormat(const std::string& name);
+
+/// Opens `path` for writing and returns a sink that owns the stream
+/// (flushed and closed on destruction). Aborts if the file cannot be opened.
+std::unique_ptr<TraceSink> OpenTraceFile(const std::string& path,
+                                         TraceFormat format);
+
+/// Measured-event totals recovered from a JSONL trace; compare against the
+/// SimMetrics report (which also excludes warm-up) for an exact match.
+struct TraceTotals {
+  uint64_t completions = 0;
+  uint64_t restarts = 0;
+  uint64_t link_crossings = 0;
+  uint64_t lock_acquires = 0;
+  uint64_t lines = 0;  ///< all lines, measured or not
+};
+
+TraceTotals CountJsonlTrace(std::istream& in);
+
+}  // namespace obs
+}  // namespace cbtree
+
+#endif  // CBTREE_OBS_TRACE_H_

@@ -109,6 +109,12 @@ SeedStats ReduceSeed(const SimResult& result) {
     stats.crossings_per_op = result.link_crossings / measured;
     stats.restarts_per_op = result.restarts / measured;
   }
+  stats.responses = result.response_histogram;
+  stats.active_ops = result.active_ops_profile;
+  stats.end_time = result.end_time;
+  stats.completed = result.completed;
+  stats.restarts = result.restarts;
+  stats.link_crossings = result.link_crossings;
   return stats;
 }
 
@@ -130,12 +136,17 @@ SimPoint MergeSeedStats(const std::vector<SeedStats>& seeds) {
       point.crossings_per_op.Add(stats.crossings_per_op);
       point.restarts_per_op.Add(stats.restarts_per_op);
     }
+    point.responses.Merge(stats.responses);
+    point.active_ops.Merge(stats.active_ops, stats.end_time);
+    point.completed += stats.completed;
+    point.restarts += stats.restarts;
+    point.link_crossings += stats.link_crossings;
   }
   return point;
 }
 
 SimGridRun RunSimGrid(const std::vector<std::vector<SimConfig>>& grid,
-                      int jobs) {
+                      int jobs, obs::TraceSink* trace) {
   SimGridRun run;
   run.jobs = EffectiveJobs(jobs);
   auto start = std::chrono::steady_clock::now();
@@ -151,8 +162,27 @@ SimGridRun RunSimGrid(const std::vector<std::vector<SimConfig>>& grid,
       ParallelMap(flat.size(), run.jobs, [&](size_t i) {
         auto [p, s] = flat[i];
         auto seed_start = std::chrono::steady_clock::now();
+        if (trace != nullptr) {
+          obs::TraceEvent e;
+          e.time = Seconds(start);
+          e.kind = obs::TraceEventKind::kJobBegin;
+          e.id = i;
+          e.what = "sim-seed";
+          e.node = static_cast<int64_t>(p);
+          trace->Record(e);
+        }
         SeedStats stats = ReduceSeed(Simulator(grid[p][s]).Run());
         stats.seconds = Seconds(seed_start);
+        if (trace != nullptr) {
+          obs::TraceEvent e;
+          e.time = Seconds(start);
+          e.kind = obs::TraceEventKind::kJobEnd;
+          e.id = i;
+          e.what = "sim-seed";
+          e.node = static_cast<int64_t>(p);
+          e.value = stats.seconds;
+          trace->Record(e);
+        }
         return stats;
       });
 
@@ -228,6 +258,20 @@ void WriteSimPointJson(std::ostream& out, const SimRunInfo& info,
   AppendAccumulator(&json, "crossings_per_op", point.crossings_per_op);
   json.push_back(',');
   AppendAccumulator(&json, "restarts_per_op", point.restarts_per_op);
+  json.push_back(',');
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer),
+                "\"completed\":%" PRIu64 ",\"restarts\":%" PRIu64
+                ",\"link_crossings\":%" PRIu64 ",",
+                point.completed, point.restarts, point.link_crossings);
+  json.append(buffer);
+  AppendField(&json, "resp_p50", point.responses.Quantile(0.50));
+  json.push_back(',');
+  AppendField(&json, "resp_p95", point.responses.Quantile(0.95));
+  json.push_back(',');
+  AppendField(&json, "resp_p99", point.responses.Quantile(0.99));
+  json.push_back(',');
+  AppendField(&json, "mean_active_ops", point.active_ops.Average(0.0));
   json.push_back('}');
   if (include_timing) {
     AppendTiming(&json, info.jobs, info.wall_seconds, {point.seconds});

@@ -97,6 +97,14 @@ struct SeedStats {
   double crossings_per_op = 0.0;
   double restarts_per_op = 0.0;
   double seconds = 0.0;  ///< wall-clock of this seed's job
+  /// Pooled-distribution inputs: the seed's full response histogram and
+  /// active-op profile (closed at end_time), plus the raw event counts.
+  Histogram responses;
+  TimeWeightedAccumulator active_ops;
+  double end_time = 0.0;
+  uint64_t completed = 0;
+  uint64_t restarts = 0;
+  uint64_t link_crossings = 0;
 };
 
 /// Extracts the per-seed scalars from a finished simulation.
@@ -115,6 +123,14 @@ struct SimPoint {
   Accumulator crossings_per_op;
   Accumulator restarts_per_op;
   double seconds = 0.0;  ///< summed per-seed wall-clock
+  /// Cross-seed pooled distributions (Histogram::Merge in seed order; the
+  /// active-op profile is time-weighted over the seeds' combined span) and
+  /// summed raw counts.
+  Histogram responses;
+  TimeWeightedAccumulator active_ops;
+  uint64_t completed = 0;
+  uint64_t restarts = 0;
+  uint64_t link_crossings = 0;
 };
 
 /// Folds per-seed stats in index order (the deterministic merge).
@@ -128,9 +144,11 @@ struct SimGridRun {
 
 /// Runs grid[p][s] — operating point p, pre-seeded replica s — one job per
 /// (point, seed) pair, all pairs in flight together, and merges each
-/// point's seeds in seed order.
+/// point's seeds in seed order. When trace is non-null a kJobBegin/kJobEnd
+/// pair (id = flat job index, wall-clock seconds since the grid started) is
+/// recorded per job; the sink must be thread-safe and outlive the call.
 SimGridRun RunSimGrid(const std::vector<std::vector<SimConfig>>& grid,
-                      int jobs);
+                      int jobs, obs::TraceSink* trace = nullptr);
 
 // ---------------------------------------------------------------------------
 // Machine-readable results (BENCH_*.json shape)

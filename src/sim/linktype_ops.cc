@@ -18,7 +18,7 @@ void LinkSearchOp::Visit(NodeId node) {
   DoWork(SearchCostAt(node), [this, node] {
     const Node& n = tree().node(node);
     if (op().key > n.high_key) {
-      sim()->metrics().RecordLinkCrossing();
+      sim()->RecordLinkCrossing(id(), node);
       NodeId right = n.right;
       CBTREE_CHECK_NE(right, kInvalidNode);
       ReleaseLock(node);
@@ -70,7 +70,7 @@ void LinkUpdateOp::Visit(NodeId node) {
   DoWork(SearchCostAt(node), [this, node] {
     const Node& n = tree().node(node);
     if (op().key > n.high_key) {
-      sim()->metrics().RecordLinkCrossing();
+      sim()->RecordLinkCrossing(id(), node);
       NodeId right = n.right;
       CBTREE_CHECK_NE(right, kInvalidNode);
       ReleaseLock(node);
@@ -92,7 +92,7 @@ void LinkUpdateOp::Visit(NodeId node) {
 void LinkUpdateOp::LeafGranted(NodeId leaf) {
   const Node& n = tree().node(leaf);
   if (op().key > n.high_key) {
-    sim()->metrics().RecordLinkCrossing();
+    sim()->RecordLinkCrossing(id(), leaf);
     NodeId right = n.right;
     CBTREE_CHECK_NE(right, kInvalidNode);
     ReleaseLock(leaf);
@@ -151,7 +151,7 @@ void LinkUpdateOp::AscendGranted(NodeId node, int level, Key separator,
   const Node& n = tree().node(node);
   if (separator > n.high_key) {
     // The remembered parent split; the separator's range moved right.
-    sim()->metrics().RecordLinkCrossing();
+    sim()->RecordLinkCrossing(id(), node);
     NodeId next = n.right;
     CBTREE_CHECK_NE(next, kInvalidNode);
     ReleaseLock(node);

@@ -46,6 +46,9 @@ class SimMetrics {
   double mean_active_ops(double now) const {
     return active_ops_profile_.Average(now);
   }
+  const TimeWeightedAccumulator& active_ops_profile() const {
+    return active_ops_profile_;
+  }
   size_t max_active_ops() const { return max_active_ops_; }
 
  private:

@@ -57,11 +57,17 @@ void SimOperation::AcquireLock(NodeId node, LockMode mode,
                                std::function<void()> next) {
   int level = tree().node(node).level;
   double requested_at = sim_->now();
+  sim_->Trace(obs::TraceEventKind::kLockRequest, id_, LockModeName(mode),
+              level, static_cast<int64_t>(node));
   sim_->locks().Request(
       node, mode, id_,
       [this, node, mode, level, requested_at, next = std::move(next)]() {
         held_locks_.push_back(HeldLock{node, mode});
-        sim_->RecordLockWait(level, mode, sim_->now() - requested_at);
+        double wait = sim_->now() - requested_at;
+        sim_->Trace(obs::TraceEventKind::kLockAcquire, id_,
+                    LockModeName(mode), level, static_cast<int64_t>(node),
+                    wait);
+        sim_->RecordLockWait(level, mode, wait);
         next();
       });
 }
@@ -71,7 +77,10 @@ void SimOperation::ReleaseLock(NodeId node) {
                          [node](const HeldLock& l) { return l.node == node; });
   CBTREE_CHECK(it != held_locks_.end())
       << "operation " << id_ << " releasing unheld node " << node;
+  LockMode mode = it->mode;
   held_locks_.erase(it);
+  sim_->Trace(obs::TraceEventKind::kLockRelease, id_, LockModeName(mode),
+              tree().node(node).level, static_cast<int64_t>(node));
   sim_->locks().Release(node, id_);
 }
 

@@ -46,7 +46,7 @@ void OptimisticUpdateOp::LeafGranted(NodeId leaf) {
     // Second pass: release everything and redo with W locks (the redo-insert
     // operation of the analysis).
     ReleaseAllExcept();
-    sim()->metrics().RecordRestart();
+    sim()->RecordRestart(id());
     StartCoupledDescent();
     return;
   }

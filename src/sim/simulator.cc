@@ -54,6 +54,32 @@ void Simulator::RemoveChildNode(NodeId parent, NodeId child) {
   tree_->RemoveChild(parent, child);
 }
 
+void Simulator::Trace(obs::TraceEventKind kind, uint64_t id, const char* what,
+                      int level, int64_t node, double value) {
+  if (config_.trace == nullptr) return;
+  obs::TraceEvent e;
+  e.time = events_.now();
+  e.kind = kind;
+  e.id = id;
+  e.what = what;
+  e.level = level;
+  e.node = node;
+  e.value = value;
+  e.measured = metrics_.active();
+  config_.trace->Record(e);
+}
+
+void Simulator::RecordRestart(OpId op) {
+  Trace(obs::TraceEventKind::kRestart, op, "restart");
+  metrics_.RecordRestart();
+}
+
+void Simulator::RecordLinkCrossing(OpId op, NodeId node) {
+  Trace(obs::TraceEventKind::kLinkCrossing, op, "link_crossing",
+        tree_->node(node).level, static_cast<int64_t>(node));
+  metrics_.RecordLinkCrossing();
+}
+
 double Simulator::NodeAccessCost(NodeId node) {
   if (!pool_.enabled()) return AccessCost(tree_->node(node).level);
   bool hit = pool_.Access(node);
@@ -85,6 +111,7 @@ void Simulator::StartOperation(Operation op) {
       MakeSimOperation(this, id, op, config_.algorithm, events_.now());
   SimOperation* raw = sim_op.get();
   active_ops_.emplace(id, std::move(sim_op));
+  Trace(obs::TraceEventKind::kOpArrive, id, OpTypeName(op.type));
   metrics_.RecordActiveOps(events_.now(), active_ops_.size());
   if (active_ops_.size() > config_.max_active_ops) saturated_ = true;
   raw->Start();
@@ -94,6 +121,8 @@ void Simulator::OperationFinished(SimOperation* op,
                                   std::vector<NodeId> retained) {
   double response = events_.now() - op->arrival_time();
   metrics_.RecordResponse(op->type(), response);
+  Trace(obs::TraceEventKind::kOpComplete, op->id(), OpTypeName(op->type()),
+        /*level=*/-1, /*node=*/-1, /*value=*/response);
   ++completed_total_;
   if (completed_total_ == config_.warmup_operations) {
     metrics_.Activate(events_.now());
@@ -201,6 +230,9 @@ SimResult Simulator::Run() {
   result.resp_p50 = metrics_.response_histogram().Quantile(0.50);
   result.resp_p95 = metrics_.response_histogram().Quantile(0.95);
   result.resp_p99 = metrics_.response_histogram().Quantile(0.99);
+  result.response_histogram = metrics_.response_histogram();
+  result.active_ops_profile = metrics_.active_ops_profile();
+  result.end_time = now;
   result.final_shape = CollectTreeStats(*tree_);
   result.restructures = tree_->restructure_stats();
   return result;

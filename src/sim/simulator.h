@@ -23,6 +23,7 @@
 #include "core/analyzer.h"
 #include "core/optimistic_model.h"
 #include "core/params.h"
+#include "obs/trace.h"
 #include "sim/buffer_pool.h"
 #include "sim/event_queue.h"
 #include "sim/lock_manager.h"
@@ -72,6 +73,11 @@ struct SimConfig {
   uint64_t max_active_ops = 50000;   ///< saturation guard
   uint64_t max_events = 500000000;   ///< hard safety stop
 
+  /// Opt-in event tracer (not owned; must outlive the run). Records the
+  /// operation lifecycle and lock queue events; the result statistics are
+  /// byte-identical with or without it.
+  obs::TraceSink* trace = nullptr;
+
   void Validate() const;
 };
 
@@ -99,6 +105,12 @@ struct SimResult {
   double resp_p50 = 0.0;  ///< response-time percentiles over all op types
   double resp_p95 = 0.0;
   double resp_p99 = 0.0;
+
+  /// Full measured response-time distribution and active-op profile, for
+  /// cross-seed pooling (Histogram::Merge / TimeWeightedAccumulator::Merge).
+  Histogram response_histogram;
+  TimeWeightedAccumulator active_ops_profile;
+  double end_time = 0.0;  ///< simulated clock when the run stopped
 
   TreeShapeStats final_shape;
   RestructureStats restructures;
@@ -135,6 +147,15 @@ class Simulator {
   void RecordLockWait(int level, LockMode mode, double wait) {
     metrics_.RecordLockWait(level, mode == LockMode::kWrite, wait);
   }
+  /// Emits a trace event (no-op when config().trace is null). `measured` is
+  /// sampled from the metrics' warm-up state at emission time, so trace
+  /// totals reconcile exactly with the reported statistics.
+  void Trace(obs::TraceEventKind kind, uint64_t id, const char* what,
+             int level = -1, int64_t node = -1, double value = 0.0);
+  /// Restart / link-crossing wrappers: bump the SimMetrics counter and emit
+  /// the matching trace event in one place.
+  void RecordRestart(OpId op);
+  void RecordLinkCrossing(OpId op, NodeId node);
   /// Removes an empty child from its parent in the tree and retires its
   /// lock-manager state (checked empty).
   void RemoveChildNode(NodeId parent, NodeId child);

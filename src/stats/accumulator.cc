@@ -61,10 +61,22 @@ void TimeWeightedAccumulator::Update(double now, double value) {
   current_value_ = value;
 }
 
+void TimeWeightedAccumulator::Merge(const TimeWeightedAccumulator& other,
+                                    double other_now) {
+  double elapsed = other.elapsed(other_now) + other.extra_elapsed_;
+  if (elapsed <= 0.0) return;
+  double integral = other.integral_ +
+                    other.current_value_ * (other_now - other.last_time_) +
+                    other.extra_integral_;
+  extra_integral_ += integral;
+  extra_elapsed_ += elapsed;
+}
+
 double TimeWeightedAccumulator::Average(double now) const {
-  double elapsed = now - start_time_;
+  double elapsed = (now - start_time_) + extra_elapsed_;
   if (elapsed <= 0.0) return current_value_;
-  double integral = integral_ + current_value_ * (now - last_time_);
+  double integral = integral_ + current_value_ * (now - last_time_) +
+                    extra_integral_;
   return integral / elapsed;
 }
 
@@ -76,6 +88,7 @@ Histogram::Histogram(double limit, size_t buckets)
 }
 
 void Histogram::Add(double value) {
+  CBTREE_CHECK(!counts_.empty()) << "Add on an unconfigured Histogram";
   CBTREE_CHECK_GE(value, 0.0);
   size_t idx = value >= limit_
                    ? counts_.size() - 1
@@ -85,22 +98,42 @@ void Histogram::Add(double value) {
   max_seen_ = std::max(max_seen_, value);
 }
 
+void Histogram::Merge(const Histogram& other) {
+  if (other.counts_.empty()) return;
+  if (counts_.empty()) {
+    *this = other;
+    return;
+  }
+  CBTREE_CHECK_EQ(counts_.size(), other.counts_.size())
+      << "merging histograms with different bucket counts";
+  CBTREE_CHECK_EQ(limit_, other.limit_)
+      << "merging histograms with different limits";
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  max_seen_ = std::max(max_seen_, other.max_seen_);
+}
+
 double Histogram::Quantile(double q) const {
   CBTREE_CHECK_GE(q, 0.0);
   CBTREE_CHECK_LE(q, 1.0);
-  if (count_ == 0) return 0.0;
+  if (count_ == 0) return 0.0;  // empty (or unconfigured): defined as 0
   double target = q * static_cast<double>(count_);
   double cum = 0.0;
   for (size_t i = 0; i < counts_.size(); ++i) {
     double next = cum + static_cast<double>(counts_[i]);
     if (next >= target) {
-      if (i == counts_.size() - 1) return max_seen_;  // overflow bucket
       double frac = counts_[i] ? (target - cum) / counts_[i] : 0.0;
+      if (i == counts_.size() - 1) {
+        // Overflow bucket: interpolate over [limit, max seen], the only
+        // range the samples can occupy.
+        double hi = std::max(max_seen_, limit_);
+        return limit_ + frac * (hi - limit_);
+      }
       return (static_cast<double>(i) + frac) * bucket_width_;
     }
     cum = next;
   }
-  return max_seen_;
+  return std::max(max_seen_, limit_);
 }
 
 std::string Histogram::ToAscii(size_t width) const {

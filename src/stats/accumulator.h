@@ -47,7 +47,14 @@ class TimeWeightedAccumulator {
   /// value is credited for [last_time, now).
   void Update(double now, double value);
 
-  /// Closes the current interval at `now` and returns the time average.
+  /// Folds another accumulator's closed window [its start, other_now] into
+  /// this one as extra observation time: Average then weights each window
+  /// by its elapsed time (the pooled time average). The windows may come
+  /// from unrelated clocks (e.g. different simulator seeds).
+  void Merge(const TimeWeightedAccumulator& other, double other_now);
+
+  /// Closes the current interval at `now` and returns the time average
+  /// (including any merged windows).
   double Average(double now) const;
   double elapsed(double now) const { return now - start_time_; }
 
@@ -56,24 +63,35 @@ class TimeWeightedAccumulator {
   double last_time_;
   double current_value_ = 0.0;
   double integral_ = 0.0;
+  // Closed windows folded in by Merge.
+  double extra_integral_ = 0.0;
+  double extra_elapsed_ = 0.0;
 };
 
 /// Fixed-bucket histogram over [0, limit) with an overflow bucket; used for
 /// response-time distributions.
 class Histogram {
  public:
+  /// Unconfigured: Merge adopts the first non-empty operand's shape; Add
+  /// aborts until then.
+  Histogram() = default;
   Histogram(double limit, size_t buckets);
 
   void Add(double value);
+  /// Adds another histogram's counts. The shapes (limit, bucket count) must
+  /// match unless one side is unconfigured/empty.
+  void Merge(const Histogram& other);
   size_t count() const { return count_; }
-  /// Approximate quantile by linear interpolation within the bucket.
+  /// Approximate quantile by linear interpolation within the bucket. An
+  /// empty histogram reports 0; quantiles landing in the overflow bucket
+  /// interpolate over [limit, max seen value].
   double Quantile(double q) const;
   std::string ToAscii(size_t width = 50) const;
   const std::vector<size_t>& buckets() const { return counts_; }
 
  private:
-  double limit_;
-  double bucket_width_;
+  double limit_ = 0.0;
+  double bucket_width_ = 0.0;
   std::vector<size_t> counts_;  // last bucket = overflow
   size_t count_ = 0;
   double max_seen_ = 0.0;

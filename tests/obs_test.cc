@@ -1,0 +1,406 @@
+// The observability layer: metrics registry (sharded counters, gauges,
+// timers), trace sinks, trace/metrics reconciliation against the simulator,
+// and the concurrent trees' latch telemetry.
+//
+// Counting assertions are guarded by CBTREE_OBS_ENABLED so the suite also
+// passes in a -DCBTREE_OBS=OFF build (where updates are no-ops).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "ctree/ctree.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "runner/experiment.h"
+#include "sim/simulator.h"
+
+namespace cbtree {
+namespace {
+
+TEST(RegistryTest, CounterAccumulatesExactly) {
+  obs::Registry registry;
+  obs::Counter ops = registry.counter("ops");
+  ops.Add();
+  ops.Add(41);
+  obs::Snapshot snapshot = registry.Read();
+#if CBTREE_OBS_ENABLED
+  EXPECT_EQ(snapshot.counters.at("ops"), 42u);
+#else
+  EXPECT_EQ(snapshot.counters.at("ops"), 0u);
+#endif
+}
+
+TEST(RegistryTest, SameNameSharesTheCell) {
+  obs::Registry registry;
+  registry.counter("x").Add(1);
+  registry.counter("x").Add(2);
+#if CBTREE_OBS_ENABLED
+  EXPECT_EQ(registry.Read().counters.at("x"), 3u);
+#endif
+}
+
+TEST(RegistryTest, DefaultConstructedHandlesAreInert) {
+  obs::Counter counter;
+  obs::Gauge gauge;
+  obs::Timer timer;
+  counter.Add(5);
+  gauge.Set(7);
+  timer.RecordNs(100);  // must not crash
+}
+
+TEST(RegistryTest, MultiThreadedCountsAreExactAfterJoin) {
+  obs::Registry registry;
+  obs::Counter ops = registry.counter("ops");
+  obs::Timer lat = registry.timer("lat");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ops.Add();
+        lat.RecordNs(static_cast<uint64_t>(i % 1000));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  obs::Snapshot snapshot = registry.Read();
+#if CBTREE_OBS_ENABLED
+  EXPECT_EQ(snapshot.counters.at("ops"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snapshot.timers.at("lat").count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snapshot.timers.at("lat").max_ns, 999u);
+#endif
+}
+
+TEST(RegistryTest, ExitedThreadsRetireTheirShards) {
+  obs::Registry registry;
+  obs::Counter ops = registry.counter("ops");
+  std::thread([&] { ops.Add(17); }).join();
+  ops.Add(3);
+#if CBTREE_OBS_ENABLED
+  EXPECT_EQ(registry.Read().counters.at("ops"), 20u);
+#endif
+}
+
+TEST(RegistryTest, TwoRegistriesAreIndependent) {
+  obs::Registry a, b;
+  obs::Counter ca = a.counter("n"), cb = b.counter("n");
+  ca.Add(1);
+  cb.Add(10);
+  ca.Add(1);
+#if CBTREE_OBS_ENABLED
+  EXPECT_EQ(a.Read().counters.at("n"), 2u);
+  EXPECT_EQ(b.Read().counters.at("n"), 10u);
+#endif
+}
+
+TEST(RegistryTest, HandlesOutliveTheRegistry) {
+  obs::Counter survivor;
+  {
+    obs::Registry registry;
+    survivor = registry.counter("n");
+    survivor.Add(1);
+  }
+  survivor.Add(1);  // registry is gone; must still be safe
+}
+
+TEST(RegistryTest, GaugeKeepsLastValue) {
+  obs::Registry registry;
+  obs::Gauge depth = registry.gauge("depth");
+  depth.Set(4);
+  depth.Set(-2);
+#if CBTREE_OBS_ENABLED
+  EXPECT_EQ(registry.Read().gauges.at("depth"), -2);
+#else
+  EXPECT_EQ(registry.Read().gauges.at("depth"), 0);
+#endif
+}
+
+TEST(RegistryTest, TimerQuantilesBracketTheSamples) {
+  obs::Registry registry;
+  obs::Timer timer = registry.timer("t");
+  for (int i = 0; i < 1000; ++i) timer.RecordNs(1000);  // all ~1us
+  timer.RecordNs(1000000);  // one 1ms outlier
+#if CBTREE_OBS_ENABLED
+  obs::TimerSnapshot snapshot = registry.Read().timers.at("t");
+  EXPECT_EQ(snapshot.count, 1001u);
+  EXPECT_EQ(snapshot.max_ns, 1000000u);
+  // p50 lands in the log2 bucket holding 1000ns: [512, 1024).
+  EXPECT_GE(snapshot.quantile_ns(0.5), 512.0);
+  EXPECT_LE(snapshot.quantile_ns(0.5), 1024.0);
+  // No quantile exceeds the observed max.
+  EXPECT_LE(snapshot.quantile_ns(0.999), 1000000.0);
+  EXPECT_DOUBLE_EQ(snapshot.mean_ns(),
+                   (1000.0 * 1000 + 1000000) / 1001.0);
+#endif
+}
+
+TEST(RegistryTest, SnapshotJsonIsWellFormed) {
+  obs::Registry registry;
+  registry.counter("c").Add(3);
+  registry.gauge("g").Set(-1);
+  registry.timer("t").RecordNs(5);
+  std::string json;
+  registry.Read().AppendJson(&json);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"timers\""), std::string::npos);
+#if CBTREE_OBS_ENABLED
+  EXPECT_NE(json.find("\"c\":3"), std::string::npos);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Trace sinks
+// ---------------------------------------------------------------------------
+
+obs::TraceEvent MakeEvent(obs::TraceEventKind kind, uint64_t id,
+                          bool measured) {
+  obs::TraceEvent event;
+  event.time = 1.5;
+  event.kind = kind;
+  event.id = id;
+  event.what = "search";
+  event.level = 2;
+  event.node = 7;
+  event.value = 0.25;
+  event.measured = measured;
+  return event;
+}
+
+TEST(TraceTest, JsonlRoundTripsThroughCountJsonlTrace) {
+  std::ostringstream out;
+  obs::JsonlTraceSink sink(&out);
+  sink.Record(MakeEvent(obs::TraceEventKind::kOpComplete, 1, true));
+  sink.Record(MakeEvent(obs::TraceEventKind::kOpComplete, 2, false));
+  sink.Record(MakeEvent(obs::TraceEventKind::kRestart, 3, true));
+  sink.Record(MakeEvent(obs::TraceEventKind::kLinkCrossing, 4, true));
+  sink.Record(MakeEvent(obs::TraceEventKind::kLockAcquire, 5, true));
+  sink.Flush();
+  std::istringstream in(out.str());
+  obs::TraceTotals totals = obs::CountJsonlTrace(in);
+  EXPECT_EQ(totals.lines, 5u);
+  EXPECT_EQ(totals.completions, 1u);  // the unmeasured one is excluded
+  EXPECT_EQ(totals.restarts, 1u);
+  EXPECT_EQ(totals.link_crossings, 1u);
+  EXPECT_EQ(totals.lock_acquires, 1u);
+  // Every line is a self-contained JSON object.
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"kind\":"), std::string::npos);
+  }
+}
+
+TEST(TraceTest, ChromeSinkEmitsOneJsonArray) {
+  std::ostringstream out;
+  {
+    obs::ChromeTraceSink sink(&out);
+    sink.Record(MakeEvent(obs::TraceEventKind::kOpArrive, 1, true));
+    sink.Flush();  // mid-run flush must not close the array
+    sink.Record(MakeEvent(obs::TraceEventKind::kOpComplete, 1, true));
+    sink.Record(MakeEvent(obs::TraceEventKind::kLockRequest, 1, true));
+  }  // destructor writes the terminator
+  std::string trace = out.str();
+  EXPECT_EQ(trace.front(), '[');
+  EXPECT_EQ(trace[trace.find_last_not_of('\n')], ']');
+  EXPECT_NE(trace.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"i\""), std::string::npos);
+  // Exactly one terminator.
+  EXPECT_EQ(trace.find(']'), trace.rfind(']'));
+}
+
+TEST(TraceTest, ParseTraceFormat) {
+  EXPECT_EQ(obs::ParseTraceFormat("jsonl"), obs::TraceFormat::kJsonl);
+  EXPECT_EQ(obs::ParseTraceFormat("chrome"), obs::TraceFormat::kChrome);
+  EXPECT_FALSE(obs::ParseTraceFormat("xml").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Trace / SimMetrics reconciliation
+// ---------------------------------------------------------------------------
+
+class TraceConsistencyTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(TraceConsistencyTest, TraceTotalsMatchSimMetrics) {
+  std::ostringstream out;
+  obs::JsonlTraceSink sink(&out);
+  SimConfig config;
+  config.algorithm = GetParam();
+  config.lambda = 0.2;
+  config.num_operations = 3000;
+  config.warmup_operations = 300;
+  config.num_items = 4000;
+  config.seed = 7;
+  config.trace = &sink;
+  SimResult result = Simulator(config).Run();
+  ASSERT_FALSE(result.saturated);
+  std::istringstream in(out.str());
+  obs::TraceTotals totals = obs::CountJsonlTrace(in);
+  EXPECT_EQ(totals.completions, result.completed);
+  EXPECT_EQ(totals.restarts, result.restarts);
+  EXPECT_EQ(totals.link_crossings, result.link_crossings);
+  EXPECT_GT(totals.lock_acquires, 0u);
+  // Tracing never perturbs the run: the same config without a sink
+  // produces the same statistics.
+  SimConfig untraced = config;
+  untraced.trace = nullptr;
+  SimResult reference = Simulator(untraced).Run();
+  EXPECT_EQ(reference.completed, result.completed);
+  EXPECT_EQ(reference.restarts, result.restarts);
+  EXPECT_EQ(reference.link_crossings, result.link_crossings);
+  EXPECT_DOUBLE_EQ(reference.resp_all.mean(), result.resp_all.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, TraceConsistencyTest,
+                         ::testing::Values(Algorithm::kNaiveLockCoupling,
+                                           Algorithm::kOptimisticDescent,
+                                           Algorithm::kLinkType,
+                                           Algorithm::kTwoPhaseLocking));
+
+// ---------------------------------------------------------------------------
+// Concurrent-tree latch telemetry
+// ---------------------------------------------------------------------------
+
+class LatchTelemetryTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(LatchTelemetryTest, AcquisitionsShowUpPerLevel) {
+  auto tree = MakeConcurrentBTree(GetParam(), 8);
+  for (int i = 0; i < 2000; ++i) tree->Insert(i * 7 % 5000, i);
+  for (int i = 0; i < 2000; ++i) tree->Search(i * 7 % 5000);
+  CTreeStats stats = tree->stats();
+#if CBTREE_OBS_ENABLED
+  ASSERT_FALSE(stats.latch_levels.empty());
+  // Level 1 (the leaves) saw every insert's exclusive latch.
+  const LatchLevelStats& leaves = stats.latch_levels.front();
+  EXPECT_EQ(leaves.level, 1);
+  EXPECT_GE(leaves.exclusive.acquisitions, 2000u);
+  uint64_t total = 0;
+  for (const LatchLevelStats& level : stats.latch_levels) {
+    EXPECT_GT(level.level, 0);
+    EXPECT_LE(level.shared.contended, level.shared.acquisitions);
+    EXPECT_LE(level.exclusive.contended, level.exclusive.acquisitions);
+    total += level.shared.acquisitions + level.exclusive.acquisitions;
+  }
+  EXPECT_GE(total, 4000u);
+  // Single-threaded: nothing can have blocked.
+  for (const LatchLevelStats& level : stats.latch_levels) {
+    EXPECT_EQ(level.shared.contended, 0u);
+    EXPECT_EQ(level.exclusive.contended, 0u);
+  }
+#else
+  EXPECT_TRUE(stats.latch_levels.empty());
+#endif
+}
+
+TEST_P(LatchTelemetryTest, ContendedWaitsAreTimedUnderThreads) {
+  auto tree = MakeConcurrentBTree(GetParam(), 8);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 5000; ++i) {
+        int key = (t * 5000 + i) * 13 % 40000;
+        if (i % 3 == 0) {
+          tree->Search(key);
+        } else if (i % 3 == 1) {
+          tree->Insert(key, i);
+        } else {
+          tree->Delete(key);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  tree->CheckInvariants();
+  CTreeStats stats = tree->stats();
+#if CBTREE_OBS_ENABLED
+  ASSERT_FALSE(stats.latch_levels.empty());
+  for (const LatchLevelStats& level : stats.latch_levels) {
+    // Wait timers only record contended acquisitions.
+    EXPECT_EQ(level.shared.wait.count, level.shared.contended);
+    EXPECT_EQ(level.exclusive.wait.count, level.exclusive.contended);
+  }
+#endif
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, LatchTelemetryTest,
+                         ::testing::Values(Algorithm::kNaiveLockCoupling,
+                                           Algorithm::kOptimisticDescent,
+                                           Algorithm::kLinkType,
+                                           Algorithm::kTwoPhaseLocking));
+
+// ---------------------------------------------------------------------------
+// Runner job events
+// ---------------------------------------------------------------------------
+
+TEST(RunnerTraceTest, JobEventsCoverEveryGridJob) {
+  std::ostringstream out;
+  obs::JsonlTraceSink sink(&out);
+  SimConfig base;
+  base.algorithm = Algorithm::kLinkType;
+  base.lambda = 0.15;
+  base.num_operations = 800;
+  base.warmup_operations = 80;
+  base.num_items = 2000;
+  std::vector<std::vector<SimConfig>> grid(2);
+  for (int p = 0; p < 2; ++p) {
+    for (int s = 0; s < 2; ++s) {
+      SimConfig config = base;
+      config.seed = 10 * p + s + 1;
+      grid[p].push_back(config);
+    }
+  }
+  runner::SimGridRun run = runner::RunSimGrid(grid, /*jobs=*/2, &sink);
+  EXPECT_EQ(run.points.size(), 2u);
+  std::istringstream in(out.str());
+  std::string line;
+  int begins = 0, ends = 0;
+  while (std::getline(in, line)) {
+    if (line.find("\"kind\":\"job_begin\"") != std::string::npos) ++begins;
+    if (line.find("\"kind\":\"job_end\"") != std::string::npos) ++ends;
+  }
+  EXPECT_EQ(begins, 4);
+  EXPECT_EQ(ends, 4);
+}
+
+TEST(RunnerTraceTest, MergedPointPoolsSeedDistributions) {
+  SimConfig base;
+  base.algorithm = Algorithm::kNaiveLockCoupling;
+  base.lambda = 0.15;
+  base.num_operations = 1000;
+  base.warmup_operations = 100;
+  base.num_items = 2000;
+  std::vector<std::vector<SimConfig>> grid(1);
+  for (int s = 0; s < 3; ++s) {
+    SimConfig config = base;
+    config.seed = s + 1;
+    grid[0].push_back(config);
+  }
+  runner::SimGridRun run = runner::RunSimGrid(grid, /*jobs=*/1);
+  ASSERT_EQ(run.points.size(), 1u);
+  const runner::SimPoint& point = run.points.front();
+  ASSERT_TRUE(point.ok);
+  // 3 seeds x 900 measured completions, pooled.
+  EXPECT_EQ(point.completed, 2700u);
+  EXPECT_EQ(point.responses.count(), 2700u);
+  EXPECT_GT(point.active_ops.Average(0.0), 0.0);
+  double p50 = point.responses.Quantile(0.5);
+  double p99 = point.responses.Quantile(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_GE(p99, p50);
+}
+
+}  // namespace
+}  // namespace cbtree

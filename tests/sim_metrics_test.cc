@@ -1,0 +1,77 @@
+// SimMetrics warm-up semantics: everything recorded before Activate() is
+// discarded, everything after it counts, and the activation time anchors the
+// measured window.
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.h"
+
+namespace cbtree {
+namespace {
+
+TEST(SimMetricsTest, InactiveByDefaultAndDiscardsEverything) {
+  SimMetrics metrics;
+  EXPECT_FALSE(metrics.active());
+  metrics.RecordResponse(OpType::kSearch, 5.0);
+  metrics.RecordResponse(OpType::kInsert, 7.0);
+  metrics.RecordLockWait(2, /*write=*/true, 1.5);
+  metrics.RecordLinkCrossing();
+  metrics.RecordRestart();
+  EXPECT_EQ(metrics.completed(), 0u);
+  EXPECT_EQ(metrics.response_all().count(), 0u);
+  EXPECT_EQ(metrics.response(OpType::kSearch).count(), 0u);
+  EXPECT_EQ(metrics.lock_wait_w(2).count(), 0u);
+  EXPECT_EQ(metrics.link_crossings(), 0u);
+  EXPECT_EQ(metrics.restarts(), 0u);
+  EXPECT_EQ(metrics.response_histogram().count(), 0u);
+}
+
+TEST(SimMetricsTest, ActivateStartsTheMeasuredWindow) {
+  SimMetrics metrics;
+  metrics.RecordResponse(OpType::kSearch, 100.0);  // warm-up, discarded
+  metrics.RecordRestart();
+  metrics.Activate(12.5);
+  EXPECT_TRUE(metrics.active());
+  EXPECT_DOUBLE_EQ(metrics.activation_time(), 12.5);
+
+  metrics.RecordResponse(OpType::kSearch, 4.0);
+  metrics.RecordResponse(OpType::kDelete, 6.0);
+  metrics.RecordLockWait(1, /*write=*/false, 0.5);
+  metrics.RecordLinkCrossing();
+  metrics.RecordRestart();
+
+  EXPECT_EQ(metrics.completed(), 2u);
+  EXPECT_EQ(metrics.response(OpType::kSearch).count(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.response(OpType::kSearch).mean(), 4.0);
+  EXPECT_EQ(metrics.response(OpType::kDelete).count(), 1u);
+  EXPECT_EQ(metrics.response_all().count(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.response_all().mean(), 5.0);
+  EXPECT_EQ(metrics.lock_wait_r(1).count(), 1u);
+  EXPECT_EQ(metrics.link_crossings(), 1u);
+  EXPECT_EQ(metrics.restarts(), 1u);
+  // The warm-up response never reached the histogram either.
+  EXPECT_EQ(metrics.response_histogram().count(), 2u);
+}
+
+TEST(SimMetricsTest, ActiveOpsProfileTracksOnlyMeasuredTime) {
+  SimMetrics metrics;
+  metrics.RecordActiveOps(0.0, 10);  // warm-up: not part of the profile
+  metrics.Activate(10.0);
+  metrics.RecordActiveOps(12.0, 4);
+  // Activate restarts the profile at 10: [10, 12) contributes nothing,
+  // [12, 14) holds 4, so the average is (0*2 + 4*2) / 4 = 2.
+  double avg = metrics.mean_active_ops(14.0);
+  EXPECT_DOUBLE_EQ(avg, 2.0);
+  EXPECT_DOUBLE_EQ(metrics.active_ops_profile().Average(14.0), avg);
+}
+
+TEST(SimMetricsTest, MaxActiveOpsTracksAllTime) {
+  SimMetrics metrics;
+  metrics.RecordActiveOps(0.0, 3);
+  metrics.Activate(1.0);
+  metrics.RecordActiveOps(2.0, 2);
+  EXPECT_EQ(metrics.max_active_ops(), 3u);
+}
+
+}  // namespace
+}  // namespace cbtree

@@ -123,6 +123,93 @@ TEST(HistogramTest, QuantilesApproximate) {
   EXPECT_NEAR(hist.Quantile(0.95), 9.5, 0.6);
 }
 
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram configured(10.0, 10);
+  EXPECT_DOUBLE_EQ(configured.Quantile(0.5), 0.0);
+  Histogram unconfigured;
+  EXPECT_DOUBLE_EQ(unconfigured.Quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, OverflowQuantileInterpolatesToMaxSeen) {
+  Histogram hist(10.0, 10);
+  hist.Add(5.0);
+  hist.Add(50.0);
+  hist.Add(100.0);
+  // Overflow quantiles live in [limit, max seen]; the extreme quantile
+  // reaches (nearly) the max, never beyond it.
+  double q999 = hist.Quantile(0.999);
+  EXPECT_GE(q999, 10.0);
+  EXPECT_LE(q999, 100.0);
+  EXPECT_NEAR(q999, 100.0, 1.0);
+  double q50 = hist.Quantile(0.5);
+  EXPECT_GE(q50, 0.0);
+  EXPECT_LE(q50, 100.0);
+}
+
+TEST(HistogramTest, MergePoolsCounts) {
+  Histogram a(10.0, 10), b(10.0, 10), pooled(10.0, 10);
+  for (int i = 0; i < 50; ++i) {
+    double va = (i % 10) + 0.5, vb = (i % 5) + 0.25;
+    a.Add(va);
+    b.Add(vb);
+    pooled.Add(va);
+    pooled.Add(vb);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_EQ(a.buckets(), pooled.buckets());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), pooled.Quantile(q)) << q;
+  }
+}
+
+TEST(HistogramTest, MergeIntoUnconfiguredAdoptsShape) {
+  Histogram a(10.0, 10);
+  a.Add(3.0);
+  a.Add(7.0);
+  Histogram empty;
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), a.Quantile(0.5));
+  // Merging an empty/unconfigured operand is a no-op.
+  a.Merge(Histogram());
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(TimeWeightedTest, MergePoolsDisjointWindows) {
+  // Seed 1: value 2 over [0, 10); seed 2: value 6 over [0, 5).
+  TimeWeightedAccumulator a(0.0), b(0.0);
+  a.Update(0.0, 2.0);
+  b.Update(0.0, 6.0);
+  TimeWeightedAccumulator pooled;
+  pooled.Merge(a, 10.0);
+  pooled.Merge(b, 5.0);
+  // (2*10 + 6*5) / (10 + 5) = 50/15.
+  EXPECT_NEAR(pooled.Average(0.0), 50.0 / 15.0, 1e-12);
+}
+
+TEST(TimeWeightedTest, MergeIntoLiveAccumulator) {
+  TimeWeightedAccumulator live(0.0);
+  live.Update(0.0, 4.0);  // value 4 over [0, 2]
+  TimeWeightedAccumulator other(0.0);
+  other.Update(0.0, 1.0);  // value 1 over [0, 6]
+  live.Merge(other, 6.0);
+  // (4*2 + 1*6) / (2 + 6) = 14/8.
+  EXPECT_NEAR(live.Average(2.0), 14.0 / 8.0, 1e-12);
+  // Without merges Average is unchanged behavior.
+  TimeWeightedAccumulator plain(0.0);
+  plain.Update(0.0, 4.0);
+  EXPECT_DOUBLE_EQ(plain.Average(2.0), 4.0);
+}
+
+TEST(TimeWeightedTest, MergeIgnoresEmptyWindow) {
+  TimeWeightedAccumulator acc(0.0);
+  acc.Update(0.0, 3.0);
+  TimeWeightedAccumulator idle(5.0);
+  acc.Merge(idle, 5.0);  // zero elapsed: no-op
+  EXPECT_DOUBLE_EQ(acc.Average(2.0), 3.0);
+}
+
 TEST(SolverTest, BisectFindsSqrt2) {
   auto f = [](double x) { return x * x - 2.0; };
   auto root = Bisect(f, 0.0, 2.0);

@@ -7,24 +7,33 @@
 //   cbtree capacity  --algorithm=optimistic [--rho=0.5]
 //   cbtree rules     [tree flags]
 //   cbtree simulate  --algorithm=link --lambda=0.3 [--seeds=5 --ops=10000]
+//   cbtree stress    --algorithm=link --threads=8 [--stress_ops=100000]
 //
 // Tree flags (all subcommands): --items, --node_size, --disk_cost,
 // --qs/--qi/--qd, and for simulate also --seed, --buffer_pool, --zipf.
-// The unit of time is one in-memory node search (paper §5.3).
+// simulate accepts --trace=<file> (--trace_format=jsonl|chrome) to record
+// the first seed's event trace; stress accepts --metrics=table|json for
+// the latch-contention report. The unit of time is one in-memory node
+// search (paper §5.3).
 
 #include <chrono>
+#include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/analyzer.h"
 #include "core/buffer_model.h"
 #include "core/optimistic_model.h"
 #include "core/rules_of_thumb.h"
+#include "ctree/ctree.h"
+#include "obs/trace.h"
 #include "runner/experiment.h"
 #include "sim/simulator.h"
+#include "stats/rng.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -52,6 +61,13 @@ struct CommonOptions {
   int jobs = 0;
   bool json = false;
   bool timing = false;
+  // stress-only
+  int threads = 8;
+  uint64_t stress_ops = 100000;
+  std::string metrics = "table";
+  // simulate-only tracing
+  std::string trace;
+  std::string trace_format = "jsonl";
 
   void Register(FlagSet* flags) {
     flags->Register("algorithm", &algorithm,
@@ -80,6 +96,15 @@ struct CommonOptions {
                     "emit machine-readable JSON (sweep, simulate)");
     flags->Register("timing", &timing,
                     "include wall-clock timing in the JSON output");
+    flags->Register("threads", &threads, "stress worker threads");
+    flags->Register("stress_ops", &stress_ops,
+                    "total operations across all stress threads");
+    flags->Register("metrics", &metrics,
+                    "stress report format: table | json");
+    flags->Register("trace", &trace,
+                    "write the first seed's event trace to this file");
+    flags->Register("trace_format", &trace_format,
+                    "trace file format: jsonl | chrome");
   }
 
   Algorithm ParseAlgorithm() const {
@@ -279,6 +304,19 @@ int CmdSimulate(const CommonOptions& options) {
     config.seed = options.seed + s;
     configs.push_back(config);
   }
+  // --trace records the first seed's full event stream; the other seeds run
+  // untraced (the statistics are identical either way).
+  std::unique_ptr<obs::TraceSink> sink;
+  if (!options.trace.empty()) {
+    auto format = obs::ParseTraceFormat(options.trace_format);
+    if (!format.has_value()) {
+      std::cerr << "unknown --trace_format '" << options.trace_format
+                << "' (jsonl | chrome)\n";
+      return 1;
+    }
+    sink = obs::OpenTraceFile(options.trace, *format);
+    configs[0].trace = sink.get();
+  }
   auto start = std::chrono::steady_clock::now();
   std::vector<SimResult> results = runner::ParallelMap(
       configs.size(), options.jobs,
@@ -286,6 +324,7 @@ int CmdSimulate(const CommonOptions& options) {
   double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  if (sink != nullptr) sink->Flush();
 
   if (options.json) {
     std::vector<runner::SeedStats> seeds;
@@ -338,10 +377,157 @@ int CmdSimulate(const CommonOptions& options) {
   return 0;
 }
 
+void AppendStressTimer(std::string* out, const obs::TimerSnapshot& timer) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"count\":%" PRIu64 ",\"total_ns\":%" PRIu64
+                ",\"max_ns\":%" PRIu64
+                ",\"mean_ns\":%.17g,\"p50_ns\":%.17g,\"p99_ns\":%.17g}",
+                timer.count, timer.total_ns, timer.max_ns, timer.mean_ns(),
+                timer.quantile_ns(0.50), timer.quantile_ns(0.99));
+  out->append(buffer);
+}
+
+void AppendStressSide(std::string* out, const char* name,
+                      const LatchWaitStats& side) {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer),
+                "\"%s\":{\"acquisitions\":%" PRIu64 ",\"contended\":%" PRIu64
+                ",\"wait\":",
+                name, side.acquisitions, side.contended);
+  out->append(buffer);
+  AppendStressTimer(out, side.wait);
+  out->push_back('}');
+}
+
+// Multi-threaded stress of a real concurrent tree: preload, then hammer it
+// with the configured mix from `threads` workers and report wall-clock
+// throughput plus the latch-contention telemetry the trees collect.
+int CmdStress(const CommonOptions& options) {
+  if (options.metrics != "table" && options.metrics != "json") {
+    std::cerr << "unknown --metrics '" << options.metrics
+              << "' (table | json)\n";
+    return 1;
+  }
+  auto tree = MakeConcurrentBTree(options.ParseAlgorithm(),
+                                  options.node_size);
+  const uint64_t key_space = 2 * std::max<uint64_t>(options.items, 1);
+  {
+    Rng rng(options.seed * 0x9e3779b97f4a7c15ull + 1);
+    for (uint64_t i = 0; i < options.items; ++i) {
+      tree->Insert(static_cast<Key>(rng.NextBounded(key_space) + 1),
+                   static_cast<Value>(i));
+    }
+  }
+  const int threads = std::max(1, options.threads);
+  const uint64_t per_thread = options.stress_ops / threads;
+  const uint64_t total_ops = per_thread * threads;
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(options.seed * 0x2545f4914f6cdd1dull + 1000 + t);
+      for (uint64_t i = 0; i < per_thread; ++i) {
+        Key key = static_cast<Key>(rng.NextBounded(key_space) + 1);
+        double r = rng.NextDouble();
+        if (r < options.q_s) {
+          tree->Search(key);
+        } else if (r < options.q_s + options.q_i) {
+          tree->Insert(key, static_cast<Value>(i));
+        } else {
+          tree->Delete(key);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  tree->CheckInvariants();
+  CTreeStats stats = tree->stats();
+  double throughput =
+      wall_seconds > 0.0 ? static_cast<double>(total_ops) / wall_seconds : 0.0;
+
+  if (options.metrics == "json") {
+    std::string json;
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\"kind\":\"stress\",\"algorithm\":\"%s\",\"threads\":%d,"
+                  "\"ops\":%" PRIu64
+                  ",\"wall_seconds\":%.17g,"
+                  "\"throughput_ops_per_sec\":%.17g,",
+                  tree->name().c_str(), threads, total_ops, wall_seconds,
+                  throughput);
+    json.append(buffer);
+    std::snprintf(buffer, sizeof(buffer),
+                  "\"counts\":{\"size\":%zu,\"splits\":%" PRIu64
+                  ",\"root_splits\":%" PRIu64 ",\"restarts\":%" PRIu64
+                  ",\"link_crossings\":%" PRIu64 "},",
+                  tree->size(), stats.splits, stats.root_splits,
+                  stats.restarts, stats.link_crossings);
+    json.append(buffer);
+    json.append("\"latch_levels\":[");
+    for (size_t i = 0; i < stats.latch_levels.size(); ++i) {
+      const LatchLevelStats& level = stats.latch_levels[i];
+      if (i > 0) json.push_back(',');
+      std::snprintf(buffer, sizeof(buffer), "{\"level\":%d,", level.level);
+      json.append(buffer);
+      AppendStressSide(&json, "shared", level.shared);
+      json.push_back(',');
+      AppendStressSide(&json, "exclusive", level.exclusive);
+      json.push_back('}');
+    }
+    json.append("]}\n");
+    std::fputs(json.c_str(), stdout);
+    return 0;
+  }
+
+  std::printf(
+      "%s stress: %d threads x %" PRIu64
+      " ops in %.3fs (%.0f ops/s), final size %zu\n"
+      "  splits %" PRIu64 " (root %" PRIu64 ")  restarts %" PRIu64
+      "  link crossings %" PRIu64 "\n",
+      tree->name().c_str(), threads, per_thread, wall_seconds, throughput,
+      tree->size(), stats.splits, stats.root_splits, stats.restarts,
+      stats.link_crossings);
+  if (stats.latch_levels.empty()) {
+    std::printf("  (latch telemetry disabled: built with CBTREE_OBS=OFF)\n");
+    return 0;
+  }
+  Table table({"level", "S_acq", "S_contended", "S_p99_wait_us", "X_acq",
+               "X_contended", "X_p99_wait_us"});
+  for (auto it = stats.latch_levels.rbegin();
+       it != stats.latch_levels.rend(); ++it) {
+    table.NewRow()
+        .Add(it->level)
+        .Add(static_cast<int64_t>(it->shared.acquisitions))
+        .Add(static_cast<int64_t>(it->shared.contended))
+        .Add(it->shared.wait.quantile_ns(0.99) / 1000.0)
+        .Add(static_cast<int64_t>(it->exclusive.acquisitions))
+        .Add(static_cast<int64_t>(it->exclusive.contended))
+        .Add(it->exclusive.wait.quantile_ns(0.99) / 1000.0);
+  }
+  table.Print(std::cout, options.csv);
+  return 0;
+}
+
 void Usage() {
-  std::fprintf(stderr,
-               "usage: cbtree <analyze|sweep|compare|capacity|rules|"
-               "simulate> [flags]\nrun 'cbtree <cmd> --help' for flags\n");
+  std::fprintf(
+      stderr,
+      "usage: cbtree <command> [flags]\n"
+      "commands:\n"
+      "  analyze   per-level queueing analysis at one arrival rate\n"
+      "  sweep     analysis across a lambda grid (--points, --json)\n"
+      "  compare   all four algorithms side by side at one lambda\n"
+      "  capacity  max throughput and lambda at a target root rho_w\n"
+      "  rules     the paper's rules of thumb for this tree\n"
+      "  simulate  discrete-event simulation (--seeds, --ops, --json,\n"
+      "            --trace=<file> --trace_format=jsonl|chrome)\n"
+      "  stress    multi-threaded run on a real concurrent tree\n"
+      "            (--threads, --stress_ops, --metrics=table|json)\n"
+      "run 'cbtree <cmd> --help' for the full flag list\n");
 }
 
 }  // namespace
@@ -364,6 +550,8 @@ int main(int argc, char** argv) {
   if (command == "capacity") return CmdCapacity(options);
   if (command == "rules") return CmdRules(options);
   if (command == "simulate") return CmdSimulate(options);
+  if (command == "stress") return CmdStress(options);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   Usage();
   return 1;
 }

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""End-to-end trace/metrics reconciliation for `cbtree simulate --trace`.
+
+Usage: check_trace_consistency.py <cbtree-binary> [extra simulate flags...]
+
+Runs a single-seed simulation with a JSONL trace attached, then checks that
+the measured event totals recovered from the trace file are exactly the
+completions, restarts, and link crossings the statistics report claims.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_trace_consistency.py <cbtree-binary> [flags...]")
+    with tempfile.NamedTemporaryFile(suffix=".jsonl") as trace:
+        cmd = [sys.argv[1], "simulate", "--seeds=1", "--json",
+               f"--trace={trace.name}"] + sys.argv[2:]
+        out = subprocess.run(cmd, capture_output=True, text=True, check=True)
+        report = json.loads(out.stdout)
+        if report.get("kind") != "simulate":
+            fail(f"kind != simulate: {report.get('kind')}")
+        if not report.get("ok"):
+            fail("run saturated; pick a smaller --lambda for this check")
+        stats = report["stats"]
+
+        completions = restarts = crossings = lines = 0
+        with open(trace.name) as stream:
+            for line in stream:
+                if not line.strip():
+                    continue
+                lines += 1
+                event = json.loads(line)
+                if not event["measured"]:
+                    continue
+                if event["kind"] == "op_complete":
+                    completions += 1
+                elif event["kind"] == "restart":
+                    restarts += 1
+                elif event["kind"] == "link_crossing":
+                    crossings += 1
+
+    if lines == 0:
+        fail("trace file is empty")
+    for name, traced, reported in (
+            ("completions", completions, stats["completed"]),
+            ("restarts", restarts, stats["restarts"]),
+            ("link_crossings", crossings, stats["link_crossings"])):
+        if traced != reported:
+            fail(f"{name}: trace says {traced}, stats say {reported}")
+    print(f"OK: {lines} trace lines; completions={completions} "
+          f"restarts={restarts} link_crossings={crossings} "
+          "all match the stats report")
+
+
+if __name__ == "__main__":
+    main()
