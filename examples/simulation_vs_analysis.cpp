@@ -2,7 +2,7 @@
 // at a user-chosen operating point — the experiment behind Figures 3-8,
 // runnable interactively.
 //
-// Build & run:  ./build/examples/simulation_vs_analysis \
+// Build & run:  ./build/examples/simulation_vs_analysis
 //                   [--algorithm=naive|optimistic|link] [--lambda=0.3] ...
 
 #include <cstdio>

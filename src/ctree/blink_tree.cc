@@ -2,7 +2,15 @@
 
 namespace cbtree {
 
-std::optional<Value> BLinkTree::Search(Key key) const {
+// Move-right loops re-bind `node` per iteration, which defeats Clang's
+// lexical lock tracking; every operation instead declares the kBLink
+// discipline — AT MOST ONE latch held at any instant, links crossed
+// release-then-acquire — and the runtime validator (ctree/latch_check.h)
+// enforces it on each acquisition.
+
+std::optional<Value> BLinkTree::Search(Key key) const
+    CBTREE_NO_THREAD_SAFETY_ANALYSIS {
+  latch_check::ScopedOp op(latch_check::Discipline::kBLink);
   CNode* node = root();
   LatchShared(node);
   while (true) {
@@ -10,47 +18,48 @@ std::optional<Value> BLinkTree::Search(Key key) const {
       link_crossings_.fetch_add(1, std::memory_order_relaxed);
       CNode* right = node->right;
       CBTREE_CHECK(right != nullptr);
-      node->latch.unlock_shared();
+      UnlatchShared(node);
       LatchShared(right);
       node = right;
       continue;
     }
     if (node->is_leaf()) break;
     CNode* child = cnode::ChildFor(*node, key);
-    node->latch.unlock_shared();
+    UnlatchShared(node);
     LatchShared(child);
     node = child;
   }
   Value value;
   bool found = cnode::LeafSearch(*node, key, &value);
-  node->latch.unlock_shared();
+  UnlatchShared(node);
   if (!found) return std::nullopt;
   return value;
 }
 
-CNode* BLinkTree::MoveRightExclusive(CNode* node, Key key) const {
+CNode* BLinkTree::MoveRightExclusive(CNode* node, Key key) const
+    CBTREE_NO_THREAD_SAFETY_ANALYSIS {
   while (key > node->high_key) {
     link_crossings_.fetch_add(1, std::memory_order_relaxed);
     CNode* right = node->right;
     CBTREE_CHECK(right != nullptr);
-    node->latch.unlock();
+    UnlatchExclusive(node);
     LatchExclusive(right);
     node = right;
   }
   return node;
 }
 
-CNode* BLinkTree::DescendToLeafExclusive(
-    Key key, std::vector<CNode*>* anchors) const {
+CNode* BLinkTree::DescendToLeafExclusive(Key key, std::vector<CNode*>* anchors)
+    const CBTREE_NO_THREAD_SAFETY_ANALYSIS {
   CNode* node = root();
   LatchShared(node);
   if (node->is_leaf()) {
     // Single-leaf tree: re-latch exclusively; the root may have grown into
     // an internal node in between, in which case the caller restarts.
-    node->latch.unlock_shared();
+    UnlatchShared(node);
     LatchExclusive(node);
     if (!node->is_leaf()) {
-      node->latch.unlock();
+      UnlatchExclusive(node);
       return nullptr;
     }
     return MoveRightExclusive(node, key);
@@ -60,7 +69,7 @@ CNode* BLinkTree::DescendToLeafExclusive(
       link_crossings_.fetch_add(1, std::memory_order_relaxed);
       CNode* right = node->right;
       CBTREE_CHECK(right != nullptr);
-      node->latch.unlock_shared();
+      UnlatchShared(node);
       LatchShared(right);
       node = right;
       continue;
@@ -73,7 +82,7 @@ CNode* BLinkTree::DescendToLeafExclusive(
       (*anchors)[level] = node;
     }
     CNode* child = cnode::ChildFor(*node, key);
-    node->latch.unlock_shared();
+    UnlatchShared(node);
     if (level == 2) {
       LatchExclusive(child);
       return MoveRightExclusive(child, key);
@@ -84,7 +93,8 @@ CNode* BLinkTree::DescendToLeafExclusive(
 }
 
 CNode* BLinkTree::LockTargetForSeparator(int level, Key separator,
-                                         const std::vector<CNode*>& anchors) {
+                                         const std::vector<CNode*>& anchors)
+    CBTREE_NO_THREAD_SAFETY_ANALYSIS {
   CNode* target =
       (level < static_cast<int>(anchors.size()) && anchors[level] != nullptr)
           ? anchors[level]
@@ -95,7 +105,7 @@ CNode* BLinkTree::LockTargetForSeparator(int level, Key separator,
       link_crossings_.fetch_add(1, std::memory_order_relaxed);
       CNode* right = target->right;
       CBTREE_CHECK(right != nullptr);
-      target->latch.unlock();
+      UnlatchExclusive(target);
       LatchExclusive(right);
       target = right;
       continue;
@@ -104,7 +114,7 @@ CNode* BLinkTree::LockTargetForSeparator(int level, Key separator,
       // The root grew in place above the remembered ancestors; walk back
       // down, one exclusive latch at a time.
       CNode* child = cnode::ChildFor(*target, separator);
-      target->latch.unlock();
+      UnlatchExclusive(target);
       LatchExclusive(child);
       target = child;
       continue;
@@ -114,7 +124,8 @@ CNode* BLinkTree::LockTargetForSeparator(int level, Key separator,
   }
 }
 
-bool BLinkTree::Insert(Key key, Value value) {
+bool BLinkTree::Insert(Key key, Value value) CBTREE_NO_THREAD_SAFETY_ANALYSIS {
+  latch_check::ScopedOp op(latch_check::Discipline::kBLink);
   std::vector<CNode*> anchors;
   CNode* leaf = nullptr;
   while (leaf == nullptr) {
@@ -139,23 +150,24 @@ bool BLinkTree::Insert(Key key, Value value) {
     // unreachable; after the unlock, writers arriving over the right link
     // may split `right` and rewrite its high key concurrently.
     Key right_high = right->high_key;
-    cur->latch.unlock();
+    UnlatchExclusive(cur);
     // Post the separator one level up; at most one latch is ever held.
     cur = LockTargetForSeparator(level + 1, separator, anchors);
     cnode::InsertSplitEntry(cur, separator, right, right_high);
   }
-  cur->latch.unlock();
+  UnlatchExclusive(cur);
   return inserted;
 }
 
-bool BLinkTree::Delete(Key key) {
+bool BLinkTree::Delete(Key key) CBTREE_NO_THREAD_SAFETY_ANALYSIS {
+  latch_check::ScopedOp op(latch_check::Discipline::kBLink);
   CNode* leaf = nullptr;
   while (leaf == nullptr) leaf = DescendToLeafExclusive(key, nullptr);
   // Lazy deletion (the paper ignores Link-type merges): the leaf stays in
   // place even when emptied.
   bool removed = cnode::LeafDelete(leaf, key);
   if (removed) AdjustSize(-1);
-  leaf->latch.unlock();
+  UnlatchExclusive(leaf);
   return removed;
 }
 

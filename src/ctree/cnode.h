@@ -12,17 +12,43 @@
 
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <shared_mutex>
 #include <vector>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "btree/node.h"
 #include "util/check.h"
 
 namespace cbtree {
 
+/// Per-node reader/writer latch as a Clang Thread Safety capability:
+/// std::shared_mutex behind annotated acquire/release methods, so
+/// -Wthread-safety can check lock pairing wherever the lock identity is
+/// statically trackable (the hand-over-hand paths that are not are covered
+/// by the runtime validator in ctree/latch_check.h instead).
+class CBTREE_CAPABILITY("latch") NodeLatch {
+ public:
+  NodeLatch() = default;
+  NodeLatch(const NodeLatch&) = delete;
+  NodeLatch& operator=(const NodeLatch&) = delete;
+
+  void lock() CBTREE_ACQUIRE() { m_.lock(); }
+  bool try_lock() CBTREE_TRY_ACQUIRE(true) { return m_.try_lock(); }
+  void unlock() CBTREE_RELEASE() { m_.unlock(); }
+
+  void lock_shared() CBTREE_ACQUIRE_SHARED() { m_.lock_shared(); }
+  bool try_lock_shared() CBTREE_TRY_ACQUIRE_SHARED(true) {
+    return m_.try_lock_shared();
+  }
+  void unlock_shared() CBTREE_RELEASE_SHARED() { m_.unlock_shared(); }
+
+ private:
+  std::shared_mutex m_;
+};
+
 struct CNode {
-  mutable std::shared_mutex latch;
+  mutable NodeLatch latch;
   int level = 1;  ///< 1 = leaf
   std::vector<Key> keys;
   std::vector<CNode*> children;
@@ -39,40 +65,49 @@ struct CNode {
 class CNodeArena {
  public:
   CNode* Allocate(int level) {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(&mutex_);
     nodes_.push_back(std::make_unique<CNode>());
     nodes_.back()->level = level;
     return nodes_.back().get();
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(&mutex_);
     return nodes_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::deque<std::unique_ptr<CNode>> nodes_;
+  mutable Mutex mutex_;
+  std::deque<std::unique_ptr<CNode>> nodes_ CBTREE_GUARDED_BY(mutex_);
 };
 
+// Node accessors/mutators below state their latch contract as Clang Thread
+// Safety annotations: callers must hold the named node's latch (shared
+// suffices for reads, exclusive for writes). Freshly allocated siblings are
+// private to the splitting thread and carry no requirement.
 namespace cnode {
 
 /// Child covering `key` (max-key layout). Requires key <= last bound.
-CNode* ChildFor(const CNode& node, Key key);
+CNode* ChildFor(const CNode& node, Key key)
+    CBTREE_REQUIRES_SHARED(node.latch);
 
 /// Inserts into a leaf, may overflow by one entry. Returns true iff new.
-bool LeafInsert(CNode* leaf, Key key, Value value);
+bool LeafInsert(CNode* leaf, Key key, Value value)
+    CBTREE_REQUIRES(leaf->latch);
 /// Removes from a leaf; true iff present.
-bool LeafDelete(CNode* leaf, Key key);
+bool LeafDelete(CNode* leaf, Key key) CBTREE_REQUIRES(leaf->latch);
 /// Leaf point lookup.
-bool LeafSearch(const CNode& leaf, Key key, Value* value);
+bool LeafSearch(const CNode& leaf, Key key, Value* value)
+    CBTREE_REQUIRES_SHARED(leaf.latch);
 
 /// Half-split: upper half of `node` moves to a fresh right sibling from
 /// `arena`; links and high keys are fixed. Returns the separator via out.
-CNode* HalfSplit(CNode* node, CNodeArena* arena, Key* separator);
+CNode* HalfSplit(CNode* node, CNodeArena* arena, Key* separator)
+    CBTREE_REQUIRES(node->latch);
 
 /// In-place root split (the root pointer never changes).
-void SplitRootInPlace(CNode* root, CNodeArena* arena);
+void SplitRootInPlace(CNode* root, CNodeArena* arena)
+    CBTREE_REQUIRES(root->latch);
 
 /// Posts a split into the parent: cut the covering entry at `separator` and
 /// insert `right` after it (may overflow by one entry). Requires
@@ -80,7 +115,7 @@ void SplitRootInPlace(CNode* root, CNodeArena* arena);
 /// key captured while it was still latched/private — callers that release
 /// the split node before posting (B-link) cannot safely re-read it.
 void InsertSplitEntry(CNode* parent, Key separator, CNode* right,
-                      Key right_high_key);
+                      Key right_high_key) CBTREE_REQUIRES(parent->latch);
 
 }  // namespace cnode
 }  // namespace cbtree

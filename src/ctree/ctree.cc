@@ -51,6 +51,7 @@ void ConcurrentBTree::LatchShared(const CNode* node) const {
 #if CBTREE_OBS_ENABLED
   if (node->latch.try_lock_shared()) {
     RecordLatch(/*write=*/false, node->level, 0, /*contended=*/false);
+    latch_check::OnAcquire(node, node->level, latch_check::Mode::kShared);
     return;
   }
   auto start = std::chrono::steady_clock::now();
@@ -65,12 +66,14 @@ void ConcurrentBTree::LatchShared(const CNode* node) const {
 #else
   node->latch.lock_shared();
 #endif
+  latch_check::OnAcquire(node, node->level, latch_check::Mode::kShared);
 }
 
 void ConcurrentBTree::LatchExclusive(CNode* node) const {
 #if CBTREE_OBS_ENABLED
   if (node->latch.try_lock()) {
     RecordLatch(/*write=*/true, node->level, 0, /*contended=*/false);
+    latch_check::OnAcquire(node, node->level, latch_check::Mode::kExclusive);
     return;
   }
   auto start = std::chrono::steady_clock::now();
@@ -85,6 +88,17 @@ void ConcurrentBTree::LatchExclusive(CNode* node) const {
 #else
   node->latch.lock();
 #endif
+  latch_check::OnAcquire(node, node->level, latch_check::Mode::kExclusive);
+}
+
+void ConcurrentBTree::UnlatchShared(const CNode* node) const {
+  latch_check::OnRelease(node, latch_check::Mode::kShared);
+  node->latch.unlock_shared();
+}
+
+void ConcurrentBTree::UnlatchExclusive(CNode* node) const {
+  latch_check::OnRelease(node, latch_check::Mode::kExclusive);
+  node->latch.unlock();
 }
 
 CTreeStats ConcurrentBTree::stats() const {
@@ -155,9 +169,11 @@ size_t ConcurrentBTree::CountKeys() const {
 }
 
 size_t ConcurrentBTree::Scan(Key lo, Key hi, size_t limit,
-                             std::vector<std::pair<Key, Value>>* out) const {
+                             std::vector<std::pair<Key, Value>>* out) const
+    CBTREE_NO_THREAD_SAFETY_ANALYSIS {
   CBTREE_CHECK(out != nullptr);
   if (limit == 0 || lo > hi) return 0;
+  latch_check::ScopedOp op(latch_check::Discipline::kCrabbingSearch);
   // Shared-latch crabbing descent to the leaf covering `lo`.
   CNode* node = root_;
   LatchShared(node);
@@ -166,14 +182,14 @@ size_t ConcurrentBTree::Scan(Key lo, Key hi, size_t limit,
       CNode* right = node->right;
       CBTREE_CHECK(right != nullptr);
       LatchShared(right);
-      node->latch.unlock_shared();
+      UnlatchShared(node);
       node = right;
       continue;
     }
     if (node->is_leaf()) break;
     CNode* child = cnode::ChildFor(*node, lo);
     LatchShared(child);
-    node->latch.unlock_shared();
+    UnlatchShared(node);
     node = child;
   }
   // Leaf walk along right links, still crabbing left-to-right.
@@ -182,23 +198,23 @@ size_t ConcurrentBTree::Scan(Key lo, Key hi, size_t limit,
     auto it = std::lower_bound(node->keys.begin(), node->keys.end(), lo);
     for (; it != node->keys.end() && appended < limit; ++it) {
       if (*it > hi) {
-        node->latch.unlock_shared();
+        UnlatchShared(node);
         return appended;
       }
       out->emplace_back(*it, node->values[it - node->keys.begin()]);
       ++appended;
     }
     if (appended >= limit || node->high_key >= hi) {
-      node->latch.unlock_shared();
+      UnlatchShared(node);
       return appended;
     }
     CNode* right = node->right;
     if (right == nullptr) {
-      node->latch.unlock_shared();
+      UnlatchShared(node);
       return appended;
     }
     LatchShared(right);
-    node->latch.unlock_shared();
+    UnlatchShared(node);
     node = right;
   }
 }

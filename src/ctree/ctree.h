@@ -16,15 +16,21 @@
 #include <vector>
 #include <string>
 
+#include "base/thread_annotations.h"
 #include "btree/node.h"
 #include "core/analyzer.h"
 #include "ctree/cnode.h"
+#include "ctree/latch_check.h"
 #include "obs/registry.h"
 
 namespace cbtree {
 
 /// Latch levels tracked per tree; deeper levels fold into the top slot.
 inline constexpr int kMaxLatchLevels = 24;
+
+static_assert(kMaxLatchLevels == latch_check::kMaxPathLatches,
+              "telemetry levels and the validator's coupled-chain cap must "
+              "describe the same maximum tree height");
 
 /// One latch mode (shared or exclusive) at one level: how many
 /// acquisitions, how many had to block, and the blocked waits' timer.
@@ -107,8 +113,17 @@ class ConcurrentBTree {
   /// the node's level. With CBTREE_OBS=OFF these are the bare lock calls.
   /// The level is read only after the latch is held (the root's level
   /// mutates in place under its exclusive latch during a root split).
-  void LatchShared(const CNode* node) const;
-  void LatchExclusive(CNode* node) const;
+  ///
+  /// Every protocol must pair these with the matching Unlatch* below (never
+  /// with direct latch calls): both ends report into the latch-protocol
+  /// validator (ctree/latch_check.h), which enforces the per-discipline
+  /// rules the ScopedOp in each operation declares.
+  void LatchShared(const CNode* node) const
+      CBTREE_ACQUIRE_SHARED(node->latch);
+  void LatchExclusive(CNode* node) const CBTREE_ACQUIRE(node->latch);
+  void UnlatchShared(const CNode* node) const
+      CBTREE_RELEASE_SHARED(node->latch);
+  void UnlatchExclusive(CNode* node) const CBTREE_RELEASE(node->latch);
 
   bool IsFull(const CNode& node) const {
     return static_cast<int>(node.size()) >= max_node_size_;

@@ -1,0 +1,153 @@
+// Runtime latch-protocol validator for the concurrent B-trees.
+//
+// The paper's queueing analysis is only valid because each algorithm obeys
+// a strict latch discipline (§2.2): Naive lock coupling holds at most a
+// parent+child pair on descent (plus the retained unsafe chain on updates),
+// Optimistic Descent crabs shared latches and exclusively latches only the
+// leaf, and the Link-type tree holds at most ONE latch at any instant, even
+// while crossing right links. The trees implement those disciplines; this
+// layer makes them machine-checked: every LatchShared/LatchExclusive/
+// Unlatch* call reports into a thread-local held-latch tracker that aborts
+// with a readable held-stack dump the moment an operation violates its
+// protocol's rules:
+//
+//   - kNoOpScope          latch touched outside any declared operation
+//   - kRelock             re-acquiring a node this thread already holds
+//   - kUpgrade            shared -> exclusive upgrade on a held node
+//   - kModeForbidden      a mode the discipline never uses (e.g. an
+//                         exclusive latch above the leaf in Optimistic
+//                         Descent's first pass)
+//   - kMaxHeldExceeded    more simultaneous latches than the discipline
+//                         allows (B-link: 1; crabbing: 2; coupled chain:
+//                         the root-to-leaf path)
+//   - kOrder              acquisition against root-to-leaf order (or a
+//                         move-right in a discipline that has none)
+//   - kReleaseNotHeld     releasing a node/mode this thread does not hold
+//   - kLatchLeak          operation ended with latches still held
+//   - kNestedOpWithLatches  starting an operation while holding latches
+//
+// Enforcement is per-thread and costs a few branches plus one relaxed
+// global counter per acquisition; configure -DCBTREE_LATCH_CHECK=OFF (or
+// CBTREE_OBS=OFF, or a Release build with the default AUTO setting) and the
+// whole layer compiles out to nothing. See docs/STATIC_ANALYSIS.md for how
+// these rules split the work with Clang Thread Safety Analysis: the static
+// layer proves lock usage where lock identity is lexical, this validator
+// covers the hand-over-hand paths whose aliasing defeats static analysis.
+
+#ifndef CBTREE_CTREE_LATCH_CHECK_H_
+#define CBTREE_CTREE_LATCH_CHECK_H_
+
+#include <cstdint>
+
+#ifndef CBTREE_LATCH_CHECK_ENABLED
+#define CBTREE_LATCH_CHECK_ENABLED 1
+#endif
+
+namespace cbtree {
+namespace latch_check {
+
+enum class Mode { kShared, kExclusive };
+
+/// Deepest root-to-leaf chain a coupled update may hold; matches
+/// kMaxLatchLevels in ctree/ctree.h (static_assert'ed there).
+inline constexpr int kMaxPathLatches = 24;
+
+/// The latch discipline an operation declares before touching any latch.
+enum class Discipline {
+  kNone,              ///< no operation in progress; latching is a violation
+  kCrabbingSearch,    ///< shared parent+child crabbing (searches, scans)
+  kCoupledUpdate,     ///< exclusive root-to-leaf chain (lock coupling, 2PL)
+  kTwoPhaseSearch,    ///< shared root-to-leaf chain, released at op end
+  kOptimisticDescent, ///< shared crabbing + exclusive leaf only
+  kBLink,             ///< at most one latch, move-right allowed
+};
+
+enum class Rule {
+  kNoOpScope,
+  kRelock,
+  kUpgrade,
+  kModeForbidden,
+  kMaxHeldExceeded,
+  kOrder,
+  kReleaseNotHeld,
+  kLatchLeak,
+  kNestedOpWithLatches,
+};
+
+const char* DisciplineName(Discipline discipline);
+const char* RuleName(Rule rule);
+const char* ModeName(Mode mode);
+
+/// Everything a violation report carries (also what the abort dump prints).
+struct ViolationInfo {
+  Rule rule = Rule::kNoOpScope;
+  Discipline discipline = Discipline::kNone;
+  const void* node = nullptr;  ///< latch being acquired/released (if any)
+  int level = 0;
+  Mode mode = Mode::kShared;
+  int held_count = 0;  ///< latches held at the instant of the violation
+};
+
+#if CBTREE_LATCH_CHECK_ENABLED
+
+/// Reports a just-acquired latch. `level` must be read under the latch.
+void OnAcquire(const void* node, int level, Mode mode);
+/// Reports a latch about to be released.
+void OnRelease(const void* node, Mode mode);
+
+/// Declares the enclosing operation's discipline for this thread. Nestable
+/// (Optimistic Descent's restart opens a kCoupledUpdate scope inside its
+/// own), but only at a zero-latches-held instant.
+class ScopedOp {
+ public:
+  explicit ScopedOp(Discipline discipline);
+  ~ScopedOp();
+
+  ScopedOp(const ScopedOp&) = delete;
+  ScopedOp& operator=(const ScopedOp&) = delete;
+
+ private:
+  Discipline saved_;
+};
+
+constexpr bool Enabled() { return true; }
+
+/// Total acquisitions validated, process-wide (tests assert it advances).
+uint64_t CheckedAcquires();
+
+/// Test-only: install a handler called instead of the abort-with-dump.
+/// Returns the previous handler. While a handler is installed the validator
+/// keeps going after a violation so one test can seed several.
+using ViolationHandler = void (*)(const ViolationInfo& info);
+ViolationHandler SetViolationHandlerForTest(ViolationHandler handler);
+
+/// Test-only: forget this thread's held latches and discipline.
+void ResetThreadForTest();
+
+#else  // !CBTREE_LATCH_CHECK_ENABLED
+
+inline void OnAcquire(const void*, int, Mode) {}
+inline void OnRelease(const void*, Mode) {}
+
+class ScopedOp {
+ public:
+  explicit ScopedOp(Discipline /*discipline*/) {}
+  ScopedOp(const ScopedOp&) = delete;
+  ScopedOp& operator=(const ScopedOp&) = delete;
+};
+
+constexpr bool Enabled() { return false; }
+inline uint64_t CheckedAcquires() { return 0; }
+
+using ViolationHandler = void (*)(const ViolationInfo& info);
+inline ViolationHandler SetViolationHandlerForTest(ViolationHandler) {
+  return nullptr;
+}
+inline void ResetThreadForTest() {}
+
+#endif  // CBTREE_LATCH_CHECK_ENABLED
+
+}  // namespace latch_check
+}  // namespace cbtree
+
+#endif  // CBTREE_CTREE_LATCH_CHECK_H_

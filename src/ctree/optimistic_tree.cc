@@ -2,52 +2,67 @@
 
 namespace cbtree {
 
-CNode* OptimisticDescentTree::OptimisticDescend(Key key) {
+// Crabbing re-binds `node` per iteration, so these bodies sit outside the
+// static thread-safety analysis; the kOptimisticDescent ScopedOp (shared
+// crabbing, exclusive latch only at the leaf level) is enforced at run time
+// instead (ctree/latch_check.h).
+
+CNode* OptimisticDescentTree::OptimisticDescend(Key key)
+    CBTREE_NO_THREAD_SAFETY_ANALYSIS {
   CNode* node = root();
   LatchShared(node);
   if (node->is_leaf()) {
-    node->latch.unlock_shared();
+    UnlatchShared(node);
     return nullptr;  // single-leaf tree: no shared phase worth having
   }
   while (node->level > 2) {
     CNode* child = cnode::ChildFor(*node, key);
     LatchShared(child);
-    node->latch.unlock_shared();
+    UnlatchShared(node);
     node = child;
   }
   // node->level == 2: couple into the leaf's exclusive latch.
   CNode* leaf = cnode::ChildFor(*node, key);
   LatchExclusive(leaf);
-  node->latch.unlock_shared();
+  UnlatchShared(node);
   return leaf;
 }
 
-bool OptimisticDescentTree::Insert(Key key, Value value) {
-  CNode* leaf = OptimisticDescend(key);
-  if (leaf != nullptr && !IsFull(*leaf)) {
-    bool inserted = cnode::LeafInsert(leaf, key, value);
-    if (inserted) AdjustSize(1);
-    leaf->latch.unlock();
-    return inserted;
+bool OptimisticDescentTree::Insert(Key key, Value value)
+    CBTREE_NO_THREAD_SAFETY_ANALYSIS {
+  {
+    latch_check::ScopedOp op(latch_check::Discipline::kOptimisticDescent);
+    CNode* leaf = OptimisticDescend(key);
+    if (leaf != nullptr && !IsFull(*leaf)) {
+      bool inserted = cnode::LeafInsert(leaf, key, value);
+      if (inserted) AdjustSize(1);
+      UnlatchExclusive(leaf);
+      return inserted;
+    }
+    if (leaf != nullptr) {
+      UnlatchExclusive(leaf);
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
-  if (leaf != nullptr) {
-    leaf->latch.unlock();
-    restarts_.fetch_add(1, std::memory_order_relaxed);
-  }
+  // Second pass: the leaf was unsafe (or the tree a single leaf); redo as a
+  // full coupled update, which opens its own discipline scope.
   return CoupledInsert(key, value);
 }
 
-bool OptimisticDescentTree::Delete(Key key) {
-  CNode* leaf = OptimisticDescend(key);
-  if (leaf != nullptr && !IsDeleteUnsafe(*leaf)) {
-    bool removed = cnode::LeafDelete(leaf, key);
-    if (removed) AdjustSize(-1);
-    leaf->latch.unlock();
-    return removed;
-  }
-  if (leaf != nullptr) {
-    leaf->latch.unlock();
-    restarts_.fetch_add(1, std::memory_order_relaxed);
+bool OptimisticDescentTree::Delete(Key key) CBTREE_NO_THREAD_SAFETY_ANALYSIS {
+  {
+    latch_check::ScopedOp op(latch_check::Discipline::kOptimisticDescent);
+    CNode* leaf = OptimisticDescend(key);
+    if (leaf != nullptr && !IsDeleteUnsafe(*leaf)) {
+      bool removed = cnode::LeafDelete(leaf, key);
+      if (removed) AdjustSize(-1);
+      UnlatchExclusive(leaf);
+      return removed;
+    }
+    if (leaf != nullptr) {
+      UnlatchExclusive(leaf);
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   return CoupledDelete(key);
 }

@@ -5,9 +5,10 @@
 #include <cmath>
 #include <cstdio>
 #include <deque>
-#include <mutex>
 #include <utility>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "util/check.h"
 
 namespace cbtree {
@@ -22,7 +23,8 @@ enum class MetricKind : uint8_t { kCounter, kTimer };
 // bucket 0 .. bucket kTimerBuckets-1].
 constexpr uint32_t kTimerCells = 3 + kTimerBuckets;
 
-uint32_t BucketFor(uint64_t ns) {
+// Unused when CBTREE_OBS_ENABLED=0 (Timer::RecordNs compiles to a no-op).
+[[maybe_unused]] uint32_t BucketFor(uint64_t ns) {
   if (ns == 0) return 0;
   return std::min<uint32_t>(std::bit_width(ns), kTimerBuckets - 1);
 }
@@ -52,7 +54,7 @@ struct State : std::enable_shared_from_this<State> {
   explicit State(uint32_t cell_capacity)
       : capacity(cell_capacity), uid(NextUid()) {}
   ~State() {
-    std::lock_guard<std::mutex> guard(mutex);
+    MutexLock guard(&mutex);
     for (Shard* shard : live) delete shard;
   }
 
@@ -67,14 +69,14 @@ struct State : std::enable_shared_from_this<State> {
 
   /// Thread-exit path: folds a shard into `retired` and frees it.
   void RetireShard(Shard* shard) {
-    std::lock_guard<std::mutex> guard(mutex);
+    MutexLock guard(&mutex);
     MergeShardLocked(*shard, &retired);
     live.erase(std::remove(live.begin(), live.end(), shard), live.end());
     delete shard;
   }
 
-  void MergeShardLocked(const Shard& shard,
-                        std::vector<uint64_t>* totals) const {
+  void MergeShardLocked(const Shard& shard, std::vector<uint64_t>* totals)
+      const CBTREE_REQUIRES(mutex) {
     if (totals->size() < next_cell) totals->resize(next_cell, 0);
     for (uint32_t c = 0; c < next_cell; ++c) {
       uint64_t v = shard.cells[c].load(std::memory_order_relaxed);
@@ -89,13 +91,15 @@ struct State : std::enable_shared_from_this<State> {
   const uint32_t capacity;
   const uint64_t uid;  ///< globally unique; guards TLS-cache address reuse
 
-  mutable std::mutex mutex;
-  std::vector<Metric> metrics;       // guarded by mutex
-  uint32_t next_cell = 0;            // guarded by mutex
-  std::vector<uint8_t> cell_is_max;  // guarded by mutex; merge rule per cell
-  std::vector<Shard*> live;          // guarded by mutex; owned
-  std::vector<uint64_t> retired;     // guarded by mutex
-  std::deque<GaugeCell> gauge_cells;  // guarded by mutex; deque: stable addrs
+  mutable Mutex mutex;
+  std::vector<Metric> metrics CBTREE_GUARDED_BY(mutex);
+  uint32_t next_cell CBTREE_GUARDED_BY(mutex) = 0;
+  // Merge rule per cell (sum vs. max).
+  std::vector<uint8_t> cell_is_max CBTREE_GUARDED_BY(mutex);
+  std::vector<Shard*> live CBTREE_GUARDED_BY(mutex);  // owned
+  std::vector<uint64_t> retired CBTREE_GUARDED_BY(mutex);
+  // deque: handed-out Gauge handles need stable cell addresses.
+  std::deque<GaugeCell> gauge_cells CBTREE_GUARDED_BY(mutex);
 };
 
 namespace {
@@ -149,7 +153,7 @@ Shard* State::LocalShard() {
   }
   auto* shard = new Shard(capacity);
   {
-    std::lock_guard<std::mutex> guard(mutex);
+    MutexLock guard(&mutex);
     live.push_back(shard);
   }
   tls.entries.push_back({weak_from_this(), uid, shard});
@@ -296,7 +300,7 @@ Registry::Registry(uint32_t cell_capacity)
 Registry::~Registry() = default;
 
 Counter Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> guard(state_->mutex);
+  MutexLock guard(&state_->mutex);
   for (const internal::Metric& metric : state_->metrics) {
     if (metric.name == name) {
       CBTREE_CHECK(metric.kind == internal::MetricKind::kCounter)
@@ -315,7 +319,7 @@ Counter Registry::counter(std::string_view name) {
 }
 
 Gauge Registry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> guard(state_->mutex);
+  MutexLock guard(&state_->mutex);
   for (internal::GaugeCell& cell : state_->gauge_cells) {
     if (cell.name == name) return Gauge(state_, &cell.value);
   }
@@ -325,7 +329,7 @@ Gauge Registry::gauge(std::string_view name) {
 }
 
 Timer Registry::timer(std::string_view name) {
-  std::lock_guard<std::mutex> guard(state_->mutex);
+  MutexLock guard(&state_->mutex);
   for (const internal::Metric& metric : state_->metrics) {
     if (metric.name == name) {
       CBTREE_CHECK(metric.kind == internal::MetricKind::kTimer)
@@ -348,7 +352,7 @@ Timer Registry::timer(std::string_view name) {
 
 Snapshot Registry::Read() const {
   Snapshot snapshot;
-  std::lock_guard<std::mutex> guard(state_->mutex);
+  MutexLock guard(&state_->mutex);
   std::vector<uint64_t> totals = state_->retired;
   totals.resize(state_->next_cell, 0);
   for (const internal::Shard* shard : state_->live) {

@@ -44,12 +44,12 @@ void JsonlTraceSink::Record(const TraceEvent& event) {
                 event.time, TraceEventKindName(event.kind), event.id,
                 event.what, event.level, event.node, event.value,
                 event.measured ? "true" : "false");
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(&mutex_);
   *out_ << line;
 }
 
 void JsonlTraceSink::Flush() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(&mutex_);
   out_->flush();
 }
 
@@ -60,7 +60,7 @@ ChromeTraceSink::ChromeTraceSink(std::ostream* out) : out_(out) {
 ChromeTraceSink::~ChromeTraceSink() {
   // The array terminator is written exactly once, at end of life; Flush()
   // only flushes so a sink can keep recording across multiple flushes.
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(&mutex_);
   if (!closed_) {
     *out_ << "]\n";
     closed_ = true;
@@ -101,14 +101,14 @@ void ChromeTraceSink::Record(const TraceEvent& event) {
                     event.measured ? "true" : "false");
       break;
   }
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(&mutex_);
   if (!first_) *out_ << ",\n";
   first_ = false;
   *out_ << line;
 }
 
 void ChromeTraceSink::Flush() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  MutexLock guard(&mutex_);
   out_->flush();
 }
 

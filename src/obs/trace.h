@@ -16,9 +16,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace cbtree {
 namespace obs {
@@ -67,8 +69,8 @@ class JsonlTraceSink : public TraceSink {
   void Flush() override;
 
  private:
-  std::mutex mutex_;
-  std::ostream* out_;
+  Mutex mutex_;
+  std::ostream* out_ CBTREE_PT_GUARDED_BY(mutex_);
 };
 
 /// Chrome trace_event JSON array (load in chrome://tracing or Perfetto):
@@ -83,10 +85,10 @@ class ChromeTraceSink : public TraceSink {
   void Flush() override;
 
  private:
-  std::mutex mutex_;
-  std::ostream* out_;
-  bool first_ = true;
-  bool closed_ = false;
+  Mutex mutex_;
+  std::ostream* out_ CBTREE_PT_GUARDED_BY(mutex_);
+  bool first_ CBTREE_GUARDED_BY(mutex_) = true;
+  bool closed_ CBTREE_GUARDED_BY(mutex_) = false;
 };
 
 enum class TraceFormat { kJsonl, kChrome };

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
   cv_.notify_all();
@@ -24,7 +24,7 @@ ThreadPool::~ThreadPool() {
 }
 
 size_t ThreadPool::queued() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
@@ -34,18 +34,20 @@ int ThreadPool::DefaultJobs() {
 
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     CBTREE_CHECK(!shutdown_);
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
 }
 
-void ThreadPool::WorkerLoop() {
+// unique_lock + condition_variable defeat the lexical lock tracking, so the
+// worker loop sits outside the static analysis.
+void ThreadPool::WorkerLoop() CBTREE_NO_THREAD_SAFETY_ANALYSIS {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<Mutex> lock(mu_);
       cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());

@@ -15,10 +15,12 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace cbtree {
 
@@ -58,10 +60,11 @@ class ThreadPool {
   void Enqueue(std::function<void()> task);
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  // _any: cbtree::Mutex is BasicLockable but not std::mutex.
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_ CBTREE_GUARDED_BY(mu_);
+  bool shutdown_ CBTREE_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -12,6 +12,7 @@ const char* LockModeName(LockMode mode) {
 
 void LockManager::Request(NodeId node, LockMode mode, OpId op,
                           GrantCallback on_grant) {
+  CheckSameThread();
   CBTREE_CHECK(on_grant != nullptr);
   NodeLocks& locks = nodes_[node];
   CBTREE_CHECK(!Holds(node, op)) << "op " << op << " re-locks node " << node;
@@ -41,6 +42,7 @@ void LockManager::Request(NodeId node, LockMode mode, OpId op,
 }
 
 void LockManager::Release(NodeId node, OpId op) {
+  CheckSameThread();
   auto it = nodes_.find(node);
   CBTREE_CHECK(it != nodes_.end()) << "release on unlocked node " << node;
   NodeLocks& locks = it->second;
@@ -106,6 +108,7 @@ bool LockManager::Holds(NodeId node, OpId op) const {
 }
 
 void LockManager::NotifyNodeFreed(NodeId node) {
+  CheckSameThread();
   auto it = nodes_.find(node);
   if (it == nodes_.end()) return;
   const NodeLocks& locks = it->second;
@@ -116,6 +119,7 @@ void LockManager::NotifyNodeFreed(NodeId node) {
 }
 
 void LockManager::TrackWriterPresence(NodeId node) {
+  CheckSameThread();
   tracked_node_ = node;
   double now = now_fn_();
   tracked_presence_ = TimeWeightedAccumulator(now);

@@ -14,10 +14,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <thread>
 #include <unordered_map>
 
 #include "btree/node.h"
 #include "stats/accumulator.h"
+#include "util/check.h"
 
 namespace cbtree {
 
@@ -84,6 +86,20 @@ class LockManager {
   /// readers). Collects callbacks and runs them after state is consistent.
   void Dispatch(NodeId node, NodeLocks& locks);
 
+  /// The manager is deliberately unsynchronized: it models lock queues
+  /// inside the single-threaded discrete-event simulator. This debug check
+  /// pins every mutating call to the first calling thread so accidental
+  /// sharing across simulator threads fails fast instead of corrupting
+  /// queues silently.
+  void CheckSameThread() const {
+#ifndef NDEBUG
+    if (owner_ == std::thread::id{}) owner_ = std::this_thread::get_id();
+    CBTREE_DCHECK(owner_ == std::this_thread::get_id())
+        << "LockManager used from more than one thread; it is simulator "
+           "state, not a concurrency primitive";
+#endif
+  }
+
   void UpdateTrackedPresence(NodeId node, const NodeLocks& locks);
 
   std::function<double()> now_fn_;
@@ -92,6 +108,9 @@ class LockManager {
 
   NodeId tracked_node_ = kInvalidNode;
   TimeWeightedAccumulator tracked_presence_;
+#ifndef NDEBUG
+  mutable std::thread::id owner_;  ///< set on first use; see CheckSameThread
+#endif
 };
 
 }  // namespace cbtree

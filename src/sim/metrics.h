@@ -19,9 +19,9 @@ class SimMetrics {
   /// `histogram_limit` bounds the response-time histogram range (responses
   /// beyond it land in the overflow bucket).
   explicit SimMetrics(int max_levels = 16, double histogram_limit = 500.0)
-      : wait_r_(max_levels + 1),
-        wait_w_(max_levels + 1),
-        response_histogram_(histogram_limit, 200) {}
+      : response_histogram_(histogram_limit, 200),
+        wait_r_(max_levels + 1),
+        wait_w_(max_levels + 1) {}
 
   /// Stats are discarded until Activate() (warm-up phase).
   void Activate(double now);

@@ -10,7 +10,9 @@ namespace cbtree {
 
 void SimConfig::Validate() const {
   mix.Validate();
-  if (closed_population == 0) CBTREE_CHECK_GT(lambda, 0.0);
+  if (closed_population == 0) {
+    CBTREE_CHECK_GT(lambda, 0.0);
+  }
   CBTREE_CHECK_GE(think_time, 0.0);
   CBTREE_CHECK_GT(num_operations, 0u);
   CBTREE_CHECK_LT(warmup_operations, num_operations);

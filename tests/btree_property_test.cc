@@ -46,7 +46,9 @@ TEST_P(BTreeOracleTest, MatchesStdMapUnderRandomOps) {
       auto it = oracle.find(key);
       ASSERT_EQ(found.has_value(), it != oracle.end())
           << "search disagreement at op " << i;
-      if (found.has_value()) ASSERT_EQ(*found, it->second);
+      if (found.has_value()) {
+        ASSERT_EQ(*found, it->second);
+      }
     }
     ASSERT_EQ(tree.size(), oracle.size());
     if (i % 500 == 0) {

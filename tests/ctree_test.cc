@@ -332,6 +332,43 @@ TEST_P(CTreeTest, MixedStressWithPostHocOracle) {
   }
 }
 
+TEST_P(CTreeTest, StressRunsUnderLatchValidator) {
+  // 8 threads of mixed operations with the latch-discipline validator
+  // armed (no test handler installed, so any protocol violation aborts the
+  // process with a held-stack dump — the test passing IS the assertion).
+  // The counter check proves the traffic actually flowed through the
+  // validator rather than bypassing it.
+  if (!latch_check::Enabled()) {
+    GTEST_SKIP() << "validator compiled out (CBTREE_LATCH_CHECK=OFF)";
+  }
+  uint64_t before = latch_check::CheckedAcquires();
+  auto tree = Make(4);  // small nodes: maximum splits and link-crossings
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tree, t] {
+      Rng rng(7100 + t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        Key key = static_cast<Key>(rng.NextBounded(4000));
+        uint64_t dice = rng.NextBounded(100);
+        if (dice < 50) {
+          tree->Insert(key, key * 3);
+        } else if (dice < 75) {
+          tree->Delete(key);
+        } else {
+          tree->Search(key);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  tree->CheckInvariants();
+  EXPECT_GT(latch_check::CheckedAcquires() - before,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread)
+      << "every operation latches at least once; the validator saw less";
+}
+
 TEST(CTreeStatsTest, OptimisticCountsRestarts) {
   OptimisticDescentTree tree(4);
   for (Key k = 0; k < 2000; ++k) tree.Insert(k, k);

@@ -1,0 +1,398 @@
+// Exercises the runtime latch-discipline validator (ctree/latch_check.h):
+// every legal sequence stays silent, and a seeded violation of each enforced
+// rule is caught for each protocol discipline. Runs against the real tree
+// implementations at the end to prove the production call sites report in.
+
+#include "ctree/latch_check.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "ctree/ctree.h"
+#include "gtest/gtest.h"
+
+namespace cbtree {
+namespace latch_check {
+namespace {
+
+// The global test handler has no user data pointer, so the recording
+// vector is a global too; the fixture scopes installation/cleanup.
+std::vector<ViolationInfo>* g_violations = nullptr;
+
+void RecordViolation(const ViolationInfo& info) {
+  g_violations->push_back(info);
+}
+
+class LatchCheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!Enabled()) {
+      GTEST_SKIP() << "validator compiled out (CBTREE_LATCH_CHECK=OFF)";
+    }
+    g_violations = &violations_;
+    previous_ = SetViolationHandlerForTest(&RecordViolation);
+  }
+
+  void TearDown() override {
+    if (!Enabled()) return;
+    SetViolationHandlerForTest(previous_);
+    ResetThreadForTest();
+    g_violations = nullptr;
+  }
+
+  bool Saw(Rule rule) const {
+    for (const ViolationInfo& v : violations_) {
+      if (v.rule == rule) return true;
+    }
+    return false;
+  }
+
+  std::vector<ViolationInfo> violations_;
+  ViolationHandler previous_ = nullptr;
+};
+
+// Distinct fake latch identities; the validator only compares addresses.
+struct FakeNodes {
+  char node[32][1] = {};
+  const void* operator[](int i) const { return &node[i]; }
+};
+
+// ---------------------------------------------------------------------------
+// Legal sequences: one per discipline, silent end to end.
+
+TEST_F(LatchCheckTest, CrabbingSearchLegalSequenceIsSilent) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kCrabbingSearch);
+  OnAcquire(n[0], 3, Mode::kShared);   // root
+  OnAcquire(n[1], 2, Mode::kShared);   // couple into child
+  OnRelease(n[0], Mode::kShared);
+  OnAcquire(n[2], 2, Mode::kShared);   // same-level move-right
+  OnRelease(n[1], Mode::kShared);
+  OnAcquire(n[3], 1, Mode::kShared);   // into the leaf
+  OnRelease(n[2], Mode::kShared);
+  OnRelease(n[3], Mode::kShared);
+  EXPECT_TRUE(violations_.empty());
+}
+
+TEST_F(LatchCheckTest, CoupledUpdateRetainedChainIsSilent) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kCoupledUpdate);
+  OnAcquire(n[0], 4, Mode::kExclusive);
+  OnAcquire(n[1], 3, Mode::kExclusive);
+  OnAcquire(n[2], 2, Mode::kExclusive);
+  OnAcquire(n[3], 1, Mode::kExclusive);
+  for (int i = 3; i >= 0; --i) OnRelease(n[i], Mode::kExclusive);
+  EXPECT_TRUE(violations_.empty());
+}
+
+TEST_F(LatchCheckTest, TwoPhaseSearchAccumulatedChainIsSilent) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kTwoPhaseSearch);
+  OnAcquire(n[0], 3, Mode::kShared);
+  OnAcquire(n[1], 2, Mode::kShared);
+  OnAcquire(n[2], 1, Mode::kShared);
+  for (int i = 0; i < 3; ++i) OnRelease(n[i], Mode::kShared);
+  EXPECT_TRUE(violations_.empty());
+}
+
+TEST_F(LatchCheckTest, OptimisticDescentExclusiveLeafIsSilent) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kOptimisticDescent);
+  OnAcquire(n[0], 3, Mode::kShared);
+  OnAcquire(n[1], 2, Mode::kShared);
+  OnRelease(n[0], Mode::kShared);
+  OnAcquire(n[2], 1, Mode::kExclusive);  // the leaf, and only the leaf
+  OnRelease(n[1], Mode::kShared);
+  OnRelease(n[2], Mode::kExclusive);
+  EXPECT_TRUE(violations_.empty());
+}
+
+TEST_F(LatchCheckTest, BLinkSingleLatchWithMoveRightIsSilent) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kBLink);
+  OnAcquire(n[0], 2, Mode::kShared);
+  OnRelease(n[0], Mode::kShared);    // release BEFORE the next acquire
+  OnAcquire(n[1], 2, Mode::kShared); // right sibling
+  OnRelease(n[1], Mode::kShared);
+  OnAcquire(n[2], 1, Mode::kExclusive);
+  OnRelease(n[2], Mode::kExclusive);
+  EXPECT_TRUE(violations_.empty());
+}
+
+TEST_F(LatchCheckTest, NestedScopeAtZeroLatchesIsSilent) {
+  FakeNodes n;
+  ScopedOp outer(Discipline::kOptimisticDescent);
+  {
+    ScopedOp inner(Discipline::kCoupledUpdate);
+    OnAcquire(n[0], 1, Mode::kExclusive);
+    OnRelease(n[0], Mode::kExclusive);
+  }
+  OnAcquire(n[1], 1, Mode::kShared);
+  OnRelease(n[1], Mode::kShared);
+  EXPECT_TRUE(violations_.empty());
+}
+
+// ---------------------------------------------------------------------------
+// kNoOpScope: latching outside any declared operation.
+
+TEST_F(LatchCheckTest, AcquireOutsideOperationScopeIsCaught) {
+  FakeNodes n;
+  OnAcquire(n[0], 1, Mode::kShared);
+  EXPECT_TRUE(Saw(Rule::kNoOpScope));
+  OnRelease(n[0], Mode::kShared);
+}
+
+// ---------------------------------------------------------------------------
+// kRelock / kUpgrade: re-acquiring a held node.
+
+TEST_F(LatchCheckTest, RelockCaughtUnderCoupledUpdate) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kCoupledUpdate);
+  OnAcquire(n[0], 2, Mode::kExclusive);
+  OnAcquire(n[0], 2, Mode::kExclusive);
+  EXPECT_TRUE(Saw(Rule::kRelock));
+  ResetThreadForTest();
+}
+
+TEST_F(LatchCheckTest, RelockCaughtUnderTwoPhaseSearch) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kTwoPhaseSearch);
+  OnAcquire(n[0], 2, Mode::kShared);
+  OnAcquire(n[0], 2, Mode::kShared);
+  EXPECT_TRUE(Saw(Rule::kRelock));
+  ResetThreadForTest();
+}
+
+TEST_F(LatchCheckTest, RelockCaughtUnderCrabbingSearch) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kCrabbingSearch);
+  OnAcquire(n[0], 2, Mode::kShared);
+  OnAcquire(n[0], 2, Mode::kShared);
+  EXPECT_TRUE(Saw(Rule::kRelock));
+  ResetThreadForTest();
+}
+
+TEST_F(LatchCheckTest, SharedToExclusiveUpgradeCaughtUnderOptimistic) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kOptimisticDescent);
+  OnAcquire(n[0], 1, Mode::kShared);
+  OnAcquire(n[0], 1, Mode::kExclusive);  // classic deadlock-prone upgrade
+  EXPECT_TRUE(Saw(Rule::kUpgrade));
+  ResetThreadForTest();
+}
+
+TEST_F(LatchCheckTest, SharedToExclusiveUpgradeCaughtUnderBLink) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kBLink);
+  OnAcquire(n[0], 1, Mode::kShared);
+  OnAcquire(n[0], 1, Mode::kExclusive);
+  EXPECT_TRUE(Saw(Rule::kUpgrade));
+  ResetThreadForTest();
+}
+
+// ---------------------------------------------------------------------------
+// kModeForbidden: a latch mode the discipline never uses.
+
+TEST_F(LatchCheckTest, ExclusiveForbiddenInCrabbingSearch) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kCrabbingSearch);
+  OnAcquire(n[0], 2, Mode::kExclusive);
+  EXPECT_TRUE(Saw(Rule::kModeForbidden));
+  ResetThreadForTest();
+}
+
+TEST_F(LatchCheckTest, SharedForbiddenInCoupledUpdate) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kCoupledUpdate);
+  OnAcquire(n[0], 2, Mode::kShared);
+  EXPECT_TRUE(Saw(Rule::kModeForbidden));
+  ResetThreadForTest();
+}
+
+TEST_F(LatchCheckTest, ExclusiveForbiddenInTwoPhaseSearch) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kTwoPhaseSearch);
+  OnAcquire(n[0], 1, Mode::kExclusive);
+  EXPECT_TRUE(Saw(Rule::kModeForbidden));
+  ResetThreadForTest();
+}
+
+TEST_F(LatchCheckTest, ExclusiveAboveLeafForbiddenInOptimisticDescent) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kOptimisticDescent);
+  OnAcquire(n[0], 2, Mode::kExclusive);  // exclusive is leaf-level only
+  EXPECT_TRUE(Saw(Rule::kModeForbidden));
+  ResetThreadForTest();
+}
+
+// ---------------------------------------------------------------------------
+// kMaxHeldExceeded: more simultaneous latches than the discipline allows.
+
+TEST_F(LatchCheckTest, ThirdLatchExceedsCrabbingPair) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kCrabbingSearch);
+  OnAcquire(n[0], 3, Mode::kShared);
+  OnAcquire(n[1], 2, Mode::kShared);
+  OnAcquire(n[2], 1, Mode::kShared);  // parent never released
+  EXPECT_TRUE(Saw(Rule::kMaxHeldExceeded));
+  ResetThreadForTest();
+}
+
+TEST_F(LatchCheckTest, SecondLatchExceedsBLinkSingle) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kBLink);
+  OnAcquire(n[0], 2, Mode::kShared);
+  OnAcquire(n[1], 1, Mode::kShared);  // forgot release-before-acquire
+  EXPECT_TRUE(Saw(Rule::kMaxHeldExceeded));
+  ResetThreadForTest();
+}
+
+TEST_F(LatchCheckTest, ThirdLatchExceedsOptimisticPair) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kOptimisticDescent);
+  OnAcquire(n[0], 3, Mode::kShared);
+  OnAcquire(n[1], 2, Mode::kShared);
+  OnAcquire(n[2], 1, Mode::kExclusive);
+  EXPECT_TRUE(Saw(Rule::kMaxHeldExceeded));
+  ResetThreadForTest();
+}
+
+TEST_F(LatchCheckTest, CoupledChainDeeperThanPathCapIsCaught) {
+  ScopedOp op(Discipline::kCoupledUpdate);
+  // One latch per level, descending like a real (absurdly deep) chain.
+  std::vector<char> nodes(kMaxPathLatches + 1);
+  for (int i = 0; i <= kMaxPathLatches; ++i) {
+    OnAcquire(&nodes[i], kMaxPathLatches + 1 - i, Mode::kExclusive);
+  }
+  EXPECT_TRUE(Saw(Rule::kMaxHeldExceeded));
+  ResetThreadForTest();
+}
+
+// ---------------------------------------------------------------------------
+// kOrder: acquisition against root-to-leaf order.
+
+TEST_F(LatchCheckTest, AscendingAcquireCaughtUnderCoupledUpdate) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kCoupledUpdate);
+  OnAcquire(n[0], 1, Mode::kExclusive);
+  OnAcquire(n[1], 2, Mode::kExclusive);  // climbing back up
+  EXPECT_TRUE(Saw(Rule::kOrder));
+  ResetThreadForTest();
+}
+
+TEST_F(LatchCheckTest, SameLevelAcquireCaughtWithoutMoveRight) {
+  FakeNodes n;
+  // Two-phase search has no move-right: a same-level second latch is a
+  // sibling latch the discipline never takes.
+  ScopedOp op(Discipline::kTwoPhaseSearch);
+  OnAcquire(n[0], 2, Mode::kShared);
+  OnAcquire(n[1], 2, Mode::kShared);
+  EXPECT_TRUE(Saw(Rule::kOrder));
+  ResetThreadForTest();
+}
+
+TEST_F(LatchCheckTest, AscendingAcquireCaughtUnderCrabbingSearch) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kCrabbingSearch);
+  OnAcquire(n[0], 1, Mode::kShared);
+  OnAcquire(n[1], 3, Mode::kShared);
+  EXPECT_TRUE(Saw(Rule::kOrder));
+  ResetThreadForTest();
+}
+
+// ---------------------------------------------------------------------------
+// kReleaseNotHeld.
+
+TEST_F(LatchCheckTest, ReleasingUnheldNodeIsCaught) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kBLink);
+  OnRelease(n[0], Mode::kShared);
+  EXPECT_TRUE(Saw(Rule::kReleaseNotHeld));
+}
+
+TEST_F(LatchCheckTest, ReleasingWrongModeIsCaught) {
+  FakeNodes n;
+  ScopedOp op(Discipline::kOptimisticDescent);
+  OnAcquire(n[0], 1, Mode::kExclusive);
+  OnRelease(n[0], Mode::kShared);  // held exclusively, released shared
+  EXPECT_TRUE(Saw(Rule::kReleaseNotHeld));
+  ResetThreadForTest();
+}
+
+// ---------------------------------------------------------------------------
+// kLatchLeak / kNestedOpWithLatches: operation-scope hygiene.
+
+TEST_F(LatchCheckTest, LatchHeldPastOperationEndIsCaught) {
+  FakeNodes n;
+  {
+    ScopedOp op(Discipline::kCrabbingSearch);
+    OnAcquire(n[0], 1, Mode::kShared);
+    // missing OnRelease: the scope closes with one latch still held
+  }
+  EXPECT_TRUE(Saw(Rule::kLatchLeak));
+  ResetThreadForTest();
+}
+
+TEST_F(LatchCheckTest, NestedOperationWithLatchesHeldIsCaught) {
+  FakeNodes n;
+  ScopedOp outer(Discipline::kOptimisticDescent);
+  OnAcquire(n[0], 2, Mode::kShared);
+  {
+    // The optimistic restart must drop its latches before re-descending as
+    // a coupled update; opening the scope while holding one is the bug.
+    ScopedOp inner(Discipline::kCoupledUpdate);
+  }
+  EXPECT_TRUE(Saw(Rule::kNestedOpWithLatches));
+  OnRelease(n[0], Mode::kShared);
+  ResetThreadForTest();
+}
+
+// ---------------------------------------------------------------------------
+// Production call sites report in: every protocol's real operations pass
+// through the validator cleanly and advance the global acquisition counter.
+
+class LatchCheckTreeTest : public LatchCheckTest,
+                           public ::testing::WithParamInterface<Algorithm> {};
+
+TEST_P(LatchCheckTreeTest, RealOperationsAreValidatedAndSilent) {
+  uint64_t before = CheckedAcquires();
+  auto tree = MakeConcurrentBTree(GetParam(), /*max_node_size=*/4);
+  for (Key k = 1; k <= 300; ++k) {
+    ASSERT_TRUE(tree->Insert(k * 7 % 1000 + 1, k));
+  }
+  for (Key k = 1; k <= 300; ++k) {
+    tree->Search(k * 7 % 1000 + 1);
+  }
+  for (Key k = 1; k <= 150; ++k) {
+    tree->Delete(k * 7 % 1000 + 1);
+  }
+  tree->CheckInvariants();
+  EXPECT_TRUE(violations_.empty())
+      << RuleName(violations_.front().rule) << " under "
+      << DisciplineName(violations_.front().discipline);
+  EXPECT_GT(CheckedAcquires(), before)
+      << "tree operations bypassed the validator";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, LatchCheckTreeTest,
+                         ::testing::Values(Algorithm::kNaiveLockCoupling,
+                                           Algorithm::kOptimisticDescent,
+                                           Algorithm::kLinkType,
+                                           Algorithm::kTwoPhaseLocking),
+                         [](const auto& info) -> std::string {
+                           switch (info.param) {
+                             case Algorithm::kNaiveLockCoupling:
+                               return "NaiveLockCoupling";
+                             case Algorithm::kOptimisticDescent:
+                               return "OptimisticDescent";
+                             case Algorithm::kLinkType:
+                               return "LinkType";
+                             case Algorithm::kTwoPhaseLocking:
+                               return "TwoPhaseLocking";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace latch_check
+}  // namespace cbtree

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Checks (default) or fixes formatting for every C++ source in the repo
+# using the root .clang-format.
+#
+#   tools/run_clang_format.sh          # --dry-run -Werror: list violations
+#   tools/run_clang_format.sh --fix    # rewrite files in place
+#
+# Environment:
+#   CLANG_FORMAT  clang-format binary (default: clang-format)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+
+if ! command -v "$CLANG_FORMAT" > /dev/null 2>&1; then
+  echo "error: '$CLANG_FORMAT' not found; install clang-format or set" \
+       "CLANG_FORMAT" >&2
+  exit 2
+fi
+
+mode=(--dry-run -Werror)
+if [[ "${1:-}" == "--fix" ]]; then
+  mode=(-i)
+fi
+
+mapfile -t files < <(
+  find src tools tests examples bench \
+       -name '*.cc' -o -name '*.cpp' -o -name '*.h' | sort)
+
+"$CLANG_FORMAT" "${mode[@]}" --style=file "${files[@]}"
+echo "clang-format: ${#files[@]} files ok"

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the library,
+# tool and test sources using a compile_commands.json produced by a Clang
+# configure. Any diagnostic fails the run (WarningsAsErrors: '*').
+#
+#   tools/run_clang_tidy.sh                  # configure + lint everything
+#   tools/run_clang_tidy.sh src/ctree        # lint one subtree
+#
+# Environment:
+#   BUILD_DIR   build tree with compile_commands.json (default build-tidy/)
+#   CLANG_TIDY  clang-tidy binary (default: clang-tidy)
+#   JOBS        parallel lint processes (default: nproc)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-tidy}"
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+JOBS="${JOBS:-$(nproc)}"
+
+if ! command -v "$CLANG_TIDY" > /dev/null 2>&1; then
+  echo "error: '$CLANG_TIDY' not found; install clang-tidy or set CLANG_TIDY" >&2
+  exit 2
+fi
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "=== configuring $BUILD_DIR/ for compile_commands.json ==="
+  cmake -B "$BUILD_DIR" -S . \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+# Lint the sources we own; generated and third-party code never appears in
+# these directories.
+roots=("${@:-src tools tests examples bench}")
+mapfile -t files < <(
+  # shellcheck disable=SC2086
+  find ${roots[@]} -name '*.cc' -o -name '*.cpp' | sort)
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "error: no sources found under: ${roots[*]}" >&2
+  exit 2
+fi
+
+echo "=== clang-tidy over ${#files[@]} files ($JOBS jobs) ==="
+printf '%s\n' "${files[@]}" |
+  xargs -P "$JOBS" -n 1 "$CLANG_TIDY" -p "$BUILD_DIR" --quiet
+
+echo "clang-tidy: clean"

@@ -7,6 +7,7 @@
 #   tools/run_sanitizers.sh            # thread sanitizer (the default)
 #   tools/run_sanitizers.sh address    # address sanitizer
 #   tools/run_sanitizers.sh thread address   # both, sequentially
+#   tools/run_sanitizers.sh address+undefined  # ASan+UBSan in one build
 #
 # Each sanitizer gets its own build tree (build-tsan/, build-asan/, ...) so
 # repeated runs are incremental.
@@ -31,7 +32,9 @@ for sanitizer in "${sanitizers[@]}"; do
     thread) build="build-tsan" ;;
     address) build="build-asan" ;;
     undefined) build="build-ubsan" ;;
-    *) echo "unknown sanitizer '$sanitizer' (thread|address|undefined)" >&2
+    address+undefined) build="build-asan-ubsan" ;;
+    *) echo "unknown sanitizer '$sanitizer'" \
+            "(thread|address|undefined|address+undefined)" >&2
        exit 2 ;;
   esac
 
