@@ -1,0 +1,153 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cbtree {
+namespace net {
+
+Client::~Client() { Close(); }
+
+bool Client::Connect(const std::string& host, int port, std::string* error) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + strerror(errno);
+    return false;
+  }
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad host '" + host + "'";
+    Close();
+    return false;
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) *error = std::string("connect: ") + strerror(errno);
+    Close();
+    return false;
+  }
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  recv_buffer_.clear();
+  return true;
+}
+
+void Client::Close() {
+  if (fd_ != -1) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::CloseWrite() {
+  if (fd_ != -1) shutdown(fd_, SHUT_WR);
+}
+
+bool Client::Send(const Request& request) {
+  std::string frame;
+  frame.reserve(kRequestFrameSize);
+  AppendRequest(request, &frame);
+  return SendRaw(frame);
+}
+
+bool Client::SendRaw(const std::string& bytes) {
+  if (fd_ == -1) return false;
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n =
+        send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool Client::Receive(Response* response) {
+  return ReceivePoll(response, -1) == 1;
+}
+
+int Client::ReceivePoll(Response* response, int timeout_ms) {
+  if (fd_ == -1) return -1;
+  for (;;) {
+    size_t consumed = 0;
+    DecodeStatus status = DecodeResponse(
+        reinterpret_cast<const uint8_t*>(recv_buffer_.data()),
+        recv_buffer_.size(), response, &consumed);
+    if (status == DecodeStatus::kOk) {
+      recv_buffer_.erase(0, consumed);
+      return 1;
+    }
+    if (status == DecodeStatus::kError) return -1;
+    if (timeout_ms >= 0) {
+      pollfd pfd = {};
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      int rc = poll(&pfd, 1, timeout_ms);
+      if (rc == 0) return 0;
+      if (rc < 0 && errno != EINTR) return -1;
+      if (rc < 0) continue;
+    }
+    char buffer[4096];
+    ssize_t n = recv(fd_, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      recv_buffer_.append(buffer, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return -1;  // EOF or transport error
+  }
+}
+
+bool Client::Call(const Request& request, Response* response) {
+  if (!Send(request)) return false;
+  if (!Receive(response)) return false;
+  return response->id == request.id;
+}
+
+std::optional<Value> Client::Search(Key key) {
+  Request request;
+  request.op = OpCode::kSearch;
+  request.id = ++next_id_;
+  request.key = key;
+  Response response;
+  if (!Call(request, &response)) return std::nullopt;
+  if (response.status != Status::kFound) return std::nullopt;
+  return response.value;
+}
+
+std::optional<Status> Client::Insert(Key key, Value value) {
+  Request request;
+  request.op = OpCode::kInsert;
+  request.id = ++next_id_;
+  request.key = key;
+  request.value = value;
+  Response response;
+  if (!Call(request, &response)) return std::nullopt;
+  return response.status;
+}
+
+std::optional<Status> Client::Delete(Key key) {
+  Request request;
+  request.op = OpCode::kDelete;
+  request.id = ++next_id_;
+  request.key = key;
+  Response response;
+  if (!Call(request, &response)) return std::nullopt;
+  return response.status;
+}
+
+}  // namespace net
+}  // namespace cbtree

@@ -1,0 +1,65 @@
+// Blocking TCP client for the net/ frame protocol.
+//
+// One Client wraps one connection. Send() and Receive() are independently
+// blocking, so a driver may pipeline: one thread sending frames while
+// another drains responses (the open-loop load driver does exactly that —
+// Send and Receive each have a dedicated thread per connection). Call() is
+// the simple synchronous round trip for tests and ad-hoc probing; it
+// assumes no other requests are outstanding on the connection.
+
+#ifndef CBTREE_NET_CLIENT_H_
+#define CBTREE_NET_CLIENT_H_
+
+#include <optional>
+#include <string>
+
+#include "net/protocol.h"
+
+namespace cbtree {
+namespace net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Opens a blocking connection (TCP_NODELAY). False + *error on failure.
+  bool Connect(const std::string& host, int port, std::string* error);
+  bool connected() const { return fd_ != -1; }
+  void Close();
+  /// Half-close: no more requests will be sent, but responses still drain.
+  void CloseWrite();
+
+  /// Writes one frame; false on a dead connection.
+  bool Send(const Request& request);
+  /// Sends raw bytes as-is (tests: truncated/garbage frames).
+  bool SendRaw(const std::string& bytes);
+  /// Blocks for the next response frame; false on EOF/error/bad frame.
+  bool Receive(Response* response);
+  /// Like Receive but gives up after `timeout_ms` of silence:
+  /// 1 = frame decoded, 0 = timed out, -1 = EOF/transport error/bad frame.
+  int ReceivePoll(Response* response, int timeout_ms);
+  /// Send + Receive, for strictly serial use.
+  bool Call(const Request& request, Response* response);
+
+  /// Convenience serial ops (id auto-assigned). nullopt on transport error
+  /// or unexpected status.
+  std::optional<Value> Search(Key key);
+  std::optional<Status> Insert(Key key, Value value);
+  std::optional<Status> Delete(Key key);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  uint64_t next_id_ = 0;
+  std::string recv_buffer_;
+};
+
+}  // namespace net
+}  // namespace cbtree
+
+#endif  // CBTREE_NET_CLIENT_H_

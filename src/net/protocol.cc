@@ -1,0 +1,130 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace cbtree {
+namespace net {
+namespace {
+
+// Explicit little-endian (de)serialization so the wire format does not
+// depend on host byte order.
+void PutU32(uint32_t v, std::string* out) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(b, 4);
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(b, 8);
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+int64_t GetI64(const uint8_t* p) { return static_cast<int64_t>(GetU64(p)); }
+
+}  // namespace
+
+bool IsValidOpCode(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(OpCode::kSearch) &&
+         raw <= static_cast<uint8_t>(OpCode::kDelete);
+}
+
+const char* OpCodeName(OpCode op) {
+  switch (op) {
+    case OpCode::kSearch:
+      return "search";
+    case OpCode::kInsert:
+      return "insert";
+    case OpCode::kDelete:
+      return "delete";
+  }
+  return "unknown";
+}
+
+bool IsValidStatus(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(Status::kFound) &&
+         raw <= static_cast<uint8_t>(Status::kBadFrame);
+}
+
+const char* StatusName(Status status) {
+  switch (status) {
+    case Status::kFound:
+      return "found";
+    case Status::kNotFound:
+      return "not_found";
+    case Status::kInserted:
+      return "inserted";
+    case Status::kUpdated:
+      return "updated";
+    case Status::kDeleted:
+      return "deleted";
+    case Status::kDeleteMiss:
+      return "delete_miss";
+    case Status::kRejected:
+      return "rejected";
+    case Status::kShuttingDown:
+      return "shutting_down";
+    case Status::kBadFrame:
+      return "bad_frame";
+  }
+  return "unknown";
+}
+
+void AppendRequest(const Request& request, std::string* out) {
+  PutU32(kRequestPayloadSize, out);
+  out->push_back(static_cast<char>(request.op));
+  PutU64(request.id, out);
+  PutU64(static_cast<uint64_t>(request.key), out);
+  PutU64(static_cast<uint64_t>(request.value), out);
+}
+
+void AppendResponse(const Response& response, std::string* out) {
+  PutU32(kResponsePayloadSize, out);
+  out->push_back(static_cast<char>(response.status));
+  PutU64(response.id, out);
+  PutU64(static_cast<uint64_t>(response.value), out);
+}
+
+DecodeStatus DecodeRequest(const uint8_t* data, size_t size, Request* out,
+                           size_t* consumed) {
+  if (size < 4) return DecodeStatus::kNeedMore;
+  // The length is validated before waiting for the payload, so a hostile
+  // length can neither stall the connection nor grow the read buffer.
+  if (GetU32(data) != kRequestPayloadSize) return DecodeStatus::kError;
+  if (size < kRequestFrameSize) return DecodeStatus::kNeedMore;
+  if (!IsValidOpCode(data[4])) return DecodeStatus::kError;
+  out->op = static_cast<OpCode>(data[4]);
+  out->id = GetU64(data + 5);
+  out->key = GetI64(data + 13);
+  out->value = GetI64(data + 21);
+  *consumed = kRequestFrameSize;
+  return DecodeStatus::kOk;
+}
+
+DecodeStatus DecodeResponse(const uint8_t* data, size_t size, Response* out,
+                            size_t* consumed) {
+  if (size < 4) return DecodeStatus::kNeedMore;
+  if (GetU32(data) != kResponsePayloadSize) return DecodeStatus::kError;
+  if (size < kResponseFrameSize) return DecodeStatus::kNeedMore;
+  if (!IsValidStatus(data[4])) return DecodeStatus::kError;
+  out->status = static_cast<Status>(data[4]);
+  out->id = GetU64(data + 5);
+  out->value = GetI64(data + 13);
+  *consumed = kResponseFrameSize;
+  return DecodeStatus::kOk;
+}
+
+}  // namespace net
+}  // namespace cbtree

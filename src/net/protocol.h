@@ -1,0 +1,98 @@
+// Wire protocol of the network service layer: little-endian, length-prefixed
+// binary frames carrying one tree operation (or its reply) each.
+//
+// Request frame:   [u32 payload_len][u8 opcode][u64 id][i64 key][i64 value]
+// Response frame:  [u32 payload_len][u8 status][u64 id][i64 value]
+//
+// payload_len counts the bytes after the length field and is fixed per frame
+// type (kRequestPayloadSize / kResponsePayloadSize); any other value is a
+// protocol error, so a corrupt or hostile peer can never make the server
+// buffer an unbounded frame. Multiple frames may be pipelined on one
+// connection; responses carry the request's id because a worker pool
+// completes them out of order.
+//
+// The `value` of a response is overloaded by status: the stored value for
+// kFound, and the suggested retry backoff in microseconds for kRejected
+// (the server is past its saturation point — the client should back off
+// rather than queue, the open-system analogue of the paper's unstable
+// region).
+
+#ifndef CBTREE_NET_PROTOCOL_H_
+#define CBTREE_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "btree/node.h"
+
+namespace cbtree {
+namespace net {
+
+enum class OpCode : uint8_t {
+  kSearch = 1,
+  kInsert = 2,
+  kDelete = 3,
+};
+
+/// True iff `raw` is one of the OpCode values.
+bool IsValidOpCode(uint8_t raw);
+const char* OpCodeName(OpCode op);
+
+enum class Status : uint8_t {
+  kFound = 1,        ///< search hit; value = stored value
+  kNotFound = 2,     ///< search miss
+  kInserted = 3,     ///< insert created the key
+  kUpdated = 4,      ///< insert overwrote an existing key
+  kDeleted = 5,      ///< delete removed the key
+  kDeleteMiss = 6,   ///< delete found nothing
+  kRejected = 7,     ///< queue full; value = retry hint in microseconds
+  kShuttingDown = 8, ///< server draining; resend elsewhere/later
+  kBadFrame = 9,     ///< malformed frame; id = 0, connection closes after
+};
+
+bool IsValidStatus(uint8_t raw);
+const char* StatusName(Status status);
+
+struct Request {
+  OpCode op = OpCode::kSearch;
+  uint64_t id = 0;
+  Key key = 0;
+  Value value = 0;
+};
+
+struct Response {
+  Status status = Status::kNotFound;
+  uint64_t id = 0;
+  Value value = 0;
+};
+
+/// Fixed payload sizes (bytes after the u32 length prefix).
+inline constexpr uint32_t kRequestPayloadSize = 1 + 8 + 8 + 8;
+inline constexpr uint32_t kResponsePayloadSize = 1 + 8 + 8;
+inline constexpr size_t kRequestFrameSize = 4 + kRequestPayloadSize;
+inline constexpr size_t kResponseFrameSize = 4 + kResponsePayloadSize;
+
+/// Serializes one frame onto `out` (append; never clears).
+void AppendRequest(const Request& request, std::string* out);
+void AppendResponse(const Response& response, std::string* out);
+
+enum class DecodeStatus {
+  kNeedMore,  ///< buffer holds only a prefix of the next frame
+  kOk,        ///< one frame decoded; *consumed bytes were used
+  kError,     ///< malformed frame — the connection cannot be resynchronized
+};
+
+/// Decodes the first frame of `data`. On kOk fills `*out` and sets
+/// `*consumed`; on kNeedMore/kError both outputs are untouched. A decode
+/// error is unrecoverable for the stream (framing is lost): close the
+/// connection.
+DecodeStatus DecodeRequest(const uint8_t* data, size_t size, Request* out,
+                           size_t* consumed);
+DecodeStatus DecodeResponse(const uint8_t* data, size_t size, Response* out,
+                            size_t* consumed);
+
+}  // namespace net
+}  // namespace cbtree
+
+#endif  // CBTREE_NET_PROTOCOL_H_

@@ -1,0 +1,590 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "stats/rng.h"
+#include "util/check.h"
+
+namespace cbtree {
+namespace net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedNs(Clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           since)
+          .count());
+}
+
+}  // namespace
+
+/// Per-connection state. The read side (read_buffer/poisoned) belongs to
+/// the event-loop thread alone; the write side is shared with the workers
+/// and guarded by mu. `fd` is closed only by the event loop, and only after
+/// setting `closed` under mu, so a worker holding mu either sees closed or
+/// owns a still-valid fd for the duration of its send.
+struct Server::Conn {
+  int fd = -1;
+  uint64_t id = 0;
+
+  // Event-loop thread only.
+  std::string read_buffer;
+  size_t read_pos = 0;
+  bool poisoned = false;  ///< framing lost; discard further input
+
+  Mutex mu;
+  std::string write_buffer CBTREE_GUARDED_BY(mu);
+  size_t write_pos CBTREE_GUARDED_BY(mu) = 0;
+  bool closed CBTREE_GUARDED_BY(mu) = false;
+  bool close_after_flush CBTREE_GUARDED_BY(mu) = false;
+  bool write_error CBTREE_GUARDED_BY(mu) = false;
+  bool slow_consumer CBTREE_GUARDED_BY(mu) = false;
+
+  /// Dedupes handoffs to the event loop's pending list.
+  std::atomic<bool> handoff_queued{false};
+
+  size_t unflushed() const CBTREE_REQUIRES(mu) {
+    return write_buffer.size() - write_pos;
+  }
+};
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  obs_requests_ = obs_.counter("net.requests");
+  obs_rejected_ = obs_.counter("net.rejected");
+  obs_bad_frames_ = obs_.counter("net.bad_frames");
+  obs_service_ns_ = obs_.timer("net.service_ns");
+  obs_request_ns_ = obs_.timer("net.request_ns");
+}
+
+Server::~Server() { Shutdown(); }
+
+bool Server::Start(std::string* error) {
+  CBTREE_CHECK(!running_.load()) << "Start() called twice";
+  tree_ = MakeConcurrentBTree(options_.algorithm, options_.node_size);
+  if (options_.preload_items > 0) {
+    // Same preload scheme as `cbtree stress`: uniform keys over twice the
+    // item count, so drivers using the same --items value share the space.
+    const uint64_t key_space = 2 * options_.preload_items;
+    Rng rng(options_.seed * 0x9e3779b97f4a7c15ull + 1);
+    for (uint64_t i = 0; i < options_.preload_items; ++i) {
+      tree_->Insert(static_cast<Key>(rng.NextBounded(key_space) + 1),
+                    static_cast<Value>(i));
+    }
+  }
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + strerror(errno);
+    return false;
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad host '" + options_.host + "'";
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) *error = std::string("bind: ") + strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (listen(listen_fd_, 128) != 0) {
+    if (error != nullptr) *error = std::string("listen: ") + strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound = {};
+  socklen_t bound_len = sizeof(bound);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wake_event_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  CBTREE_CHECK(epoll_fd_ >= 0 && wake_event_fd_ >= 0);
+  epoll_event ev = {};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  CBTREE_CHECK_EQ(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev), 0);
+  ev.data.fd = wake_event_fd_;
+  CBTREE_CHECK_EQ(
+      epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_event_fd_, &ev), 0);
+
+  pool_ = std::make_unique<ThreadPool>(std::max(1, options_.workers));
+  start_time_ = Clock::now();
+  running_.store(true, std::memory_order_release);
+  event_thread_ = std::thread([this] { EventLoop(); });
+  return true;
+}
+
+void Server::Shutdown() {
+  // Serialized so a signal-driven drain and the destructor cannot race.
+  std::lock_guard<std::mutex> guard(shutdown_mu_);
+  if (event_thread_.joinable()) {
+    draining_.store(true, std::memory_order_release);
+    uint64_t one = 1;
+    ssize_t ignored = write(wake_event_fd_, &one, sizeof(one));
+    (void)ignored;
+    event_thread_.join();
+  }
+  pool_.reset();  // drains any residual queued work, then joins workers
+  if (epoll_fd_ != -1) close(epoll_fd_);
+  if (wake_event_fd_ != -1) close(wake_event_fd_);
+  epoll_fd_ = wake_event_fd_ = -1;
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::ServeUntil(int wake_fd) {
+  if (!running_.load(std::memory_order_acquire)) return;
+  pollfd pfd = {};
+  pfd.fd = wake_fd;
+  pfd.events = POLLIN;
+  while (running_.load(std::memory_order_acquire)) {
+    int rc = poll(&pfd, 1, 200);
+    if (rc > 0) break;                      // wake fd readable
+    if (rc < 0 && errno != EINTR) break;    // bad fd: fail open, drain
+    if (rc < 0) break;                      // EINTR: a signal landed
+  }
+  Shutdown();
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.connections_accepted = connections_accepted_.load();
+  stats.connections_closed = connections_closed_.load();
+  stats.requests_received = requests_received_.load();
+  stats.completed = completed_.load();
+  stats.rejected = rejected_.load();
+  stats.shutdown_rejected = shutdown_rejected_.load();
+  stats.bad_frames = bad_frames_.load();
+  stats.slow_consumer_drops = slow_consumer_drops_.load();
+  stats.bytes_in = bytes_in_.load();
+  stats.bytes_out = bytes_out_.load();
+  return stats;
+}
+
+void Server::TraceConn(obs::TraceEventKind kind, uint64_t conn_id) {
+  if (options_.trace == nullptr) return;
+  obs::TraceEvent event;
+  event.time = static_cast<double>(ElapsedNs(start_time_)) * 1e-9;
+  event.kind = kind;
+  event.id = conn_id;
+  event.what = "conn";
+  options_.trace->Record(event);
+}
+
+void Server::TraceRequest(obs::TraceEventKind kind, const Request& request,
+                          double seconds) {
+  if (options_.trace == nullptr) return;
+  obs::TraceEvent event;
+  event.time = static_cast<double>(ElapsedNs(start_time_)) * 1e-9;
+  event.kind = kind;
+  event.id = request.id;
+  event.what = OpCodeName(request.op);
+  event.value = seconds;
+  options_.trace->Record(event);
+}
+
+void Server::EventLoop() {
+  bool listen_closed = false;
+  bool deadline_set = false;
+  Clock::time_point drain_deadline;
+  epoll_event events[64];
+  for (;;) {
+    const bool draining = draining_.load(std::memory_order_acquire);
+    if (draining) {
+      if (!listen_closed) {
+        epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        close(listen_fd_);
+        listen_fd_ = -1;
+        listen_closed = true;
+      }
+      if (!deadline_set) {
+        drain_deadline = Clock::now() + std::chrono::milliseconds(
+                                            options_.drain_timeout_ms);
+        deadline_set = true;
+      }
+      if (AllIdle() || Clock::now() >= drain_deadline) break;
+    }
+    int n = epoll_wait(epoll_fd_, events, 64, draining ? 10 : 200);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptNew();
+        continue;
+      }
+      if (fd == wake_event_fd_) {
+        uint64_t sink;
+        while (read(wake_event_fd_, &sink, sizeof(sink)) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      std::shared_ptr<Conn> conn = it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConn(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) HandleWritable(conn);
+      if ((events[i].events & EPOLLIN) != 0) HandleReadable(conn);
+    }
+    // Worker handoffs: arm EPOLLOUT for partially-flushed connections and
+    // close the ones the workers found dead.
+    std::vector<std::shared_ptr<Conn>> pending;
+    {
+      MutexLock guard(&pending_mu_);
+      pending.swap(pending_write_);
+    }
+    for (const std::shared_ptr<Conn>& conn : pending) {
+      conn->handoff_queued.store(false, std::memory_order_release);
+      bool close_now = false;
+      bool arm = false;
+      {
+        MutexLock guard(&conn->mu);
+        if (conn->closed) continue;
+        if (conn->write_error) {
+          close_now = true;
+        } else if (conn->unflushed() > 0) {
+          arm = true;
+        } else if (conn->close_after_flush) {
+          close_now = true;
+        }
+      }
+      if (close_now) {
+        CloseConn(conn);
+      } else if (arm) {
+        epoll_event ev = {};
+        ev.events = EPOLLIN | EPOLLOUT;
+        ev.data.fd = conn->fd;
+        epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+      }
+    }
+  }
+  // Drain finished (or timed out): close everything still open.
+  std::vector<std::shared_ptr<Conn>> remaining;
+  remaining.reserve(conns_.size());
+  for (auto& [fd, conn] : conns_) remaining.push_back(conn);
+  for (const std::shared_ptr<Conn>& conn : remaining) CloseConn(conn);
+  conns_.clear();
+  if (!listen_closed && listen_fd_ != -1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::AcceptNew() {
+  for (;;) {
+    int fd = accept4(listen_fd_, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or transient (EMFILE/ECONNABORTED): try next wake
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    conn->id = ++next_conn_id_;
+    epoll_event ev = {};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      close(fd);
+      continue;
+    }
+    conns_[fd] = conn;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    TraceConn(obs::TraceEventKind::kConnOpen, conn->id);
+  }
+}
+
+void Server::HandleReadable(const std::shared_ptr<Conn>& conn) {
+  char buffer[16384];
+  for (;;) {
+    ssize_t n = recv(conn->fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      bytes_in_.fetch_add(static_cast<uint64_t>(n),
+                          std::memory_order_relaxed);
+      if (!conn->poisoned) {
+        conn->read_buffer.append(buffer, static_cast<size_t>(n));
+      }
+      continue;
+    }
+    if (n == 0) {  // peer closed its write side
+      DrainReadBuffer(conn);
+      CloseConn(conn);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConn(conn);
+    return;
+  }
+  if (!DrainReadBuffer(conn)) {
+    // Framing lost: a kBadFrame reply is queued; close once it flushes and
+    // ignore whatever else arrives meanwhile.
+    conn->poisoned = true;
+    conn->read_buffer.clear();
+    conn->read_pos = 0;
+  }
+}
+
+bool Server::DrainReadBuffer(const std::shared_ptr<Conn>& conn) {
+  if (conn->poisoned) return true;
+  for (;;) {
+    const uint8_t* data =
+        reinterpret_cast<const uint8_t*>(conn->read_buffer.data()) +
+        conn->read_pos;
+    size_t size = conn->read_buffer.size() - conn->read_pos;
+    Request request;
+    size_t consumed = 0;
+    DecodeStatus status = DecodeRequest(data, size, &request, &consumed);
+    if (status == DecodeStatus::kNeedMore) break;
+    if (status == DecodeStatus::kError) {
+      bad_frames_.fetch_add(1, std::memory_order_relaxed);
+      obs_bad_frames_.Add();
+      Response response;
+      response.status = Status::kBadFrame;
+      response.id = 0;
+      SendResponse(conn, response, /*close_after=*/true);
+      return false;
+    }
+    conn->read_pos += consumed;
+    Dispatch(conn, request);
+  }
+  if (conn->read_pos > 0 && conn->read_pos == conn->read_buffer.size()) {
+    conn->read_buffer.clear();
+    conn->read_pos = 0;
+  } else if (conn->read_pos > 65536) {
+    conn->read_buffer.erase(0, conn->read_pos);
+    conn->read_pos = 0;
+  }
+  return true;
+}
+
+void Server::Dispatch(const std::shared_ptr<Conn>& conn,
+                      const Request& request) {
+  requests_received_.fetch_add(1, std::memory_order_relaxed);
+  obs_requests_.Add();
+  if (draining_.load(std::memory_order_acquire)) {
+    shutdown_rejected_.fetch_add(1, std::memory_order_relaxed);
+    TraceRequest(obs::TraceEventKind::kReject, request, 0.0);
+    Response response;
+    response.status = Status::kShuttingDown;
+    response.id = request.id;
+    SendResponse(conn, response);
+    return;
+  }
+  // Admission control: CAS keeps the budget exact under racing decrements.
+  size_t current = in_flight_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (current >= options_.max_inflight) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      obs_rejected_.Add();
+      TraceRequest(obs::TraceEventKind::kReject, request, 0.0);
+      Response response;
+      response.status = Status::kRejected;
+      response.id = request.id;
+      response.value = options_.retry_hint_us;
+      SendResponse(conn, response);
+      return;
+    }
+    if (in_flight_.compare_exchange_weak(current, current + 1,
+                                         std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+  TraceRequest(obs::TraceEventKind::kOpArrive, request, 0.0);
+  Clock::time_point admitted = Clock::now();
+  // The future is intentionally dropped; completion is observed through
+  // in_flight_ and the write buffers.
+  pool_->Submit([this, conn, request, admitted]() mutable {
+    ExecuteOnWorker(std::move(conn), request, admitted);
+  });
+}
+
+void Server::ExecuteOnWorker(std::shared_ptr<Conn> conn, Request request,
+                             Clock::time_point admitted) {
+  if (options_.worker_delay_hook) options_.worker_delay_hook(request);
+  Clock::time_point op_start = Clock::now();
+  Response response;
+  response.id = request.id;
+  switch (request.op) {
+    case OpCode::kSearch: {
+      std::optional<Value> found = tree_->Search(request.key);
+      if (found.has_value()) {
+        response.status = Status::kFound;
+        response.value = *found;
+      } else {
+        response.status = Status::kNotFound;
+      }
+      break;
+    }
+    case OpCode::kInsert:
+      response.status = tree_->Insert(request.key, request.value)
+                            ? Status::kInserted
+                            : Status::kUpdated;
+      break;
+    case OpCode::kDelete:
+      response.status =
+          tree_->Delete(request.key) ? Status::kDeleted : Status::kDeleteMiss;
+      break;
+  }
+  obs_service_ns_.RecordNs(ElapsedNs(op_start));
+  SendResponse(conn, response);
+  uint64_t request_ns = ElapsedNs(admitted);
+  obs_request_ns_.RecordNs(request_ns);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  TraceRequest(obs::TraceEventKind::kOpComplete, request,
+               static_cast<double>(request_ns) * 1e-9);
+  // Last: the event loop treats in_flight_ == 0 (plus empty buffers) as
+  // fully drained, so the response must already be appended.
+  in_flight_.fetch_sub(1, std::memory_order_release);
+}
+
+void Server::SendResponse(const std::shared_ptr<Conn>& conn,
+                          const Response& response, bool close_after) {
+  bool handoff = false;
+  Conn* c = conn.get();
+  {
+    MutexLock guard(&c->mu);
+    if (c->closed || c->write_error) return;
+    AppendResponse(response, &c->write_buffer);
+    if (close_after) c->close_after_flush = true;
+    if (!FlushLocked(c)) {
+      handoff = true;  // dead connection: event loop must reap it
+    } else if (c->unflushed() > 0) {
+      if (c->unflushed() > options_.max_write_buffer) {
+        c->write_error = true;
+        c->slow_consumer = true;
+        slow_consumer_drops_.fetch_add(1, std::memory_order_relaxed);
+      }
+      handoff = true;  // event loop arms EPOLLOUT (or closes)
+    } else if (c->close_after_flush) {
+      handoff = true;  // buffer already empty: event loop closes
+    }
+  }
+  if (handoff) RequestWriteInterest(conn);
+}
+
+// The annotation lives on the definition: the declaration in server.h
+// cannot spell conn->mu while Conn is still an incomplete type there.
+bool Server::FlushLocked(Conn* conn) CBTREE_REQUIRES(conn->mu) {
+  while (conn->unflushed() > 0) {
+    ssize_t n = send(conn->fd, conn->write_buffer.data() + conn->write_pos,
+                     conn->unflushed(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->write_pos += static_cast<size_t>(n);
+      bytes_out_.fetch_add(static_cast<uint64_t>(n),
+                           std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    conn->write_error = true;  // EPIPE/ECONNRESET/...: reap via handoff
+    return false;
+  }
+  if (conn->write_pos > 0) {
+    conn->write_buffer.clear();
+    conn->write_pos = 0;
+  }
+  return true;
+}
+
+void Server::RequestWriteInterest(const std::shared_ptr<Conn>& conn) {
+  if (conn->handoff_queued.exchange(true, std::memory_order_acq_rel)) return;
+  {
+    MutexLock guard(&pending_mu_);
+    pending_write_.push_back(conn);
+  }
+  uint64_t one = 1;
+  ssize_t ignored = write(wake_event_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+void Server::HandleWritable(const std::shared_ptr<Conn>& conn) {
+  bool close_now = false;
+  bool drained = false;
+  Conn* c = conn.get();
+  {
+    MutexLock guard(&c->mu);
+    if (c->closed) return;
+    if (!FlushLocked(c)) {
+      close_now = true;
+    } else if (c->unflushed() == 0) {
+      drained = true;
+      close_now = c->close_after_flush;
+    }
+  }
+  if (close_now) {
+    CloseConn(conn);
+    return;
+  }
+  if (drained) {
+    epoll_event ev = {};
+    ev.events = EPOLLIN;
+    ev.data.fd = conn->fd;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+}
+
+void Server::CloseConn(const std::shared_ptr<Conn>& conn) {
+  int fd;
+  {
+    MutexLock guard(&conn->mu);
+    if (conn->closed) return;
+    conn->closed = true;
+    fd = conn->fd;
+  }
+  // Any worker that grabs conn->mu from here on sees closed and never
+  // touches the fd, so the close cannot race a send.
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  close(fd);
+  conns_.erase(fd);
+  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+  TraceConn(obs::TraceEventKind::kConnClose, conn->id);
+}
+
+bool Server::AllIdle() {
+  if (in_flight_.load(std::memory_order_acquire) != 0) return false;
+  {
+    MutexLock guard(&pending_mu_);
+    if (!pending_write_.empty()) return false;
+  }
+  for (auto& [fd, conn] : conns_) {
+    (void)fd;
+    MutexLock guard(&conn->mu);
+    if (!conn->closed && conn->unflushed() > 0) return false;
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace cbtree

@@ -1,0 +1,211 @@
+// Multi-threaded epoll TCP server exposing one real concurrent B-tree
+// (ctree/) over the length-prefixed frame protocol in net/protocol.h.
+//
+// Threading model: one event-loop thread owns the listen socket, the epoll
+// set, and every connection's read side; decoded requests are admitted
+// against a bounded in-flight budget and handed to a runner::ThreadPool of
+// workers, which execute the tree operation and append the response to the
+// connection's write buffer (its own mutex). Workers flush opportunistically
+// with non-blocking sends; leftover bytes are handed back to the event loop
+// (via an eventfd wakeup) which arms EPOLLOUT and finishes the flush.
+// Responses on one connection may therefore complete out of request order —
+// clients match replies by request id.
+//
+// Backpressure: when the admitted-but-unfinished count reaches
+// `max_inflight`, new requests are answered immediately from the event loop
+// with Status::kRejected carrying a retry hint — the service-level analogue
+// of the paper's saturation point: past it, an open system's queue grows
+// without bound, so the server sheds load instead of queueing.
+//
+// Graceful drain: Shutdown() (or a SignalDrain trigger wired in by the
+// caller) stops accepting, answers new frames with kShuttingDown, lets the
+// admitted requests finish, flushes every write buffer, then closes. Every
+// frame that reaches the server gets exactly one response — the accounting
+// invariant (sent = completed + rejected) the load driver checks.
+
+#ifndef CBTREE_NET_SERVER_H_
+#define CBTREE_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+#include "core/analyzer.h"
+#include "ctree/ctree.h"
+#include "net/protocol.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "runner/thread_pool.h"
+
+namespace cbtree {
+namespace net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral; read the bound port from Server::port()
+  Algorithm algorithm = Algorithm::kLinkType;
+  int node_size = 13;
+  /// Keys preloaded before serving, drawn like `cbtree stress` does:
+  /// uniform over [1, 2 * preload_items] so a driver using the same --items
+  /// value hits the same key space.
+  uint64_t preload_items = 0;
+  uint64_t seed = 1;
+  int workers = 4;
+  /// Admission budget: requests admitted (queued + executing) at once.
+  /// Frames beyond it are rejected with a retry hint, never queued.
+  size_t max_inflight = 1024;
+  /// Retry hint returned with kRejected, in microseconds.
+  int64_t retry_hint_us = 1000;
+  /// A connection whose unread responses exceed this is dropped as a slow
+  /// consumer (its buffer would otherwise grow without bound).
+  size_t max_write_buffer = 1 << 20;
+  /// Drain deadline for Shutdown(); connections still busy afterwards are
+  /// closed hard.
+  int drain_timeout_ms = 5000;
+  /// Request-lifecycle events (op_arrive/op_complete/reject, conn
+  /// open/close) go here when non-null; must be thread-safe and outlive the
+  /// server.
+  obs::TraceSink* trace = nullptr;
+  /// Test-only: run in the worker before each tree operation (e.g. a sleep
+  /// to saturate the admission budget deterministically).
+  std::function<void(const Request&)> worker_delay_hook;
+};
+
+/// Functional accounting (plain atomics, alive even with CBTREE_OBS=OFF).
+/// completed + rejected + shutdown_rejected + bad_frames equals every frame
+/// ever answered; requests_received counts well-formed frames only.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t requests_received = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  uint64_t shutdown_rejected = 0;
+  uint64_t bad_frames = 0;
+  uint64_t slow_consumer_drops = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  /// Implies Shutdown() if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, preloads the tree, and spawns the event loop and the
+  /// worker pool. Returns false (with *error filled) on socket failure.
+  bool Start(std::string* error);
+
+  /// Port actually bound (valid after Start).
+  int port() const { return port_; }
+
+  /// Begins the graceful drain and blocks until the event loop has exited
+  /// and the workers are joined. Idempotent.
+  void Shutdown();
+
+  /// True until Shutdown() (or a fatal accept error) completes.
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Blocks until `fd` (e.g. SignalDrain::wake_fd()) is readable, then
+  /// drains. Returns immediately if the server never started.
+  void ServeUntil(int wake_fd);
+
+  ServerStats stats() const;
+
+  /// The served tree (for invariant checks and latch telemetry once
+  /// quiescent).
+  ConcurrentBTree* tree() { return tree_.get(); }
+
+  /// Server-side metrics registry (request/service timers, op counters).
+  const obs::Registry& metrics() const { return obs_; }
+
+ private:
+  struct Conn;
+
+  void EventLoop();
+  void AcceptNew();
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  void HandleWritable(const std::shared_ptr<Conn>& conn);
+  void CloseConn(const std::shared_ptr<Conn>& conn);
+  /// Parses every complete frame in the read buffer; false on protocol
+  /// error (connection must close after the error reply flushes).
+  bool DrainReadBuffer(const std::shared_ptr<Conn>& conn);
+  void Dispatch(const std::shared_ptr<Conn>& conn, const Request& request);
+  void ExecuteOnWorker(std::shared_ptr<Conn> conn, Request request,
+                       std::chrono::steady_clock::time_point admitted);
+  /// Appends (and opportunistically flushes) one response; safe from any
+  /// thread. `close_after` poisons the connection once the buffer drains.
+  void SendResponse(const std::shared_ptr<Conn>& conn,
+                    const Response& response, bool close_after = false);
+  void RequestWriteInterest(const std::shared_ptr<Conn>& conn);
+  /// Flushes conn->write_buffer with non-blocking sends; must hold conn->mu.
+  /// Returns false if the connection died mid-write.
+  bool FlushLocked(Conn* conn);
+  void TraceConn(obs::TraceEventKind kind, uint64_t conn_id);
+  void TraceRequest(obs::TraceEventKind kind, const Request& request,
+                    double seconds);
+  bool AllIdle();
+
+  ServerOptions options_;
+  std::unique_ptr<ConcurrentBTree> tree_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread event_thread_;
+  std::mutex shutdown_mu_;
+  std::chrono::steady_clock::time_point start_time_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_event_fd_ = -1;
+  int port_ = 0;
+  uint64_t next_conn_id_ = 0;  ///< event-loop thread only
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<size_t> in_flight_{0};
+
+  /// Connections by fd; event-loop thread only.
+  std::map<int, std::shared_ptr<Conn>> conns_;
+
+  /// Connections whose workers left unflushed bytes, awaiting EPOLLOUT
+  /// arming by the event loop.
+  Mutex pending_mu_;
+  std::vector<std::shared_ptr<Conn>> pending_write_
+      CBTREE_GUARDED_BY(pending_mu_);
+
+  // Functional counters (see ServerStats).
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<uint64_t> requests_received_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> shutdown_rejected_{0};
+  std::atomic<uint64_t> bad_frames_{0};
+  std::atomic<uint64_t> slow_consumer_drops_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+
+  obs::Registry obs_;
+  obs::Counter obs_requests_;
+  obs::Counter obs_rejected_;
+  obs::Counter obs_bad_frames_;
+  obs::Timer obs_service_ns_;  ///< tree operation only
+  obs::Timer obs_request_ns_;  ///< admission to response append
+};
+
+}  // namespace net
+}  // namespace cbtree
+
+#endif  // CBTREE_NET_SERVER_H_

@@ -1,0 +1,87 @@
+#include "net/shutdown.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <mutex>
+
+namespace cbtree {
+namespace net {
+namespace {
+
+std::atomic<bool> g_requested{false};
+// Self-pipe; [0] = read end watched by epoll loops, [1] = write end used by
+// the handler. Written once installed, then never changed, so the handler's
+// read of the fd is race-free.
+int g_pipe[2] = {-1, -1};
+
+void OnSignal(int signo) {
+  g_requested.store(true, std::memory_order_relaxed);
+  if (g_pipe[1] != -1) {
+    char byte = 1;
+    // EAGAIN when the pipe is full is fine: it is already readable.
+    ssize_t ignored = write(g_pipe[1], &byte, 1);
+    (void)ignored;
+  }
+  // A second signal of the same kind should kill the process even if the
+  // drain hangs: fall back to the default disposition.
+  signal(signo, SIG_DFL);
+}
+
+}  // namespace
+
+void SignalDrain::Install() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (pipe(g_pipe) == 0) {
+      fcntl(g_pipe[0], F_SETFL, O_NONBLOCK);
+      fcntl(g_pipe[1], F_SETFL, O_NONBLOCK);
+      fcntl(g_pipe[0], F_SETFD, FD_CLOEXEC);
+      fcntl(g_pipe[1], F_SETFD, FD_CLOEXEC);
+    } else {
+      g_pipe[0] = g_pipe[1] = -1;  // flag-only fallback
+    }
+    struct sigaction action = {};
+    action.sa_handler = OnSignal;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+  });
+}
+
+bool SignalDrain::requested() {
+  return g_requested.load(std::memory_order_relaxed);
+}
+
+int SignalDrain::wake_fd() { return g_pipe[0]; }
+
+void SignalDrain::Trigger() {
+  g_requested.store(true, std::memory_order_relaxed);
+  if (g_pipe[1] != -1) {
+    char byte = 1;
+    ssize_t ignored = write(g_pipe[1], &byte, 1);
+    (void)ignored;
+  }
+}
+
+void SignalDrain::ResetForTest() {
+  g_requested.store(false, std::memory_order_relaxed);
+  if (g_pipe[0] != -1) {
+    char sink[64];
+    while (read(g_pipe[0], sink, sizeof(sink)) > 0) {
+    }
+  }
+  // Trigger()/a first signal may have reset dispositions to SIG_DFL via
+  // OnSignal; reinstall so the next run still drains gracefully.
+  struct sigaction action = {};
+  action.sa_handler = OnSignal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+}  // namespace net
+}  // namespace cbtree

@@ -1,0 +1,44 @@
+// Process-wide graceful-shutdown latch for SIGINT/SIGTERM.
+//
+// The handler is async-signal-safe: it stores one relaxed atomic flag and
+// writes a byte to a self-pipe, which epoll loops watch so a signal wakes
+// them immediately instead of at the next timeout. Long-running CLI loops
+// (cbtree stress) poll requested() instead.
+//
+// Install() is idempotent and the state is process-global on purpose — the
+// second Ctrl-C during a slow drain falls through to the default handler and
+// kills the process, the conventional escape hatch.
+
+#ifndef CBTREE_NET_SHUTDOWN_H_
+#define CBTREE_NET_SHUTDOWN_H_
+
+namespace cbtree {
+namespace net {
+
+class SignalDrain {
+ public:
+  /// Installs SIGINT/SIGTERM handlers (first call only; later calls no-op).
+  static void Install();
+
+  /// True once a signal arrived or Trigger() ran.
+  static bool requested();
+
+  /// Read end of the self-pipe: becomes readable on the first signal. Valid
+  /// after Install(); -1 before. Do not read from it — poll it (several
+  /// loops may be watching the same pipe).
+  static int wake_fd();
+
+  /// Programmatic trigger with the same effect as a signal (tests, and the
+  /// server's own Shutdown path).
+  static void Trigger();
+
+  /// Clears the requested flag and drains the pipe so a later run of the
+  /// same process starts clean (tests only — not thread-safe against a
+  /// concurrent signal).
+  static void ResetForTest();
+};
+
+}  // namespace net
+}  // namespace cbtree
+
+#endif  // CBTREE_NET_SHUTDOWN_H_

@@ -31,6 +31,12 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "job_begin";
     case TraceEventKind::kJobEnd:
       return "job_end";
+    case TraceEventKind::kReject:
+      return "reject";
+    case TraceEventKind::kConnOpen:
+      return "conn_open";
+    case TraceEventKind::kConnClose:
+      return "conn_close";
   }
   return "unknown";
 }

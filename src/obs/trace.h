@@ -35,6 +35,11 @@ enum class TraceEventKind {
   kLinkCrossing,
   kJobBegin,
   kJobEnd,
+  // Network service layer (net/): request admission reuses kOpArrive and
+  // completion kOpComplete; these cover the service-specific transitions.
+  kReject,     ///< request shed by backpressure or a draining server
+  kConnOpen,   ///< connection accepted
+  kConnClose,  ///< connection closed (either side)
 };
 
 /// Stable wire name ("op_complete", "lock_acquire", ...).

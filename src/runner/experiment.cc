@@ -238,7 +238,9 @@ void WriteSweepJson(std::ostream& out, const SweepRun& run,
 void WriteSimPointJson(std::ostream& out, const SimRunInfo& info,
                        const SimPoint& point, bool include_timing) {
   std::string json;
-  json.append("{\"kind\":\"simulate\",\"algorithm\":\"");
+  json.append("{\"kind\":\"");
+  json.append(info.kind);
+  json.append("\",\"algorithm\":\"");
   json.append(info.algorithm);
   json.append("\",");
   AppendField(&json, "lambda", info.lambda);
@@ -272,6 +274,15 @@ void WriteSimPointJson(std::ostream& out, const SimRunInfo& info,
   AppendField(&json, "resp_p99", point.responses.Quantile(0.99));
   json.push_back(',');
   AppendField(&json, "mean_active_ops", point.active_ops.Average(0.0));
+  for (const auto& [name, count] : info.extra_counts) {
+    std::snprintf(buffer, sizeof(buffer), ",\"%s\":%" PRIu64, name.c_str(),
+                  count);
+    json.append(buffer);
+  }
+  for (const auto& [name, value] : info.extra_stats) {
+    json.push_back(',');
+    AppendField(&json, name.c_str(), value);
+  }
   json.push_back('}');
   if (include_timing) {
     AppendTiming(&json, info.jobs, info.wall_seconds, {point.seconds});

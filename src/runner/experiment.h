@@ -17,6 +17,7 @@
 #include <iosfwd>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/analyzer.h"
@@ -161,12 +162,18 @@ SimGridRun RunSimGrid(const std::vector<std::vector<SimConfig>>& grid,
 void WriteSweepJson(std::ostream& out, const SweepRun& run,
                     bool include_timing);
 
-/// Labels one simulated point for JSON output.
+/// Labels one simulated point for JSON output. The network load driver
+/// reuses this writer (kind "drive") so live-service curves parse exactly
+/// like simulator output; its service-level counters ride along in the
+/// extra_* fields, appended inside "stats" after the shared fields.
 struct SimRunInfo {
+  std::string kind = "simulate";
   std::string algorithm;
   double lambda = 0.0;
   int jobs = 1;
   double wall_seconds = 0.0;
+  std::vector<std::pair<std::string, uint64_t>> extra_counts;
+  std::vector<std::pair<std::string, double>> extra_stats;
 };
 
 /// A merged multi-seed point as JSON:

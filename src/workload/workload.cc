@@ -27,16 +27,20 @@ void KeyPool::Add(Key key) {
 
 bool KeyPool::Contains(Key key) const { return index_.count(key) > 0; }
 
-size_t KeyPool::SampleIndex(Rng& rng, double zipf_skew) const {
-  CBTREE_CHECK(!keys_.empty());
-  if (zipf_skew <= 0.0) return rng.NextBounded(keys_.size());
+size_t SampleZipfIndex(Rng& rng, size_t n, double zipf_skew) {
+  CBTREE_CHECK_GT(n, 0u);
+  if (zipf_skew <= 0.0) return rng.NextBounded(n);
   // Inverse-CDF approximation of a Zipf-like rank distribution: cheap and
   // good enough for hotspot experiments.
   double u = rng.NextDoubleOpenLow();
-  double n = static_cast<double>(keys_.size());
-  double rank = std::pow(u, 1.0 / (1.0 - zipf_skew)) * n;
+  double rank = std::pow(u, 1.0 / (1.0 - zipf_skew)) * static_cast<double>(n);
   size_t idx = static_cast<size_t>(rank);
-  return idx >= keys_.size() ? keys_.size() - 1 : idx;
+  return idx >= n ? n - 1 : idx;
+}
+
+size_t KeyPool::SampleIndex(Rng& rng, double zipf_skew) const {
+  CBTREE_CHECK(!keys_.empty());
+  return SampleZipfIndex(rng, keys_.size(), zipf_skew);
 }
 
 Key KeyPool::Sample(Rng& rng, double zipf_skew) const {

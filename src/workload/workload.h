@@ -24,6 +24,13 @@ enum class OpType { kSearch, kInsert, kDelete };
 
 const char* OpTypeName(OpType type);
 
+/// Rank-skew index sampler over [0, n): the inverse-CDF Zipf approximation
+/// the KeyPool uses for hotspot experiments (rank 0 is the hottest). skew
+/// <= 0 degenerates to uniform; n must be > 0. Shared by the KeyPool, the
+/// `cbtree stress` key chooser, and the network load driver so "--zipf 0.8"
+/// means the same access pattern everywhere.
+size_t SampleZipfIndex(Rng& rng, size_t n, double zipf_skew);
+
 struct Operation {
   OpType type = OpType::kSearch;
   Key key = 0;

@@ -1,0 +1,248 @@
+// Wire-protocol unit tests: every frame round-trips bit-exactly, and every
+// malformed input (truncation, oversized length, garbage opcode/status) is
+// rejected as kNeedMore or kError without touching the outputs — the
+// no-crash, clean-error contract tests/net_server_test.cc exercises end to
+// end over a socket.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace cbtree {
+namespace net {
+namespace {
+
+const uint8_t* Bytes(const std::string& s) {
+  return reinterpret_cast<const uint8_t*>(s.data());
+}
+
+TEST(NetProtoTest, RequestRoundTripsEveryOpCode) {
+  const OpCode ops[] = {OpCode::kSearch, OpCode::kInsert, OpCode::kDelete};
+  for (OpCode op : ops) {
+    Request in;
+    in.op = op;
+    in.id = 0x0123456789abcdefull;
+    in.key = -42;
+    in.value = 99;
+    std::string wire;
+    AppendRequest(in, &wire);
+    ASSERT_EQ(wire.size(), kRequestFrameSize);
+
+    Request out;
+    size_t consumed = 0;
+    ASSERT_EQ(DecodeRequest(Bytes(wire), wire.size(), &out, &consumed),
+              DecodeStatus::kOk);
+    EXPECT_EQ(consumed, kRequestFrameSize);
+    EXPECT_EQ(out.op, in.op);
+    EXPECT_EQ(out.id, in.id);
+    EXPECT_EQ(out.key, in.key);
+    EXPECT_EQ(out.value, in.value);
+  }
+}
+
+TEST(NetProtoTest, ResponseRoundTripsEveryStatus) {
+  for (uint8_t raw = 1; raw <= 9; ++raw) {
+    ASSERT_TRUE(IsValidStatus(raw));
+    Response in;
+    in.status = static_cast<Status>(raw);
+    in.id = raw * 1000ull;
+    in.value = static_cast<Value>(-1) * raw;
+    std::string wire;
+    AppendResponse(in, &wire);
+    ASSERT_EQ(wire.size(), kResponseFrameSize);
+
+    Response out;
+    size_t consumed = 0;
+    ASSERT_EQ(DecodeResponse(Bytes(wire), wire.size(), &out, &consumed),
+              DecodeStatus::kOk);
+    EXPECT_EQ(consumed, kResponseFrameSize);
+    EXPECT_EQ(out.status, in.status);
+    EXPECT_EQ(out.id, in.id);
+    EXPECT_EQ(out.value, in.value);
+  }
+}
+
+TEST(NetProtoTest, ExtremeKeyValuesSurvive) {
+  Request in;
+  in.op = OpCode::kInsert;
+  in.id = UINT64_MAX;
+  in.key = INT64_MIN;
+  in.value = INT64_MAX;
+  std::string wire;
+  AppendRequest(in, &wire);
+  Request out;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeRequest(Bytes(wire), wire.size(), &out, &consumed),
+            DecodeStatus::kOk);
+  EXPECT_EQ(out.id, UINT64_MAX);
+  EXPECT_EQ(out.key, INT64_MIN);
+  EXPECT_EQ(out.value, INT64_MAX);
+}
+
+TEST(NetProtoTest, LittleEndianOnTheWire) {
+  Request in;
+  in.op = OpCode::kSearch;
+  in.id = 0x01;
+  in.key = 0x0203;
+  in.value = 0;
+  std::string wire;
+  AppendRequest(in, &wire);
+  // [len u32 LE][op][id u64 LE][key i64 LE][value i64 LE]
+  EXPECT_EQ(static_cast<uint8_t>(wire[0]), kRequestPayloadSize);
+  EXPECT_EQ(static_cast<uint8_t>(wire[1]), 0);
+  EXPECT_EQ(static_cast<uint8_t>(wire[4]), 1);     // opcode
+  EXPECT_EQ(static_cast<uint8_t>(wire[5]), 0x01);  // id LSB
+  EXPECT_EQ(static_cast<uint8_t>(wire[13]), 0x03); // key LSB
+  EXPECT_EQ(static_cast<uint8_t>(wire[14]), 0x02);
+}
+
+TEST(NetProtoTest, EveryTruncationPrefixNeedsMore) {
+  Request in;
+  in.op = OpCode::kDelete;
+  in.id = 7;
+  in.key = 123456789;
+  std::string wire;
+  AppendRequest(in, &wire);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    Request out;
+    out.id = 0xdead;
+    size_t consumed = 0xbeef;
+    EXPECT_EQ(DecodeRequest(Bytes(wire), len, &out, &consumed),
+              DecodeStatus::kNeedMore)
+        << "prefix length " << len;
+    // Outputs untouched on kNeedMore.
+    EXPECT_EQ(out.id, 0xdeadu);
+    EXPECT_EQ(consumed, 0xbeefu);
+  }
+}
+
+TEST(NetProtoTest, OversizedLengthIsAnErrorNotABufferDemand) {
+  // A hostile length prefix must be rejected from the 4 length bytes alone —
+  // the decoder must never ask the caller to buffer up to it.
+  std::string wire;
+  const uint32_t huge = 64 * 1024 * 1024;
+  for (int shift = 0; shift < 32; shift += 8) {
+    wire.push_back(static_cast<char>((huge >> shift) & 0xff));
+  }
+  Request out;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeRequest(Bytes(wire), wire.size(), &out, &consumed),
+            DecodeStatus::kError);
+}
+
+TEST(NetProtoTest, WrongFixedLengthIsAnError) {
+  for (uint32_t len : {0u, 1u, kRequestPayloadSize - 1, kRequestPayloadSize + 1,
+                       kResponsePayloadSize}) {
+    if (len == kRequestPayloadSize) continue;
+    std::string wire;
+    for (int shift = 0; shift < 32; shift += 8) {
+      wire.push_back(static_cast<char>((len >> shift) & 0xff));
+    }
+    Request out;
+    size_t consumed = 0;
+    EXPECT_EQ(DecodeRequest(Bytes(wire), wire.size(), &out, &consumed),
+              DecodeStatus::kError)
+        << "length " << len;
+  }
+}
+
+TEST(NetProtoTest, GarbageOpCodeIsAnError) {
+  Request in;
+  in.op = OpCode::kSearch;
+  in.id = 1;
+  std::string wire;
+  AppendRequest(in, &wire);
+  for (int bad : {0, 4, 5, 0x7f, 0xff}) {
+    std::string corrupt = wire;
+    corrupt[4] = static_cast<char>(bad);
+    Request out;
+    size_t consumed = 0;
+    EXPECT_EQ(DecodeRequest(Bytes(corrupt), corrupt.size(), &out, &consumed),
+              DecodeStatus::kError)
+        << "opcode " << bad;
+  }
+}
+
+TEST(NetProtoTest, GarbageStatusIsAnError) {
+  Response in;
+  in.status = Status::kFound;
+  in.id = 1;
+  std::string wire;
+  AppendResponse(in, &wire);
+  for (int bad : {0, 10, 0x80, 0xff}) {
+    std::string corrupt = wire;
+    corrupt[4] = static_cast<char>(bad);
+    Response out;
+    size_t consumed = 0;
+    EXPECT_EQ(DecodeResponse(Bytes(corrupt), corrupt.size(), &out, &consumed),
+              DecodeStatus::kError)
+        << "status " << bad;
+  }
+}
+
+TEST(NetProtoTest, PipelinedFramesDecodeInOrder) {
+  std::string wire;
+  for (uint64_t id = 1; id <= 5; ++id) {
+    Request request;
+    request.op = static_cast<OpCode>(1 + (id % 3));
+    request.id = id;
+    request.key = static_cast<Key>(id * 10);
+    AppendRequest(request, &wire);
+  }
+  size_t offset = 0;
+  for (uint64_t id = 1; id <= 5; ++id) {
+    Request out;
+    size_t consumed = 0;
+    ASSERT_EQ(DecodeRequest(Bytes(wire) + offset, wire.size() - offset, &out,
+                            &consumed),
+              DecodeStatus::kOk);
+    EXPECT_EQ(out.id, id);
+    EXPECT_EQ(out.key, static_cast<Key>(id * 10));
+    offset += consumed;
+  }
+  EXPECT_EQ(offset, wire.size());
+}
+
+TEST(NetProtoTest, IncrementalArrivalDecodesAtTheBoundary) {
+  // Feed the frame byte by byte, as a slow network would: kNeedMore until
+  // the last byte lands, then exactly one clean decode.
+  Request in;
+  in.op = OpCode::kInsert;
+  in.id = 42;
+  in.key = 4242;
+  in.value = -1;
+  std::string wire;
+  AppendRequest(in, &wire);
+  std::string received;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    received.push_back(wire[i]);
+    Request out;
+    size_t consumed = 0;
+    ASSERT_EQ(DecodeRequest(Bytes(received), received.size(), &out, &consumed),
+              DecodeStatus::kNeedMore);
+  }
+  received.push_back(wire.back());
+  Request out;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeRequest(Bytes(received), received.size(), &out, &consumed),
+            DecodeStatus::kOk);
+  EXPECT_EQ(out.id, 42u);
+}
+
+TEST(NetProtoTest, NamesAreStable) {
+  EXPECT_STREQ(OpCodeName(OpCode::kSearch), "search");
+  EXPECT_STREQ(OpCodeName(OpCode::kInsert), "insert");
+  EXPECT_STREQ(OpCodeName(OpCode::kDelete), "delete");
+  EXPECT_STREQ(StatusName(Status::kRejected), "rejected");
+  EXPECT_STREQ(StatusName(Status::kShuttingDown), "shutting_down");
+  EXPECT_STREQ(StatusName(Status::kBadFrame), "bad_frame");
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace cbtree

@@ -8,19 +8,29 @@
 //   cbtree rules     [tree flags]
 //   cbtree simulate  --algorithm=link --lambda=0.3 [--seeds=5 --ops=10000]
 //   cbtree stress    --algorithm=link --threads=8 [--stress_ops=100000]
+//   cbtree serve     --protocol=blink --port=7070 [--workers=4 --queue=1024]
+//   cbtree drive     --port=7070 --lambda=2000 --duration=5s [--connections=4]
 //
 // Tree flags (all subcommands): --items, --node_size, --disk_cost,
 // --qs/--qi/--qd, and for simulate also --seed, --buffer_pool, --zipf.
 // simulate accepts --trace=<file> (--trace_format=jsonl|chrome) to record
 // the first seed's event trace; stress accepts --metrics=table|json for
 // the latch-contention report. The unit of time is one in-memory node
-// search (paper §5.3).
+// search (paper §5.3) for the model/simulator commands and wall-clock
+// seconds for stress/serve/drive.
+//
+// serve runs a real concurrent tree behind the net/ TCP service until
+// SIGINT/SIGTERM, then drains gracefully and prints the service + latch
+// report; drive is the open-loop Poisson client whose --json report is
+// shape-compatible with `simulate --json`. stress also drains on
+// SIGINT/SIGTERM instead of dying mid-report.
 
 #include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,12 +40,16 @@
 #include "core/optimistic_model.h"
 #include "core/rules_of_thumb.h"
 #include "ctree/ctree.h"
+#include "net/driver.h"
+#include "net/server.h"
+#include "net/shutdown.h"
 #include "obs/trace.h"
 #include "runner/experiment.h"
 #include "sim/simulator.h"
 #include "stats/rng.h"
 #include "util/flags.h"
 #include "util/table.h"
+#include "workload/workload.h"
 
 namespace cbtree {
 namespace {
@@ -65,9 +79,17 @@ struct CommonOptions {
   int threads = 8;
   uint64_t stress_ops = 100000;
   std::string metrics = "table";
-  // simulate-only tracing
+  // simulate/serve/drive tracing
   std::string trace;
   std::string trace_format = "jsonl";
+  // serve/drive
+  std::string protocol;  // alias of --algorithm, adds "blink"
+  std::string host = "127.0.0.1";
+  int port = 7070;
+  int workers = 4;
+  uint64_t queue = 1024;
+  std::string duration = "5s";
+  int connections = 4;
 
   void Register(FlagSet* flags) {
     flags->Register("algorithm", &algorithm,
@@ -105,6 +127,31 @@ struct CommonOptions {
                     "write the first seed's event trace to this file");
     flags->Register("trace_format", &trace_format,
                     "trace file format: jsonl | chrome");
+    flags->Register("protocol", &protocol,
+                    "serve/drive tree protocol: naive | optimistic | link | "
+                    "blink | two-phase (alias of --algorithm)");
+    flags->Register("host", &host, "serve/drive address");
+    flags->Register("port", &port, "serve/drive TCP port (0 = ephemeral)");
+    flags->Register("workers", &workers, "serve worker threads");
+    flags->Register("queue", &queue,
+                    "serve admission budget (in-flight requests before "
+                    "rejects)");
+    flags->Register("duration", &duration,
+                    "drive run length, e.g. 5s | 1500ms | 1m");
+    flags->Register("connections", &connections, "drive TCP connections");
+  }
+
+  /// Algorithm for serve/drive: --protocol wins (accepting "blink" for the
+  /// B-link tree), otherwise --algorithm.
+  Algorithm ParseProtocol() const {
+    std::string name = protocol.empty() ? algorithm : protocol;
+    if (name == "blink" || name == "link") return Algorithm::kLinkType;
+    if (name == "naive") return Algorithm::kNaiveLockCoupling;
+    if (name == "optimistic") return Algorithm::kOptimisticDescent;
+    if (name == "two-phase") return Algorithm::kTwoPhaseLocking;
+    std::cerr << "unknown --protocol '" << name
+              << "' (naive | optimistic | link | blink | two-phase)\n";
+    std::exit(1);
   }
 
   Algorithm ParseAlgorithm() const {
@@ -400,9 +447,83 @@ void AppendStressSide(std::string* out, const char* name,
   out->push_back('}');
 }
 
+void AppendLatchLevelsJson(std::string* out, const CTreeStats& stats) {
+  out->append("\"latch_levels\":[");
+  for (size_t i = 0; i < stats.latch_levels.size(); ++i) {
+    const LatchLevelStats& level = stats.latch_levels[i];
+    if (i > 0) out->push_back(',');
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "{\"level\":%d,", level.level);
+    out->append(buffer);
+    AppendStressSide(out, "shared", level.shared);
+    out->push_back(',');
+    AppendStressSide(out, "exclusive", level.exclusive);
+    out->push_back('}');
+  }
+  out->append("]");
+}
+
+/// Per-level latch-contention table, shared by `stress` and `serve` final
+/// reports (root at the top, like the model's level tables).
+void PrintLatchTable(const CTreeStats& stats, bool csv) {
+  if (stats.latch_levels.empty()) {
+    std::printf("  (latch telemetry disabled: built with CBTREE_OBS=OFF)\n");
+    return;
+  }
+  Table table({"level", "S_acq", "S_contended", "S_p99_wait_us", "X_acq",
+               "X_contended", "X_p99_wait_us"});
+  for (auto it = stats.latch_levels.rbegin();
+       it != stats.latch_levels.rend(); ++it) {
+    table.NewRow()
+        .Add(it->level)
+        .Add(static_cast<int64_t>(it->shared.acquisitions))
+        .Add(static_cast<int64_t>(it->shared.contended))
+        .Add(it->shared.wait.quantile_ns(0.99) / 1000.0)
+        .Add(static_cast<int64_t>(it->exclusive.acquisitions))
+        .Add(static_cast<int64_t>(it->exclusive.contended))
+        .Add(it->exclusive.wait.quantile_ns(0.99) / 1000.0);
+  }
+  table.Print(std::cout, csv);
+}
+
+/// Parses "5s" | "1500ms" | "2m" | "5" (bare seconds); exits on nonsense.
+double ParseDurationSeconds(const std::string& text) {
+  size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  std::string unit = text.substr(pos);
+  if (pos == 0 || value < 0.0) {
+    std::cerr << "bad --duration '" << text << "'\n";
+    std::exit(1);
+  }
+  if (unit.empty() || unit == "s") return value;
+  if (unit == "ms") return value / 1000.0;
+  if (unit == "m") return value * 60.0;
+  std::cerr << "bad --duration unit '" << unit << "' (ms | s | m)\n";
+  std::exit(1);
+}
+
+/// Opens --trace if set; exits on an unknown format. Null when untraced.
+std::unique_ptr<obs::TraceSink> OpenTraceSink(const CommonOptions& options) {
+  if (options.trace.empty()) return nullptr;
+  auto format = obs::ParseTraceFormat(options.trace_format);
+  if (!format.has_value()) {
+    std::cerr << "unknown --trace_format '" << options.trace_format
+              << "' (jsonl | chrome)\n";
+    std::exit(1);
+  }
+  return obs::OpenTraceFile(options.trace, *format);
+}
+
 // Multi-threaded stress of a real concurrent tree: preload, then hammer it
 // with the configured mix from `threads` workers and report wall-clock
 // throughput plus the latch-contention telemetry the trees collect.
+// SIGINT/SIGTERM drain instead of killing the run: workers stop at the next
+// operation boundary and the final report covers the work actually done.
 int CmdStress(const CommonOptions& options) {
   if (options.metrics != "table" && options.metrics != "json") {
     std::cerr << "unknown --metrics '" << options.metrics
@@ -419,32 +540,47 @@ int CmdStress(const CommonOptions& options) {
                    static_cast<Value>(i));
     }
   }
+  net::SignalDrain::Install();
   const int threads = std::max(1, options.threads);
   const uint64_t per_thread = options.stress_ops / threads;
-  const uint64_t total_ops = per_thread * threads;
+  std::vector<uint64_t> executed(threads, 0);
   auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       Rng rng(options.seed * 0x2545f4914f6cdd1dull + 1000 + t);
+      uint64_t done = 0;
       for (uint64_t i = 0; i < per_thread; ++i) {
-        Key key = static_cast<Key>(rng.NextBounded(key_space) + 1);
+        // Poll the drain flag at operation granularity so Ctrl-C lands
+        // between tree operations, never inside one.
+        if ((i & 1023) == 0 && net::SignalDrain::requested()) break;
+        // Choose the operation before the key: searches and deletes honor
+        // --zipf (hot ranks), inserts stay uniform — the same convention the
+        // workload generator and the network driver use.
         double r = rng.NextDouble();
         if (r < options.q_s) {
-          tree->Search(key);
+          tree->Search(static_cast<Key>(
+              SampleZipfIndex(rng, key_space, options.zipf) + 1));
         } else if (r < options.q_s + options.q_i) {
-          tree->Insert(key, static_cast<Value>(i));
+          tree->Insert(static_cast<Key>(rng.NextBounded(key_space) + 1),
+                       static_cast<Value>(i));
         } else {
-          tree->Delete(key);
+          tree->Delete(static_cast<Key>(
+              SampleZipfIndex(rng, key_space, options.zipf) + 1));
         }
+        ++done;
       }
+      executed[t] = done;
     });
   }
   for (std::thread& worker : workers) worker.join();
   double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  const bool interrupted = net::SignalDrain::requested();
+  uint64_t total_ops = 0;
+  for (uint64_t done : executed) total_ops += done;
   tree->CheckInvariants();
   CTreeStats stats = tree->stats();
   double throughput =
@@ -456,10 +592,11 @@ int CmdStress(const CommonOptions& options) {
     std::snprintf(buffer, sizeof(buffer),
                   "{\"kind\":\"stress\",\"algorithm\":\"%s\",\"threads\":%d,"
                   "\"ops\":%" PRIu64
-                  ",\"wall_seconds\":%.17g,"
-                  "\"throughput_ops_per_sec\":%.17g,",
-                  tree->name().c_str(), threads, total_ops, wall_seconds,
-                  throughput);
+                  ",\"interrupted\":%s,\"wall_seconds\":%.17g,"
+                  "\"throughput_ops_per_sec\":%.17g,\"zipf\":%.17g,",
+                  tree->name().c_str(), threads, total_ops,
+                  interrupted ? "true" : "false", wall_seconds, throughput,
+                  options.zipf);
     json.append(buffer);
     std::snprintf(buffer, sizeof(buffer),
                   "\"counts\":{\"size\":%zu,\"splits\":%" PRIu64
@@ -468,49 +605,140 @@ int CmdStress(const CommonOptions& options) {
                   tree->size(), stats.splits, stats.root_splits,
                   stats.restarts, stats.link_crossings);
     json.append(buffer);
-    json.append("\"latch_levels\":[");
-    for (size_t i = 0; i < stats.latch_levels.size(); ++i) {
-      const LatchLevelStats& level = stats.latch_levels[i];
-      if (i > 0) json.push_back(',');
-      std::snprintf(buffer, sizeof(buffer), "{\"level\":%d,", level.level);
-      json.append(buffer);
-      AppendStressSide(&json, "shared", level.shared);
-      json.push_back(',');
-      AppendStressSide(&json, "exclusive", level.exclusive);
-      json.push_back('}');
-    }
-    json.append("]}\n");
+    AppendLatchLevelsJson(&json, stats);
+    json.append("}\n");
     std::fputs(json.c_str(), stdout);
     return 0;
   }
 
   std::printf(
-      "%s stress: %d threads x %" PRIu64
-      " ops in %.3fs (%.0f ops/s), final size %zu\n"
+      "%s stress: %d threads, %" PRIu64
+      " ops in %.3fs (%.0f ops/s), final size %zu%s\n"
       "  splits %" PRIu64 " (root %" PRIu64 ")  restarts %" PRIu64
       "  link crossings %" PRIu64 "\n",
-      tree->name().c_str(), threads, per_thread, wall_seconds, throughput,
-      tree->size(), stats.splits, stats.root_splits, stats.restarts,
+      tree->name().c_str(), threads, total_ops, wall_seconds, throughput,
+      tree->size(), interrupted ? "  [interrupted: drained early]" : "",
+      stats.splits, stats.root_splits, stats.restarts,
       stats.link_crossings);
-  if (stats.latch_levels.empty()) {
-    std::printf("  (latch telemetry disabled: built with CBTREE_OBS=OFF)\n");
-    return 0;
-  }
-  Table table({"level", "S_acq", "S_contended", "S_p99_wait_us", "X_acq",
-               "X_contended", "X_p99_wait_us"});
-  for (auto it = stats.latch_levels.rbegin();
-       it != stats.latch_levels.rend(); ++it) {
-    table.NewRow()
-        .Add(it->level)
-        .Add(static_cast<int64_t>(it->shared.acquisitions))
-        .Add(static_cast<int64_t>(it->shared.contended))
-        .Add(it->shared.wait.quantile_ns(0.99) / 1000.0)
-        .Add(static_cast<int64_t>(it->exclusive.acquisitions))
-        .Add(static_cast<int64_t>(it->exclusive.contended))
-        .Add(it->exclusive.wait.quantile_ns(0.99) / 1000.0);
-  }
-  table.Print(std::cout, options.csv);
+  PrintLatchTable(stats, options.csv);
   return 0;
+}
+
+// Runs the net/ TCP service over a real concurrent tree until SIGINT /
+// SIGTERM, then drains gracefully and prints the service counters plus the
+// tree's latch telemetry.
+int CmdServe(const CommonOptions& options) {
+  std::unique_ptr<obs::TraceSink> sink = OpenTraceSink(options);
+  net::ServerOptions server_options;
+  server_options.host = options.host;
+  server_options.port = options.port;
+  server_options.algorithm = options.ParseProtocol();
+  server_options.node_size = options.node_size;
+  server_options.preload_items = options.items;
+  server_options.seed = options.seed;
+  server_options.workers = std::max(1, options.workers);
+  server_options.max_inflight = static_cast<size_t>(options.queue);
+  server_options.trace = sink.get();
+  net::Server server(server_options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::cerr << "serve: " << error << "\n";
+    return 1;
+  }
+  // The "listening on" line is the readiness handshake scripts wait for.
+  std::printf("%s: %d workers, queue %" PRIu64 ", %" PRIu64
+              " keys preloaded\n",
+              AlgorithmName(server_options.algorithm).c_str(),
+              server_options.workers,
+              static_cast<uint64_t>(server_options.max_inflight),
+              options.items);
+  std::printf("listening on %s:%d\n", options.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  net::SignalDrain::Install();
+  server.ServeUntil(net::SignalDrain::wake_fd());
+  if (sink != nullptr) sink->Flush();
+
+  const net::ServerStats stats = server.stats();
+  server.tree()->CheckInvariants();
+  CTreeStats tree_stats = server.tree()->stats();
+  std::printf(
+      "\ncbtree serve drained:\n"
+      "  connections %" PRIu64 " accepted, %" PRIu64 " closed\n"
+      "  requests    %" PRIu64 " received: %" PRIu64 " completed, %" PRIu64
+      " rejected, %" PRIu64 " shutdown-rejected\n"
+      "  frames      %" PRIu64 " bad, %" PRIu64 " slow-consumer drops\n"
+      "  bytes       %" PRIu64 " in, %" PRIu64 " out\n"
+      "  final tree size %zu\n",
+      stats.connections_accepted, stats.connections_closed,
+      stats.requests_received, stats.completed, stats.rejected,
+      stats.shutdown_rejected, stats.bad_frames, stats.slow_consumer_drops,
+      stats.bytes_in, stats.bytes_out, server.tree()->size());
+  PrintLatchTable(tree_stats, options.csv);
+  // Accounting invariant: every well-formed frame got exactly one answer.
+  const uint64_t answered =
+      stats.completed + stats.rejected + stats.shutdown_rejected;
+  if (answered != stats.requests_received) {
+    std::fprintf(stderr,
+                 "serve: accounting mismatch: %" PRIu64 " received vs %" PRIu64
+                 " answered\n",
+                 stats.requests_received, answered);
+    return 1;
+  }
+  return 0;
+}
+
+// Open-loop Poisson client for a running `cbtree serve`; the --json report
+// is shape-compatible with `cbtree simulate --json`.
+int CmdDrive(const CommonOptions& options) {
+  std::unique_ptr<obs::TraceSink> sink = OpenTraceSink(options);
+  net::DriveOptions drive;
+  drive.host = options.host;
+  drive.port = options.port;
+  drive.lambda = options.lambda;
+  drive.duration_seconds = ParseDurationSeconds(options.duration);
+  drive.connections = std::max(1, options.connections);
+  drive.mix = options.Mix();
+  drive.zipf_skew = options.zipf;
+  drive.key_space = 2 * std::max<uint64_t>(options.items, 1);
+  drive.seed = options.seed;
+  drive.trace = sink.get();
+  net::DriveReport report = net::RunDrive(drive);
+  if (sink != nullptr) sink->Flush();
+  if (!report.connect_ok) {
+    std::cerr << "drive: cannot connect to " << drive.host << ":"
+              << drive.port << ": " << report.error << "\n";
+    return 1;
+  }
+  const std::string algorithm = AlgorithmName(options.ParseProtocol());
+  if (options.json) {
+    net::WriteDriveJson(std::cout, algorithm, drive, report, options.timing);
+  } else {
+    double span = report.wall_seconds > 0.0 ? report.wall_seconds : 1.0;
+    std::printf(
+        "%s drive: lambda=%g over %d connections for %.3fs\n"
+        "  sent %" PRIu64 "  completed %" PRIu64 "  rejected %" PRIu64
+        "  errors %" PRIu64 "  unanswered %" PRIu64 "\n"
+        "  achieved throughput %.0f ops/s   mean send lag %.6fs\n"
+        "  response seconds: mean %.6f  p50 %.6f  p95 %.6f  p99 %.6f\n"
+        "  per op: search %.6f  insert %.6f  delete %.6f\n"
+        "  mean outstanding requests %.3f\n",
+        algorithm.c_str(), drive.lambda, drive.connections,
+        report.wall_seconds, report.sent, report.completed, report.rejected,
+        report.errors, report.unanswered,
+        static_cast<double>(report.completed) / span, report.send_lag.mean(),
+        report.all.mean(), report.latencies.Quantile(0.50),
+        report.latencies.Quantile(0.95), report.latencies.Quantile(0.99),
+        report.search.mean(), report.insert.mean(), report.del.mean(),
+        // The report's own window is empty (per-connection windows were
+        // merged in), so close it at 0 like the JSON writer does.
+        report.active_ops.Average(0.0));
+  }
+  // Zero lost requests: every sent request was answered (completed or
+  // rejected) — the acceptance invariant for a clean run.
+  const bool clean = report.errors == 0 && report.unanswered == 0 &&
+                     report.sent == report.completed + report.rejected;
+  return clean ? 0 : 1;
 }
 
 void Usage() {
@@ -526,7 +754,13 @@ void Usage() {
       "  simulate  discrete-event simulation (--seeds, --ops, --json,\n"
       "            --trace=<file> --trace_format=jsonl|chrome)\n"
       "  stress    multi-threaded run on a real concurrent tree\n"
-      "            (--threads, --stress_ops, --metrics=table|json)\n"
+      "            (--threads, --stress_ops, --metrics=table|json, --zipf;\n"
+      "            SIGINT drains and still prints the report)\n"
+      "  serve     TCP service over a real concurrent tree until SIGINT\n"
+      "            (--protocol, --host, --port, --workers, --queue)\n"
+      "  drive     open-loop Poisson load against a running serve\n"
+      "            (--port, --lambda, --duration, --connections, --zipf,\n"
+      "            --json)\n"
       "run 'cbtree <cmd> --help' for the full flag list\n");
 }
 
@@ -551,6 +785,8 @@ int main(int argc, char** argv) {
   if (command == "rules") return CmdRules(options);
   if (command == "simulate") return CmdSimulate(options);
   if (command == "stress") return CmdStress(options);
+  if (command == "serve") return CmdServe(options);
+  if (command == "drive") return CmdDrive(options);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   Usage();
   return 1;

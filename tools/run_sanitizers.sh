@@ -24,8 +24,10 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-}:halt_on_error=1"
 sanitizers=("${@:-thread}")
 # Tests that exercise threads / the runner; everything else is covered by
 # the regular tier-1 run. obs_test stresses the sharded metrics registry
-# from many threads, which is exactly what TSAN should vet.
-test_targets=(ctree_test runner_test runner_experiment_test obs_test)
+# from many threads, and net_server_test crosses the event-loop / worker /
+# client thread boundaries of the TCP service — exactly what TSAN should vet.
+test_targets=(ctree_test runner_test runner_experiment_test obs_test
+              net_server_test)
 
 for sanitizer in "${sanitizers[@]}"; do
   case "$sanitizer" in
