@@ -29,6 +29,7 @@ double SecondsSince(Clock::time_point start) {
 
 struct PendingOp {
   OpCode op = OpCode::kSearch;
+  int shard = 0;           ///< ShardOfKey(key, options.shards)
   double scheduled = 0.0;  ///< seconds since schedule zero
 };
 
@@ -49,6 +50,8 @@ struct ConnDriver {
   uint64_t rejected = 0;
   uint64_t errors = 0;
   uint64_t unanswered = 0;
+  std::vector<uint64_t> shard_sent;       ///< sender thread only
+  std::vector<uint64_t> shard_completed;  ///< receiver thread only
   Accumulator search, insert, del, all, send_lag;
   Histogram latencies;
   TimeWeightedAccumulator active;
@@ -109,10 +112,11 @@ void SenderLoop(const DriveOptions& options, int index, ConnDriver* conn,
           SampleZipfIndex(op_rng, options.key_space, options.zipf_skew) + 1);
     }
 
+    const int shard = ShardOfKey(request.key, options.shards);
     double now = SecondsSince(start);
     {
       MutexLock guard(&conn->mu);
-      conn->outstanding[id] = {request.op, scheduled};
+      conn->outstanding[id] = {request.op, shard, scheduled};
       conn->RecordActiveLocked(now);
     }
     if (!conn->client.Send(request)) {
@@ -123,6 +127,7 @@ void SenderLoop(const DriveOptions& options, int index, ConnDriver* conn,
       break;
     }
     conn->sent += 1;
+    conn->shard_sent[static_cast<size_t>(shard)] += 1;
     conn->send_lag.Add(now - scheduled);
     TraceRequest(options.trace, obs::TraceEventKind::kOpArrive, id,
                  request.op, now, 0.0);
@@ -186,6 +191,7 @@ void ReceiverLoop(const DriveOptions& options, ConnDriver* conn,
       case Status::kDeleteMiss: {
         double latency = now - pending.scheduled;
         conn->completed += 1;
+        conn->shard_completed[static_cast<size_t>(pending.shard)] += 1;
         conn->all.Add(latency);
         conn->latencies.Add(latency);
         if (pending.op == OpCode::kSearch) {
@@ -221,11 +227,16 @@ DriveReport RunDrive(const DriveOptions& options) {
   report.latencies = Histogram(options.histogram_limit_seconds, 2000);
 
   const int connections = std::max(1, options.connections);
+  const size_t shards = static_cast<size_t>(std::max(1, options.shards));
+  report.shard_sent.assign(shards, 0);
+  report.shard_completed.assign(shards, 0);
   std::vector<std::unique_ptr<ConnDriver>> conns;
   conns.reserve(connections);
   for (int i = 0; i < connections; ++i) {
     auto conn = std::make_unique<ConnDriver>();
     conn->latencies = Histogram(options.histogram_limit_seconds, 2000);
+    conn->shard_sent.assign(shards, 0);
+    conn->shard_completed.assign(shards, 0);
     // A freshly-started server may not be listening yet: retry briefly so
     // serve+drive scripts need no handshake beyond "serve printed its port".
     std::string error;
@@ -266,6 +277,10 @@ DriveReport RunDrive(const DriveOptions& options) {
     report.rejected += conn->rejected;
     report.errors += conn->errors;
     report.unanswered += conn->unanswered;
+    for (size_t s = 0; s < shards; ++s) {
+      report.shard_sent[s] += conn->shard_sent[s];
+      report.shard_completed[s] += conn->shard_completed[s];
+    }
     report.search.Merge(conn->search);
     report.insert.Merge(conn->insert);
     report.del.Merge(conn->del);
@@ -304,6 +319,11 @@ void WriteDriveJson(std::ostream& out, const std::string& algorithm,
       {"errors", report.errors},
       {"unanswered", report.unanswered},
       {"connections", static_cast<uint64_t>(std::max(1, options.connections))},
+      {"shards", static_cast<uint64_t>(std::max(1, options.shards))},
+  };
+  info.extra_count_arrays = {
+      {"shard_sent", report.shard_sent},
+      {"shard_completed", report.shard_completed},
   };
   double span = report.wall_seconds > 0.0 ? report.wall_seconds : 1.0;
   info.extra_stats = {

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/params.h"
 #include "obs/trace.h"
@@ -44,6 +45,11 @@ struct DriveOptions {
   /// (2 * its --items) to get the intended hit rate.
   uint64_t key_space = 80000;
   uint64_t seed = 1;
+  /// Shard count of the server being driven. Used only for occupancy
+  /// accounting: each request is attributed to ShardOfKey(key, shards), the
+  /// same partition function the server routes with, so the report's
+  /// per-shard sent/completed vectors mirror the server's own breakdown.
+  int shards = 1;
   /// Latency histogram range (quantiles interpolate above it).
   double histogram_limit_seconds = 1.0;
   /// How long after the last send to wait for stragglers.
@@ -62,6 +68,12 @@ struct DriveReport {
   uint64_t rejected = 0;    ///< kRejected + kShuttingDown backpressure
   uint64_t errors = 0;      ///< transport failures, unmatched or bad replies
   uint64_t unanswered = 0;  ///< still outstanding at the drain deadline
+
+  /// Per-shard occupancy (index = ShardOfKey shard id, size =
+  /// DriveOptions::shards): requests sent into / substantively answered by
+  /// each shard. Rejected and errored requests count in shard_sent only.
+  std::vector<uint64_t> shard_sent;
+  std::vector<uint64_t> shard_completed;
 
   double wall_seconds = 0.0;  ///< start of schedule to last receiver exit
 

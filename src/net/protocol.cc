@@ -82,6 +82,19 @@ const char* StatusName(Status status) {
   return "unknown";
 }
 
+int ShardOfKey(Key key, int shards) {
+  if (shards <= 1) return 0;
+  // SplitMix64 finalizer: full-avalanche mixing so adjacent keys spread
+  // uniformly over the shards instead of striding.
+  uint64_t x = static_cast<uint64_t>(key);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<int>(x % static_cast<uint64_t>(shards));
+}
+
 void AppendRequest(const Request& request, std::string* out) {
   PutU32(kRequestPayloadSize, out);
   out->push_back(static_cast<char>(request.op));

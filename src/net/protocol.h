@@ -54,6 +54,13 @@ enum class Status : uint8_t {
 bool IsValidStatus(uint8_t raw);
 const char* StatusName(Status status);
 
+/// Stable key → shard partition: a 64-bit avalanche hash of the key, reduced
+/// mod `shards`. The server's request router, the load driver's occupancy
+/// accounting, and the shard tests all call this one function, so "which
+/// shard owns key k" has exactly one answer everywhere. `shards <= 1` always
+/// maps to shard 0.
+int ShardOfKey(Key key, int shards);
+
 struct Request {
   OpCode op = OpCode::kSearch;
   uint64_t id = 0;

@@ -30,18 +30,59 @@ uint64_t ElapsedNs(Clock::time_point since) {
           .count());
 }
 
+/// Opens a nonblocking listen socket on host:port. SO_REUSEPORT is set when
+/// `reuseport`; returns -1 with *error filled on failure.
+int OpenListenSocket(const std::string& host, int port, bool reuseport,
+                     std::string* error) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + strerror(errno);
+    return -1;
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport &&
+      setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    if (error != nullptr) {
+      *error = std::string("SO_REUSEPORT: ") + strerror(errno);
+    }
+    close(fd);
+    return -1;
+  }
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad host '" + host + "'";
+    close(fd);
+    return -1;
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) *error = std::string("bind: ") + strerror(errno);
+    close(fd);
+    return -1;
+  }
+  if (listen(fd, 128) != 0) {
+    if (error != nullptr) *error = std::string("listen: ") + strerror(errno);
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
 }  // namespace
 
 /// Per-connection state. The read side (read_buffer/poisoned) belongs to
-/// the event-loop thread alone; the write side is shared with the workers
-/// and guarded by mu. `fd` is closed only by the event loop, and only after
-/// setting `closed` under mu, so a worker holding mu either sees closed or
-/// owns a still-valid fd for the duration of its send.
+/// the owning loop's thread alone; the write side is shared with the shard
+/// workers and guarded by mu. `fd` is closed only by the owning loop, and
+/// only after setting `closed` under mu, so a worker holding mu either sees
+/// closed or owns a still-valid fd for the duration of its send.
 struct Server::Conn {
   int fd = -1;
   uint64_t id = 0;
+  Loop* loop = nullptr;  ///< owning event loop (read side, close, epoll)
 
-  // Event-loop thread only.
+  // Owning loop thread only.
   std::string read_buffer;
   size_t read_pos = 0;
   bool poisoned = false;  ///< framing lost; discard further input
@@ -54,7 +95,7 @@ struct Server::Conn {
   bool write_error CBTREE_GUARDED_BY(mu) = false;
   bool slow_consumer CBTREE_GUARDED_BY(mu) = false;
 
-  /// Dedupes handoffs to the event loop's pending list.
+  /// Dedupes handoffs to the owning loop's pending list.
   std::atomic<bool> handoff_queued{false};
 
   size_t unflushed() const CBTREE_REQUIRES(mu) {
@@ -62,96 +103,192 @@ struct Server::Conn {
   }
 };
 
+/// One event loop: epoll set, wake eventfd, optionally its own listen fd
+/// (SO_REUSEPORT), and the connections whose read sides it owns.
+struct Server::Loop {
+  int index = 0;
+  int epoll_fd = -1;
+  int listen_fd = -1;  ///< -1 on loops > 0 in accept round-robin fallback
+  int wake_event_fd = -1;
+  std::thread thread;
+
+  /// Connections by fd; loop thread only.
+  std::map<int, std::shared_ptr<Conn>> conns;
+
+  Mutex mu;
+  /// Connections whose workers left unflushed bytes, awaiting EPOLLOUT
+  /// arming by this loop.
+  std::vector<std::shared_ptr<Conn>> pending_write CBTREE_GUARDED_BY(mu);
+  /// Accepted fds handed over by loop 0 in the round-robin fallback.
+  std::vector<int> adopted_fds CBTREE_GUARDED_BY(mu);
+
+  // Per-loop accounting (see LoopServerStats).
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> requests_received{0};
+};
+
+/// One key-space shard: its tree and the dedicated worker pool that gives
+/// the shard its thread affinity, plus per-shard batch accounting.
+struct Server::Shard {
+  std::unique_ptr<ConcurrentBTree> tree;
+  std::unique_ptr<ThreadPool> pool;
+  std::atomic<uint64_t> executed{0};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> batched_requests{0};
+};
+
 Server::Server(ServerOptions options) : options_(std::move(options)) {
   obs_requests_ = obs_.counter("net.requests");
   obs_rejected_ = obs_.counter("net.rejected");
   obs_bad_frames_ = obs_.counter("net.bad_frames");
+  obs_batches_ = obs_.counter("net.batches");
+  obs_batched_requests_ = obs_.counter("net.batched_requests");
   obs_service_ns_ = obs_.timer("net.service_ns");
   obs_request_ns_ = obs_.timer("net.request_ns");
 }
 
 Server::~Server() { Shutdown(); }
 
+ConcurrentBTree* Server::tree(int shard) {
+  return shards_[static_cast<size_t>(shard)]->tree.get();
+}
+
+void Server::CheckAllInvariants() const {
+  for (const auto& shard : shards_) shard->tree->CheckInvariants();
+}
+
+bool Server::StartListeners(std::string* error) {
+  const int loops = std::max(1, options_.loops);
+  loops_.clear();
+  for (int i = 0; i < loops; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->index = i;
+    loops_.push_back(std::move(loop));
+  }
+
+  // Loop 0 always binds (with SO_REUSEPORT whenever more loops will try to
+  // share the port); its bound port anchors the rest.
+  const bool want_reuseport = loops > 1 && !options_.force_accept_round_robin;
+  int first = OpenListenSocket(options_.host, options_.port, want_reuseport,
+                               error);
+  if (first < 0 && want_reuseport) {
+    // Kernel without SO_REUSEPORT: retry plain and fall back to round-robin.
+    first = OpenListenSocket(options_.host, options_.port, false, error);
+  }
+  if (first < 0) return false;
+  loops_[0]->listen_fd = first;
+
+  sockaddr_in bound = {};
+  socklen_t bound_len = sizeof(bound);
+  getsockname(first, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  reuseport_ = want_reuseport;
+  for (int i = 1; reuseport_ && i < loops; ++i) {
+    std::string ignored;
+    int fd = OpenListenSocket(options_.host, port_, true, &ignored);
+    if (fd < 0) {
+      // Fall back: close the extra sockets already opened; loop 0 accepts
+      // for everyone and hands fds over round-robin.
+      for (int j = 1; j < i; ++j) {
+        close(loops_[j]->listen_fd);
+        loops_[j]->listen_fd = -1;
+      }
+      reuseport_ = false;
+      break;
+    }
+    loops_[i]->listen_fd = fd;
+  }
+
+  for (auto& loop : loops_) {
+    loop->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    loop->wake_event_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    CBTREE_CHECK(loop->epoll_fd >= 0 && loop->wake_event_fd >= 0);
+    epoll_event ev = {};
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->wake_event_fd;
+    CBTREE_CHECK_EQ(
+        epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_event_fd, &ev),
+        0);
+    if (loop->listen_fd != -1) {
+      ev.data.fd = loop->listen_fd;
+      CBTREE_CHECK_EQ(
+          epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->listen_fd, &ev), 0);
+    }
+  }
+  return true;
+}
+
 bool Server::Start(std::string* error) {
   CBTREE_CHECK(!running_.load()) << "Start() called twice";
-  tree_ = MakeConcurrentBTree(options_.algorithm, options_.node_size);
+  const int shard_count = std::max(1, options_.shards);
+  // Every shard gets at least one dedicated worker; extra workers spread
+  // round-robin so `workers` stays the total across the server.
+  const int workers_total = std::max(shard_count, options_.workers);
+  shards_.clear();
+  for (int s = 0; s < shard_count; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->tree = MakeConcurrentBTree(options_.algorithm, options_.node_size);
+    int shard_workers =
+        workers_total / shard_count + (s < workers_total % shard_count ? 1 : 0);
+    shard->pool = std::make_unique<ThreadPool>(std::max(1, shard_workers));
+    shards_.push_back(std::move(shard));
+  }
   if (options_.preload_items > 0) {
     // Same preload scheme as `cbtree stress`: uniform keys over twice the
     // item count, so drivers using the same --items value share the space.
+    // Each key is routed to its owning shard, exactly like live requests.
     const uint64_t key_space = 2 * options_.preload_items;
     Rng rng(options_.seed * 0x9e3779b97f4a7c15ull + 1);
     for (uint64_t i = 0; i < options_.preload_items; ++i) {
-      tree_->Insert(static_cast<Key>(rng.NextBounded(key_space) + 1),
-                    static_cast<Value>(i));
+      Key key = static_cast<Key>(rng.NextBounded(key_space) + 1);
+      shards_[ShardOfKey(key, shard_count)]->tree->Insert(
+          key, static_cast<Value>(i));
     }
   }
 
-  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    if (error != nullptr) *error = std::string("socket: ") + strerror(errno);
-    return false;
-  }
-  int one = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr = {};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    if (error != nullptr) *error = "bad host '" + options_.host + "'";
-    close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
-  }
-  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    if (error != nullptr) *error = std::string("bind: ") + strerror(errno);
-    close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
-  }
-  if (listen(listen_fd_, 128) != 0) {
-    if (error != nullptr) *error = std::string("listen: ") + strerror(errno);
-    close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
-  }
-  sockaddr_in bound = {};
-  socklen_t bound_len = sizeof(bound);
-  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
-  port_ = ntohs(bound.sin_port);
+  if (!StartListeners(error)) return false;
 
-  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
-  wake_event_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  CBTREE_CHECK(epoll_fd_ >= 0 && wake_event_fd_ >= 0);
-  epoll_event ev = {};
-  ev.events = EPOLLIN;
-  ev.data.fd = listen_fd_;
-  CBTREE_CHECK_EQ(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev), 0);
-  ev.data.fd = wake_event_fd_;
-  CBTREE_CHECK_EQ(
-      epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_event_fd_, &ev), 0);
-
-  pool_ = std::make_unique<ThreadPool>(std::max(1, options_.workers));
   start_time_ = Clock::now();
+  draining_.store(false, std::memory_order_release);
+  loops_exited_.store(0, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  event_thread_ = std::thread([this] { EventLoop(); });
+  for (auto& loop : loops_) {
+    Loop* raw = loop.get();
+    loop->thread = std::thread([this, raw] { EventLoop(raw); });
+  }
   return true;
+}
+
+void Server::WakeLoop(Loop* loop) {
+  uint64_t one = 1;
+  ssize_t ignored = write(loop->wake_event_fd, &one, sizeof(one));
+  (void)ignored;
 }
 
 void Server::Shutdown() {
   // Serialized so a signal-driven drain and the destructor cannot race.
   std::lock_guard<std::mutex> guard(shutdown_mu_);
-  if (event_thread_.joinable()) {
-    draining_.store(true, std::memory_order_release);
-    uint64_t one = 1;
-    ssize_t ignored = write(wake_event_fd_, &one, sizeof(one));
-    (void)ignored;
-    event_thread_.join();
+  bool any_joined = false;
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) {
+      if (!any_joined) draining_.store(true, std::memory_order_release);
+      any_joined = true;
+    }
   }
-  pool_.reset();  // drains any residual queued work, then joins workers
-  if (epoll_fd_ != -1) close(epoll_fd_);
-  if (wake_event_fd_ != -1) close(wake_event_fd_);
-  epoll_fd_ = wake_event_fd_ = -1;
+  if (any_joined) {
+    for (auto& loop : loops_) WakeLoop(loop.get());
+    for (auto& loop : loops_) {
+      if (loop->thread.joinable()) loop->thread.join();
+    }
+  }
+  // Shard pools drain any residual queued work, then join their workers.
+  for (auto& shard : shards_) shard->pool.reset();
+  for (auto& loop : loops_) {
+    if (loop->epoll_fd != -1) close(loop->epoll_fd);
+    if (loop->wake_event_fd != -1) close(loop->wake_event_fd);
+    loop->epoll_fd = loop->wake_event_fd = -1;
+  }
   running_.store(false, std::memory_order_release);
 }
 
@@ -181,6 +318,25 @@ ServerStats Server::stats() const {
   stats.slow_consumer_drops = slow_consumer_drops_.load();
   stats.bytes_in = bytes_in_.load();
   stats.bytes_out = bytes_out_.load();
+  stats.reuseport = reuseport_;
+  stats.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardServerStats s;
+    s.executed = shard->executed.load();
+    s.batches = shard->batches.load();
+    s.batched_requests = shard->batched_requests.load();
+    s.tree_size = shard->tree->size();
+    stats.batches += s.batches;
+    stats.batched_requests += s.batched_requests;
+    stats.shards.push_back(s);
+  }
+  stats.loops.reserve(loops_.size());
+  for (const auto& loop : loops_) {
+    LoopServerStats l;
+    l.connections_accepted = loop->connections_accepted.load();
+    l.requests_received = loop->requests_received.load();
+    stats.loops.push_back(l);
+  }
   return stats;
 }
 
@@ -206,8 +362,8 @@ void Server::TraceRequest(obs::TraceEventKind kind, const Request& request,
   options_.trace->Record(event);
 }
 
-void Server::EventLoop() {
-  bool listen_closed = false;
+void Server::EventLoop(Loop* loop) {
+  bool listen_closed = (loop->listen_fd == -1);
   bool deadline_set = false;
   Clock::time_point drain_deadline;
   epoll_event events[64];
@@ -215,9 +371,9 @@ void Server::EventLoop() {
     const bool draining = draining_.load(std::memory_order_acquire);
     if (draining) {
       if (!listen_closed) {
-        epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
-        close(listen_fd_);
-        listen_fd_ = -1;
+        epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, loop->listen_fd, nullptr);
+        close(loop->listen_fd);
+        loop->listen_fd = -1;
         listen_closed = true;
       }
       if (!deadline_set) {
@@ -225,27 +381,27 @@ void Server::EventLoop() {
                                             options_.drain_timeout_ms);
         deadline_set = true;
       }
-      if (AllIdle() || Clock::now() >= drain_deadline) break;
+      if (LoopIdle(loop) || Clock::now() >= drain_deadline) break;
     }
-    int n = epoll_wait(epoll_fd_, events, 64, draining ? 10 : 200);
+    int n = epoll_wait(loop->epoll_fd, events, 64, draining ? 10 : 200);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
     for (int i = 0; i < n; ++i) {
       int fd = events[i].data.fd;
-      if (fd == listen_fd_) {
-        AcceptNew();
+      if (fd == loop->listen_fd) {
+        AcceptNew(loop);
         continue;
       }
-      if (fd == wake_event_fd_) {
+      if (fd == loop->wake_event_fd) {
         uint64_t sink;
-        while (read(wake_event_fd_, &sink, sizeof(sink)) > 0) {
+        while (read(loop->wake_event_fd, &sink, sizeof(sink)) > 0) {
         }
         continue;
       }
-      auto it = conns_.find(fd);
-      if (it == conns_.end()) continue;  // closed earlier this batch
+      auto it = loop->conns.find(fd);
+      if (it == loop->conns.end()) continue;  // closed earlier this batch
       std::shared_ptr<Conn> conn = it->second;
       if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
         CloseConn(conn);
@@ -254,12 +410,20 @@ void Server::EventLoop() {
       if ((events[i].events & EPOLLOUT) != 0) HandleWritable(conn);
       if ((events[i].events & EPOLLIN) != 0) HandleReadable(conn);
     }
+    // Fds handed over by loop 0 (round-robin fallback): register them here
+    // so this loop owns their read sides from the first byte.
+    std::vector<int> adopted;
+    {
+      MutexLock guard(&loop->mu);
+      adopted.swap(loop->adopted_fds);
+    }
+    for (int fd : adopted) AdoptConn(loop, fd);
     // Worker handoffs: arm EPOLLOUT for partially-flushed connections and
     // close the ones the workers found dead.
     std::vector<std::shared_ptr<Conn>> pending;
     {
-      MutexLock guard(&pending_mu_);
-      pending.swap(pending_write_);
+      MutexLock guard(&loop->mu);
+      pending.swap(loop->pending_write);
     }
     for (const std::shared_ptr<Conn>& conn : pending) {
       conn->handoff_queued.store(false, std::memory_order_release);
@@ -282,26 +446,66 @@ void Server::EventLoop() {
         epoll_event ev = {};
         ev.events = EPOLLIN | EPOLLOUT;
         ev.data.fd = conn->fd;
-        epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+        epoll_ctl(loop->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
       }
     }
   }
-  // Drain finished (or timed out): close everything still open.
-  std::vector<std::shared_ptr<Conn>> remaining;
-  remaining.reserve(conns_.size());
-  for (auto& [fd, conn] : conns_) remaining.push_back(conn);
-  for (const std::shared_ptr<Conn>& conn : remaining) CloseConn(conn);
-  conns_.clear();
-  if (!listen_closed && listen_fd_ != -1) {
-    close(listen_fd_);
-    listen_fd_ = -1;
+  // Drain finished (or timed out): close everything this loop still owns,
+  // including any adopted-but-unregistered fds.
+  std::vector<int> adopted;
+  {
+    MutexLock guard(&loop->mu);
+    adopted.swap(loop->adopted_fds);
   }
-  running_.store(false, std::memory_order_release);
+  for (int fd : adopted) close(fd);
+  std::vector<std::shared_ptr<Conn>> remaining;
+  remaining.reserve(loop->conns.size());
+  for (auto& [fd, conn] : loop->conns) remaining.push_back(conn);
+  for (const std::shared_ptr<Conn>& conn : remaining) CloseConn(conn);
+  loop->conns.clear();
+  if (!listen_closed && loop->listen_fd != -1) {
+    close(loop->listen_fd);
+    loop->listen_fd = -1;
+  }
+  // The server stays `running` until the LAST loop exits — a single loop
+  // finishing early (fatal epoll error) must not make a multi-loop drain
+  // pass spuriously.
+  if (loops_exited_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      static_cast<int>(loops_.size())) {
+    running_.store(false, std::memory_order_release);
+  }
 }
 
-void Server::AcceptNew() {
+void Server::AdoptConn(Loop* loop, int fd) {
+  if (draining_.load(std::memory_order_acquire)) {
+    // The drain raced the handoff: count the accept so accepted == closed
+    // still holds, then close without serving.
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    loop->connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    connections_closed_.fetch_add(1, std::memory_order_relaxed);
+    close(fd);
+    return;
+  }
+  auto conn = std::make_shared<Conn>();
+  conn->fd = fd;
+  conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  conn->loop = loop;
+  epoll_event ev = {};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    close(fd);
+    return;
+  }
+  loop->conns[fd] = conn;
+  connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  loop->connections_accepted.fetch_add(1, std::memory_order_relaxed);
+  TraceConn(obs::TraceEventKind::kConnOpen, conn->id);
+}
+
+void Server::AcceptNew(Loop* loop) {
   for (;;) {
-    int fd = accept4(listen_fd_, nullptr, nullptr,
+    int fd = accept4(loop->listen_fd, nullptr, nullptr,
                      SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
@@ -309,19 +513,23 @@ void Server::AcceptNew() {
     }
     int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_shared<Conn>();
-    conn->fd = fd;
-    conn->id = ++next_conn_id_;
-    epoll_event ev = {};
-    ev.events = EPOLLIN;
-    ev.data.fd = fd;
-    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
-      close(fd);
-      continue;
+    if (!reuseport_ && loops_.size() > 1) {
+      // Round-robin fallback: loop 0 accepts for everyone and deals fds
+      // out; a loop dealing to itself registers directly below.
+      Loop* target =
+          loops_[accept_rr_.fetch_add(1, std::memory_order_relaxed) %
+                 loops_.size()]
+              .get();
+      if (target != loop) {
+        {
+          MutexLock guard(&target->mu);
+          target->adopted_fds.push_back(fd);
+        }
+        WakeLoop(target);
+        continue;
+      }
     }
-    conns_[fd] = conn;
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    TraceConn(obs::TraceEventKind::kConnOpen, conn->id);
+    AdoptConn(loop, fd);
   }
 }
 
@@ -358,6 +566,7 @@ void Server::HandleReadable(const std::shared_ptr<Conn>& conn) {
 
 bool Server::DrainReadBuffer(const std::shared_ptr<Conn>& conn) {
   if (conn->poisoned) return true;
+  Batch batch;
   for (;;) {
     const uint8_t* data =
         reinterpret_cast<const uint8_t*>(conn->read_buffer.data()) +
@@ -368,6 +577,7 @@ bool Server::DrainReadBuffer(const std::shared_ptr<Conn>& conn) {
     DecodeStatus status = DecodeRequest(data, size, &request, &consumed);
     if (status == DecodeStatus::kNeedMore) break;
     if (status == DecodeStatus::kError) {
+      FlushBatch(conn, &batch);  // the well-formed prefix still executes
       bad_frames_.fetch_add(1, std::memory_order_relaxed);
       obs_bad_frames_.Add();
       Response response;
@@ -377,8 +587,9 @@ bool Server::DrainReadBuffer(const std::shared_ptr<Conn>& conn) {
       return false;
     }
     conn->read_pos += consumed;
-    Dispatch(conn, request);
+    Admit(conn, request, &batch);
   }
+  FlushBatch(conn, &batch);
   if (conn->read_pos > 0 && conn->read_pos == conn->read_buffer.size()) {
     conn->read_buffer.clear();
     conn->read_pos = 0;
@@ -389,9 +600,10 @@ bool Server::DrainReadBuffer(const std::shared_ptr<Conn>& conn) {
   return true;
 }
 
-void Server::Dispatch(const std::shared_ptr<Conn>& conn,
-                      const Request& request) {
+void Server::Admit(const std::shared_ptr<Conn>& conn, const Request& request,
+                   Batch* batch) {
   requests_received_.fetch_add(1, std::memory_order_relaxed);
+  conn->loop->requests_received.fetch_add(1, std::memory_order_relaxed);
   obs_requests_.Add();
   if (draining_.load(std::memory_order_acquire)) {
     shutdown_rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -402,7 +614,8 @@ void Server::Dispatch(const std::shared_ptr<Conn>& conn,
     SendResponse(conn, response);
     return;
   }
-  // Admission control: CAS keeps the budget exact under racing decrements.
+  // Admission control: CAS keeps the server-wide budget exact under racing
+  // decrements from every shard pool.
   size_t current = in_flight_.load(std::memory_order_relaxed);
   for (;;) {
     if (current >= options_.max_inflight) {
@@ -422,73 +635,112 @@ void Server::Dispatch(const std::shared_ptr<Conn>& conn,
     }
   }
   TraceRequest(obs::TraceEventKind::kOpArrive, request, 0.0);
+  const int shard = ShardOfKey(request.key, num_shards());
+  if (batch->shard != shard || batch->requests.size() >= options_.max_batch) {
+    FlushBatch(conn, batch);
+  }
+  batch->shard = shard;
+  batch->requests.push_back(request);
+}
+
+void Server::FlushBatch(const std::shared_ptr<Conn>& conn, Batch* batch) {
+  if (batch->requests.empty()) return;
+  const int shard_index = batch->shard;
+  Shard& shard = *shards_[static_cast<size_t>(shard_index)];
+  shard.batches.fetch_add(1, std::memory_order_relaxed);
+  obs_batches_.Add();
+  if (batch->requests.size() > 1) {
+    shard.batched_requests.fetch_add(batch->requests.size(),
+                                     std::memory_order_relaxed);
+    obs_batched_requests_.Add(batch->requests.size());
+  }
   Clock::time_point admitted = Clock::now();
   // The future is intentionally dropped; completion is observed through
   // in_flight_ and the write buffers.
-  pool_->Submit([this, conn, request, admitted]() mutable {
-    ExecuteOnWorker(std::move(conn), request, admitted);
+  shard.pool->Submit([this, conn, shard_index,
+                      requests = std::move(batch->requests),
+                      admitted]() mutable {
+    ExecuteBatch(std::move(conn), shard_index, std::move(requests), admitted);
   });
+  batch->requests.clear();
+  batch->shard = -1;
 }
 
-void Server::ExecuteOnWorker(std::shared_ptr<Conn> conn, Request request,
-                             Clock::time_point admitted) {
-  if (options_.worker_delay_hook) options_.worker_delay_hook(request);
-  Clock::time_point op_start = Clock::now();
-  Response response;
-  response.id = request.id;
-  switch (request.op) {
-    case OpCode::kSearch: {
-      std::optional<Value> found = tree_->Search(request.key);
-      if (found.has_value()) {
-        response.status = Status::kFound;
-        response.value = *found;
-      } else {
-        response.status = Status::kNotFound;
+void Server::ExecuteBatch(std::shared_ptr<Conn> conn, int shard_index,
+                          std::vector<Request> requests,
+                          Clock::time_point admitted) {
+  Shard& shard = *shards_[static_cast<size_t>(shard_index)];
+  ConcurrentBTree* tree = shard.tree.get();
+  std::vector<Response> responses;
+  responses.reserve(requests.size());
+  for (const Request& request : requests) {
+    if (options_.worker_delay_hook) options_.worker_delay_hook(request);
+    Clock::time_point op_start = Clock::now();
+    Response response;
+    response.id = request.id;
+    switch (request.op) {
+      case OpCode::kSearch: {
+        std::optional<Value> found = tree->Search(request.key);
+        if (found.has_value()) {
+          response.status = Status::kFound;
+          response.value = *found;
+        } else {
+          response.status = Status::kNotFound;
+        }
+        break;
       }
-      break;
+      case OpCode::kInsert:
+        response.status = tree->Insert(request.key, request.value)
+                              ? Status::kInserted
+                              : Status::kUpdated;
+        break;
+      case OpCode::kDelete:
+        response.status = tree->Delete(request.key) ? Status::kDeleted
+                                                    : Status::kDeleteMiss;
+        break;
     }
-    case OpCode::kInsert:
-      response.status = tree_->Insert(request.key, request.value)
-                            ? Status::kInserted
-                            : Status::kUpdated;
-      break;
-    case OpCode::kDelete:
-      response.status =
-          tree_->Delete(request.key) ? Status::kDeleted : Status::kDeleteMiss;
-      break;
+    obs_service_ns_.RecordNs(ElapsedNs(op_start));
+    responses.push_back(response);
   }
-  obs_service_ns_.RecordNs(ElapsedNs(op_start));
-  SendResponse(conn, response);
+  // One buffer lock for the whole batch: the single-tree-pass analogue on
+  // the write side.
+  SendResponses(conn, responses.data(), responses.size());
   uint64_t request_ns = ElapsedNs(admitted);
-  obs_request_ns_.RecordNs(request_ns);
-  completed_.fetch_add(1, std::memory_order_relaxed);
-  TraceRequest(obs::TraceEventKind::kOpComplete, request,
-               static_cast<double>(request_ns) * 1e-9);
-  // Last: the event loop treats in_flight_ == 0 (plus empty buffers) as
-  // fully drained, so the response must already be appended.
-  in_flight_.fetch_sub(1, std::memory_order_release);
+  shard.executed.fetch_add(requests.size(), std::memory_order_relaxed);
+  completed_.fetch_add(requests.size(), std::memory_order_relaxed);
+  for (const Request& request : requests) {
+    obs_request_ns_.RecordNs(request_ns);
+    TraceRequest(obs::TraceEventKind::kOpComplete, request,
+                 static_cast<double>(request_ns) * 1e-9);
+  }
+  // Last: the loops treat in_flight_ == 0 (plus empty buffers) as fully
+  // drained, so the responses must already be appended.
+  in_flight_.fetch_sub(requests.size(), std::memory_order_release);
 }
 
-void Server::SendResponse(const std::shared_ptr<Conn>& conn,
-                          const Response& response, bool close_after) {
+void Server::SendResponses(const std::shared_ptr<Conn>& conn,
+                           const Response* responses, size_t count,
+                           bool close_after) {
   bool handoff = false;
   Conn* c = conn.get();
   {
     MutexLock guard(&c->mu);
     if (c->closed || c->write_error) return;
-    AppendResponse(response, &c->write_buffer);
+    for (size_t i = 0; i < count; ++i) {
+      AppendResponse(responses[i], &c->write_buffer);
+    }
     if (close_after) c->close_after_flush = true;
     if (!FlushLocked(c)) {
-      handoff = true;  // dead connection: event loop must reap it
+      handoff = true;  // dead connection: owning loop must reap it
     } else if (c->unflushed() > 0) {
       if (c->unflushed() > options_.max_write_buffer) {
         c->write_error = true;
         c->slow_consumer = true;
         slow_consumer_drops_.fetch_add(1, std::memory_order_relaxed);
       }
-      handoff = true;  // event loop arms EPOLLOUT (or closes)
+      handoff = true;  // owning loop arms EPOLLOUT (or closes)
     } else if (c->close_after_flush) {
-      handoff = true;  // buffer already empty: event loop closes
+      handoff = true;  // buffer already empty: owning loop closes
     }
   }
   if (handoff) RequestWriteInterest(conn);
@@ -520,13 +772,12 @@ bool Server::FlushLocked(Conn* conn) CBTREE_REQUIRES(conn->mu) {
 
 void Server::RequestWriteInterest(const std::shared_ptr<Conn>& conn) {
   if (conn->handoff_queued.exchange(true, std::memory_order_acq_rel)) return;
+  Loop* loop = conn->loop;
   {
-    MutexLock guard(&pending_mu_);
-    pending_write_.push_back(conn);
+    MutexLock guard(&loop->mu);
+    loop->pending_write.push_back(conn);
   }
-  uint64_t one = 1;
-  ssize_t ignored = write(wake_event_fd_, &one, sizeof(one));
-  (void)ignored;
+  WakeLoop(loop);
 }
 
 void Server::HandleWritable(const std::shared_ptr<Conn>& conn) {
@@ -551,7 +802,7 @@ void Server::HandleWritable(const std::shared_ptr<Conn>& conn) {
     epoll_event ev = {};
     ev.events = EPOLLIN;
     ev.data.fd = conn->fd;
-    epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+    epoll_ctl(conn->loop->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
   }
 }
 
@@ -565,20 +816,25 @@ void Server::CloseConn(const std::shared_ptr<Conn>& conn) {
   }
   // Any worker that grabs conn->mu from here on sees closed and never
   // touches the fd, so the close cannot race a send.
-  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  Loop* loop = conn->loop;
+  epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
   close(fd);
-  conns_.erase(fd);
+  loop->conns.erase(fd);
   connections_closed_.fetch_add(1, std::memory_order_relaxed);
   TraceConn(obs::TraceEventKind::kConnClose, conn->id);
 }
 
-bool Server::AllIdle() {
+bool Server::LoopIdle(Loop* loop) {
+  // in_flight_ is server-wide: no loop exits while any shard worker still
+  // owes a response to any connection, so a response for one of THIS loop's
+  // conns cannot appear after the check below.
   if (in_flight_.load(std::memory_order_acquire) != 0) return false;
   {
-    MutexLock guard(&pending_mu_);
-    if (!pending_write_.empty()) return false;
+    MutexLock guard(&loop->mu);
+    if (!loop->pending_write.empty()) return false;
+    if (!loop->adopted_fds.empty()) return false;
   }
-  for (auto& [fd, conn] : conns_) {
+  for (auto& [fd, conn] : loop->conns) {
     (void)fd;
     MutexLock guard(&conn->mu);
     if (!conn->closed && conn->unflushed() > 0) return false;

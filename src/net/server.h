@@ -1,27 +1,38 @@
-// Multi-threaded epoll TCP server exposing one real concurrent B-tree
-// (ctree/) over the length-prefixed frame protocol in net/protocol.h.
+// Sharded, multi-event-loop epoll TCP server exposing hash-partitioned
+// concurrent B-trees (ctree/) over the length-prefixed frame protocol in
+// net/protocol.h.
 //
-// Threading model: one event-loop thread owns the listen socket, the epoll
-// set, and every connection's read side; decoded requests are admitted
-// against a bounded in-flight budget and handed to a runner::ThreadPool of
-// workers, which execute the tree operation and append the response to the
-// connection's write buffer (its own mutex). Workers flush opportunistically
-// with non-blocking sends; leftover bytes are handed back to the event loop
-// (via an eventfd wakeup) which arms EPOLLOUT and finishes the flush.
-// Responses on one connection may therefore complete out of request order —
-// clients match replies by request id.
+// Scaling model: the key space is hash-partitioned across `shards`
+// independent trees (ShardOfKey in protocol.h), and each shard owns a
+// dedicated worker pool — an operation on shard s always executes on one of
+// s's workers (per-shard affinity), so shards never contend on each other's
+// latches. `loops` event-loop threads each own their own epoll set, wake
+// eventfd, and connection read sides. Every loop binds its own listen
+// socket to the same port via SO_REUSEPORT so the kernel spreads accepts
+// across loops; where that fails (or when forced for tests), loop 0 owns
+// the single listen fd and hands accepted fds to the other loops
+// round-robin.
 //
-// Backpressure: when the admitted-but-unfinished count reaches
-// `max_inflight`, new requests are answered immediately from the event loop
-// with Status::kRejected carrying a retry hint — the service-level analogue
-// of the paper's saturation point: past it, an open system's queue grows
-// without bound, so the server sheds load instead of queueing.
+// Batching: while draining one connection's read buffer, adjacent admitted
+// requests that map to the same shard are grouped into a single worker
+// task — one tree pass executes the whole group and appends every response
+// under one buffer lock, amortizing handoff and wakeup costs for pipelined
+// clients. Groups never span shards or connections, and responses still
+// carry ids because completion remains out of order across groups.
+//
+// Backpressure: a single server-wide admission budget (`max_inflight`)
+// spans all loops and shards; frames beyond it are answered kRejected with
+// a retry hint — the service-level analogue of the paper's saturation
+// point: past it an open system's queue grows without bound, so the server
+// sheds load instead of queueing.
 //
 // Graceful drain: Shutdown() (or a SignalDrain trigger wired in by the
-// caller) stops accepting, answers new frames with kShuttingDown, lets the
-// admitted requests finish, flushes every write buffer, then closes. Every
-// frame that reaches the server gets exactly one response — the accounting
-// invariant (sent = completed + rejected) the load driver checks.
+// caller) stops accepting on every loop, answers new frames with
+// kShuttingDown, lets admitted requests finish, flushes every write buffer,
+// then closes. The server stays `running()` until the LAST loop exits, and
+// the accounting invariant — requests == completed + rejected +
+// shutdown_rejected — holds summed across all loops and shards: every frame
+// that reaches any loop gets exactly one response.
 
 #ifndef CBTREE_NET_SERVER_H_
 #define CBTREE_NET_SERVER_H_
@@ -56,12 +67,24 @@ struct ServerOptions {
   int node_size = 13;
   /// Keys preloaded before serving, drawn like `cbtree stress` does:
   /// uniform over [1, 2 * preload_items] so a driver using the same --items
-  /// value hits the same key space.
+  /// value hits the same key space. Each key lands in its ShardOfKey shard.
   uint64_t preload_items = 0;
   uint64_t seed = 1;
+  /// Independent trees the key space is hash-partitioned across; each shard
+  /// gets its own dedicated worker pool (affinity).
+  int shards = 1;
+  /// Event-loop threads; each owns an epoll set and (with SO_REUSEPORT) its
+  /// own listen socket on the shared port.
+  int loops = 1;
+  /// Total worker threads, divided across the shard pools (at least one
+  /// worker per shard).
   int workers = 4;
-  /// Admission budget: requests admitted (queued + executing) at once.
-  /// Frames beyond it are rejected with a retry hint, never queued.
+  /// Largest run of adjacent same-shard requests from one connection that
+  /// is batched into a single tree pass.
+  size_t max_batch = 32;
+  /// Admission budget: requests admitted (queued + executing) at once,
+  /// server-wide. Frames beyond it are rejected with a retry hint, never
+  /// queued.
   size_t max_inflight = 1024;
   /// Retry hint returned with kRejected, in microseconds.
   int64_t retry_hint_us = 1000;
@@ -71,6 +94,9 @@ struct ServerOptions {
   /// Drain deadline for Shutdown(); connections still busy afterwards are
   /// closed hard.
   int drain_timeout_ms = 5000;
+  /// Test-only: skip SO_REUSEPORT and exercise the accept round-robin
+  /// fallback (loop 0 accepts, other loops adopt fds).
+  bool force_accept_round_robin = false;
   /// Request-lifecycle events (op_arrive/op_complete/reject, conn
   /// open/close) go here when non-null; must be thread-safe and outlive the
   /// server.
@@ -80,9 +106,25 @@ struct ServerOptions {
   std::function<void(const Request&)> worker_delay_hook;
 };
 
+/// One shard's slice of the work (indexes match ShardOfKey).
+struct ShardServerStats {
+  uint64_t executed = 0;          ///< tree operations completed here
+  uint64_t batches = 0;           ///< worker tasks (tree passes) run
+  uint64_t batched_requests = 0;  ///< requests that shared a pass (size > 1)
+  size_t tree_size = 0;           ///< keys in this shard's tree
+};
+
+/// One event loop's slice (index = loop id).
+struct LoopServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t requests_received = 0;
+};
+
 /// Functional accounting (plain atomics, alive even with CBTREE_OBS=OFF).
 /// completed + rejected + shutdown_rejected + bad_frames equals every frame
-/// ever answered; requests_received counts well-formed frames only.
+/// ever answered; requests_received counts well-formed frames only. The
+/// top-level counters are server-wide sums over all loops and shards; the
+/// per-shard/per-loop vectors break the same work down.
 struct ServerStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_closed = 0;
@@ -94,6 +136,11 @@ struct ServerStats {
   uint64_t slow_consumer_drops = 0;
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
+  uint64_t batches = 0;           ///< sum of ShardServerStats::batches
+  uint64_t batched_requests = 0;  ///< sum of ShardServerStats::batched_requests
+  bool reuseport = false;  ///< per-loop listen fds (vs accept round-robin)
+  std::vector<ShardServerStats> shards;
+  std::vector<LoopServerStats> loops;
 };
 
 class Server {
@@ -105,18 +152,19 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, preloads the tree, and spawns the event loop and the
-  /// worker pool. Returns false (with *error filled) on socket failure.
+  /// Binds, listens, preloads the shard trees, and spawns the event loops
+  /// and the per-shard worker pools. Returns false (with *error filled) on
+  /// socket failure.
   bool Start(std::string* error);
 
   /// Port actually bound (valid after Start).
   int port() const { return port_; }
 
-  /// Begins the graceful drain and blocks until the event loop has exited
-  /// and the workers are joined. Idempotent.
+  /// Begins the graceful drain and blocks until every event loop has exited
+  /// and all shard workers are joined. Idempotent.
   void Shutdown();
 
-  /// True until Shutdown() (or a fatal accept error) completes.
+  /// True until the last event loop exits (Shutdown() or a fatal error).
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   /// Blocks until `fd` (e.g. SignalDrain::wake_fd()) is readable, then
@@ -125,31 +173,62 @@ class Server {
 
   ServerStats stats() const;
 
-  /// The served tree (for invariant checks and latch telemetry once
-  /// quiescent).
-  ConcurrentBTree* tree() { return tree_.get(); }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_loops() const { return static_cast<int>(loops_.size()); }
 
-  /// Server-side metrics registry (request/service timers, op counters).
+  /// The served tree of one shard (for invariant checks and latch telemetry
+  /// once quiescent).
+  ConcurrentBTree* tree(int shard = 0);
+
+  /// Runs CheckInvariants on every shard tree (quiescent callers only).
+  void CheckAllInvariants() const;
+
+  /// Server-side metrics registry (request/service timers, op counters,
+  /// per-shard batch counters).
   const obs::Registry& metrics() const { return obs_; }
 
  private:
   struct Conn;
+  struct Loop;
+  struct Shard;
 
-  void EventLoop();
-  void AcceptNew();
+  /// Adjacent same-shard admitted requests awaiting one worker submission.
+  struct Batch {
+    int shard = -1;
+    std::vector<Request> requests;
+  };
+
+  bool StartListeners(std::string* error);
+  void EventLoop(Loop* loop);
+  void AcceptNew(Loop* loop);
+  void AdoptConn(Loop* loop, int fd);
   void HandleReadable(const std::shared_ptr<Conn>& conn);
   void HandleWritable(const std::shared_ptr<Conn>& conn);
   void CloseConn(const std::shared_ptr<Conn>& conn);
-  /// Parses every complete frame in the read buffer; false on protocol
-  /// error (connection must close after the error reply flushes).
+  /// Parses every complete frame in the read buffer, batching adjacent
+  /// same-shard admissions; false on protocol error (connection must close
+  /// after the error reply flushes).
   bool DrainReadBuffer(const std::shared_ptr<Conn>& conn);
-  void Dispatch(const std::shared_ptr<Conn>& conn, const Request& request);
-  void ExecuteOnWorker(std::shared_ptr<Conn> conn, Request request,
-                       std::chrono::steady_clock::time_point admitted);
-  /// Appends (and opportunistically flushes) one response; safe from any
-  /// thread. `close_after` poisons the connection once the buffer drains.
+  /// Admission control for one decoded frame: answers rejects inline, or
+  /// appends to `batch` (flushing it first when the shard changes or the
+  /// batch is full).
+  void Admit(const std::shared_ptr<Conn>& conn, const Request& request,
+             Batch* batch);
+  /// Submits the pending batch (if any) to its shard's worker pool.
+  void FlushBatch(const std::shared_ptr<Conn>& conn, Batch* batch);
+  void ExecuteBatch(std::shared_ptr<Conn> conn, int shard_index,
+                    std::vector<Request> requests,
+                    std::chrono::steady_clock::time_point admitted);
+  /// Appends (and opportunistically flushes) responses under one buffer
+  /// lock; safe from any thread. `close_after` poisons the connection once
+  /// the buffer drains.
+  void SendResponses(const std::shared_ptr<Conn>& conn,
+                     const Response* responses, size_t count,
+                     bool close_after = false);
   void SendResponse(const std::shared_ptr<Conn>& conn,
-                    const Response& response, bool close_after = false);
+                    const Response& response, bool close_after = false) {
+    SendResponses(conn, &response, 1, close_after);
+  }
   void RequestWriteInterest(const std::shared_ptr<Conn>& conn);
   /// Flushes conn->write_buffer with non-blocking sends; must hold conn->mu.
   /// Returns false if the connection died mid-write.
@@ -157,35 +236,28 @@ class Server {
   void TraceConn(obs::TraceEventKind kind, uint64_t conn_id);
   void TraceRequest(obs::TraceEventKind kind, const Request& request,
                     double seconds);
-  bool AllIdle();
+  /// True when no request is in flight anywhere and this loop's own
+  /// connections have nothing left to flush.
+  bool LoopIdle(Loop* loop);
+  void WakeLoop(Loop* loop);
 
   ServerOptions options_;
-  std::unique_ptr<ConcurrentBTree> tree_;
-  std::unique_ptr<ThreadPool> pool_;
-  std::thread event_thread_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Loop>> loops_;
   std::mutex shutdown_mu_;
   std::chrono::steady_clock::time_point start_time_;
 
-  int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int wake_event_fd_ = -1;
   int port_ = 0;
-  uint64_t next_conn_id_ = 0;  ///< event-loop thread only
+  bool reuseport_ = false;
+  std::atomic<uint64_t> next_conn_id_{0};
+  std::atomic<size_t> accept_rr_{0};  ///< fallback round-robin cursor
 
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
+  std::atomic<int> loops_exited_{0};
   std::atomic<size_t> in_flight_{0};
 
-  /// Connections by fd; event-loop thread only.
-  std::map<int, std::shared_ptr<Conn>> conns_;
-
-  /// Connections whose workers left unflushed bytes, awaiting EPOLLOUT
-  /// arming by the event loop.
-  Mutex pending_mu_;
-  std::vector<std::shared_ptr<Conn>> pending_write_
-      CBTREE_GUARDED_BY(pending_mu_);
-
-  // Functional counters (see ServerStats).
+  // Functional counters, server-wide (see ServerStats).
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_closed_{0};
   std::atomic<uint64_t> requests_received_{0};
@@ -201,6 +273,8 @@ class Server {
   obs::Counter obs_requests_;
   obs::Counter obs_rejected_;
   obs::Counter obs_bad_frames_;
+  obs::Counter obs_batches_;
+  obs::Counter obs_batched_requests_;
   obs::Timer obs_service_ns_;  ///< tree operation only
   obs::Timer obs_request_ns_;  ///< admission to response append
 };

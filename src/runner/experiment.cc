@@ -283,6 +283,17 @@ void WriteSimPointJson(std::ostream& out, const SimRunInfo& info,
     json.push_back(',');
     AppendField(&json, name.c_str(), value);
   }
+  for (const auto& [name, values] : info.extra_count_arrays) {
+    json.append(",\"");
+    json.append(name);
+    json.append("\":[");
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) json.push_back(',');
+      std::snprintf(buffer, sizeof(buffer), "%" PRIu64, values[i]);
+      json.append(buffer);
+    }
+    json.push_back(']');
+  }
   json.push_back('}');
   if (include_timing) {
     AppendTiming(&json, info.jobs, info.wall_seconds, {point.seconds});

@@ -174,6 +174,10 @@ struct SimRunInfo {
   double wall_seconds = 0.0;
   std::vector<std::pair<std::string, uint64_t>> extra_counts;
   std::vector<std::pair<std::string, double>> extra_stats;
+  /// Per-index breakdowns (e.g. per-shard occupancy from the load driver),
+  /// emitted inside "stats" as JSON arrays: "name":[c0,c1,...]. Index order
+  /// is the caller's (shard id for the driver).
+  std::vector<std::pair<std::string, std::vector<uint64_t>>> extra_count_arrays;
 };
 
 /// A merged multi-seed point as JSON:

@@ -1,0 +1,261 @@
+// Randomized fuzz of the frame decoders: ~1e5 seeded iterations mutating
+// valid frames (length prefix, opcode/status byte, truncation, garbage
+// splices, random splits across reads) asserting the decoder never reads
+// past its buffer and always lands in one of the three documented outcomes.
+//
+// Every candidate buffer is copied into an exactly-sized heap allocation
+// before decoding, so a single-byte overread trips AddressSanitizer instead
+// of silently hitting slack space — this test is part of the ASan/UBSan CI
+// suite for exactly that reason.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "stats/rng.h"
+
+namespace cbtree {
+namespace net {
+namespace {
+
+/// Decodes from an exactly-sized heap copy (ASan red zones on both ends).
+DecodeStatus DecodeRequestExact(const std::string& buffer, Request* out,
+                                size_t* consumed) {
+  std::unique_ptr<uint8_t[]> exact(new uint8_t[buffer.size()]);
+  std::memcpy(exact.get(), buffer.data(), buffer.size());
+  return DecodeRequest(exact.get(), buffer.size(), out, consumed);
+}
+
+DecodeStatus DecodeResponseExact(const std::string& buffer, Response* out,
+                                 size_t* consumed) {
+  std::unique_ptr<uint8_t[]> exact(new uint8_t[buffer.size()]);
+  std::memcpy(exact.get(), buffer.data(), buffer.size());
+  return DecodeResponse(exact.get(), buffer.size(), out, consumed);
+}
+
+std::string ValidRequestWire(Rng& rng) {
+  Request request;
+  request.op = static_cast<OpCode>(1 + rng.NextBounded(3));
+  request.id = rng.Next();
+  request.key = static_cast<Key>(rng.Next());
+  request.value = static_cast<Value>(rng.Next());
+  std::string wire;
+  AppendRequest(request, &wire);
+  return wire;
+}
+
+std::string ValidResponseWire(Rng& rng) {
+  Response response;
+  response.status = static_cast<Status>(1 + rng.NextBounded(9));
+  response.id = rng.Next();
+  response.value = static_cast<Value>(rng.Next());
+  std::string wire;
+  AppendResponse(response, &wire);
+  return wire;
+}
+
+/// Applies one random corruption: byte flip, length rewrite, truncation,
+/// prefix/suffix garbage, or duplication. May also leave the frame intact.
+std::string Mutate(Rng& rng, std::string wire) {
+  switch (rng.NextBounded(8)) {
+    case 0:  // pristine
+      break;
+    case 1: {  // flip one byte anywhere (includes opcode/status)
+      if (!wire.empty()) {
+        size_t at = rng.NextBounded(wire.size());
+        wire[at] = static_cast<char>(rng.Next());
+      }
+      break;
+    }
+    case 2: {  // rewrite the length prefix with an arbitrary u32
+      uint32_t bogus = static_cast<uint32_t>(rng.Next());
+      for (int i = 0; i < 4 && static_cast<size_t>(i) < wire.size(); ++i) {
+        wire[i] = static_cast<char>((bogus >> (8 * i)) & 0xff);
+      }
+      break;
+    }
+    case 3:  // truncate
+      wire.resize(rng.NextBounded(wire.size() + 1));
+      break;
+    case 4: {  // append garbage
+      size_t extra = rng.NextBounded(40);
+      for (size_t i = 0; i < extra; ++i) {
+        wire.push_back(static_cast<char>(rng.Next()));
+      }
+      break;
+    }
+    case 5: {  // prepend garbage (desynchronized stream)
+      std::string junk;
+      size_t extra = 1 + rng.NextBounded(8);
+      for (size_t i = 0; i < extra; ++i) {
+        junk.push_back(static_cast<char>(rng.Next()));
+      }
+      wire = junk + wire;
+      break;
+    }
+    case 6:  // two frames back to back (pipelining)
+      wire += wire;
+      break;
+    default: {  // pure noise, no valid frame at all
+      size_t size = rng.NextBounded(64);
+      wire.clear();
+      for (size_t i = 0; i < size; ++i) {
+        wire.push_back(static_cast<char>(rng.Next()));
+      }
+      break;
+    }
+  }
+  return wire;
+}
+
+TEST(NetProtoFuzzTest, RequestDecoderNeverOverreadsOrMisclassifies) {
+  Rng rng(0xfeedface2026ull);
+  constexpr int kIterations = 50000;
+  int ok = 0, need_more = 0, error = 0;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    std::string wire = Mutate(rng, ValidRequestWire(rng));
+    Request out;
+    size_t consumed = 0;
+    DecodeStatus status = DecodeRequestExact(wire, &out, &consumed);
+    switch (status) {
+      case DecodeStatus::kOk:
+        ++ok;
+        // A decoded frame consumed exactly one frame's bytes and yielded a
+        // representable request.
+        ASSERT_EQ(consumed, kRequestFrameSize);
+        ASSERT_LE(consumed, wire.size());
+        ASSERT_TRUE(IsValidOpCode(static_cast<uint8_t>(out.op)));
+        break;
+      case DecodeStatus::kNeedMore:
+        ++need_more;
+        // Only a strict prefix of a frame may ask for more bytes.
+        ASSERT_LT(wire.size(), kRequestFrameSize);
+        break;
+      case DecodeStatus::kError:
+        ++error;
+        break;
+    }
+  }
+  // The mutator keeps a healthy mix alive: every outcome must be reachable,
+  // or the fuzz lost its teeth silently.
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(need_more, 0);
+  EXPECT_GT(error, 0);
+}
+
+TEST(NetProtoFuzzTest, ResponseDecoderNeverOverreadsOrMisclassifies) {
+  Rng rng(0xdecafbad2026ull);
+  constexpr int kIterations = 50000;
+  int ok = 0, need_more = 0, error = 0;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    std::string wire = Mutate(rng, ValidResponseWire(rng));
+    Response out;
+    size_t consumed = 0;
+    DecodeStatus status = DecodeResponseExact(wire, &out, &consumed);
+    switch (status) {
+      case DecodeStatus::kOk:
+        ++ok;
+        ASSERT_EQ(consumed, kResponseFrameSize);
+        ASSERT_LE(consumed, wire.size());
+        ASSERT_TRUE(IsValidStatus(static_cast<uint8_t>(out.status)));
+        break;
+      case DecodeStatus::kNeedMore:
+        ++need_more;
+        ASSERT_LT(wire.size(), kResponseFrameSize);
+        break;
+      case DecodeStatus::kError:
+        ++error;
+        break;
+    }
+  }
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(need_more, 0);
+  EXPECT_GT(error, 0);
+}
+
+/// Streaming splice: valid frames delivered in random-sized chunks (the
+/// read-buffer path) must decode to exactly the original sequence no matter
+/// where the reads split.
+TEST(NetProtoFuzzTest, RandomSplitsAcrossReadsReassembleExactly) {
+  Rng rng(0xabad1dea2026ull);
+  constexpr int kRounds = 2000;
+  for (int round = 0; round < kRounds; ++round) {
+    const size_t frames = 1 + rng.NextBounded(8);
+    std::vector<Request> sent;
+    std::string wire;
+    for (size_t i = 0; i < frames; ++i) {
+      Request request;
+      request.op = static_cast<OpCode>(1 + rng.NextBounded(3));
+      request.id = rng.Next();
+      request.key = static_cast<Key>(rng.Next());
+      request.value = static_cast<Value>(rng.Next());
+      sent.push_back(request);
+      AppendRequest(request, &wire);
+    }
+    // Feed the stream in random chunks, decoding after every delivery like
+    // the server's DrainReadBuffer does.
+    std::string buffer;
+    size_t fed = 0;
+    std::vector<Request> decoded;
+    while (fed < wire.size() || !buffer.empty()) {
+      if (fed < wire.size()) {
+        size_t chunk = 1 + rng.NextBounded(wire.size() - fed);
+        buffer.append(wire, fed, chunk);
+        fed += chunk;
+      }
+      for (;;) {
+        Request out;
+        size_t consumed = 0;
+        std::unique_ptr<uint8_t[]> exact(new uint8_t[buffer.size()]);
+        std::memcpy(exact.get(), buffer.data(), buffer.size());
+        DecodeStatus status =
+            DecodeRequest(exact.get(), buffer.size(), &out, &consumed);
+        if (status != DecodeStatus::kOk) {
+          ASSERT_EQ(status, DecodeStatus::kNeedMore)
+              << "valid stream misread as error at round " << round;
+          break;
+        }
+        decoded.push_back(out);
+        buffer.erase(0, consumed);
+      }
+      if (fed >= wire.size() && buffer.size() < 4) {
+        ASSERT_TRUE(buffer.empty()) << "trailing bytes after a full stream";
+        break;
+      }
+    }
+    ASSERT_EQ(decoded.size(), sent.size());
+    for (size_t i = 0; i < sent.size(); ++i) {
+      EXPECT_EQ(decoded[i].op, sent[i].op);
+      EXPECT_EQ(decoded[i].id, sent[i].id);
+      EXPECT_EQ(decoded[i].key, sent[i].key);
+      EXPECT_EQ(decoded[i].value, sent[i].value);
+    }
+  }
+}
+
+/// Every possible prefix length of a valid frame: the decode outcome is a
+/// strict function of the prefix length, with no overread at any size.
+TEST(NetProtoFuzzTest, EveryTruncationPointIsHandled) {
+  Rng rng(0x5eed5eedull);
+  std::string wire = ValidRequestWire(rng);
+  for (size_t cut = 0; cut <= wire.size(); ++cut) {
+    Request out;
+    size_t consumed = 0;
+    DecodeStatus status =
+        DecodeRequestExact(wire.substr(0, cut), &out, &consumed);
+    if (cut < kRequestFrameSize) {
+      EXPECT_EQ(status, DecodeStatus::kNeedMore) << "cut at " << cut;
+    } else {
+      EXPECT_EQ(status, DecodeStatus::kOk);
+      EXPECT_EQ(consumed, kRequestFrameSize);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace cbtree

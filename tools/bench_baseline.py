@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Run the canonical serve/drive campaign and emit BENCH_serve_<protocol>.json.
+
+Usage:
+    bench_baseline.py <cbtree-binary> [--out-dir=DIR] [--quick]
+                      [--protocols=naive,optimistic,link,two-phase]
+
+For each protocol this starts `cbtree serve` with the canonical sharded
+topology, drives it with the open-loop Poisson client at a rate chosen well
+below saturation, and writes one machine-readable baseline file. Because the
+offered load is sub-saturation, achieved throughput tracks lambda on any
+reasonable machine, which is what makes the committed baselines comparable
+across hosts; the latency percentiles are recorded for trend-watching but
+are machine-dependent by nature (bench_compare.py treats them as advisory).
+
+The baseline file records the full campaign config, so bench_compare.py can
+re-run the identical campaign without guessing flags.
+"""
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import time
+
+SCHEMA = "cbtree-bench-serve-v1"
+PROTOCOLS = ["naive", "optimistic", "link", "two-phase"]
+
+# The canonical campaign: modest sizes so CI boxes finish in seconds, and an
+# offered load comfortably below a single-core saturation point.
+CANONICAL = {
+    "shards": 2,
+    "loops": 2,
+    "workers": 4,
+    "items": 5000,
+    "lambda": 1200.0,
+    "duration": "2s",
+    "connections": 4,
+    "zipf": 0.4,
+    "seed": 1,
+}
+QUICK_OVERRIDES = {"lambda": 800.0, "duration": "1s"}
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_campaign(binary, protocol, config, timeout=120):
+    """Runs one serve+drive campaign; returns the drive stats dict.
+
+    Raises RuntimeError on any accounting or lifecycle violation — those are
+    correctness failures, never performance noise.
+    """
+    serve = subprocess.Popen(
+        [binary, "serve", f"--protocol={protocol}", "--port=0",
+         f"--shards={config['shards']}", f"--loops={config['loops']}",
+         f"--workers={config['workers']}", f"--items={config['items']}",
+         f"--seed={config['seed']}"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        port = None
+        deadline = time.time() + 15
+        lines = []
+        while time.time() < deadline:
+            line = serve.stdout.readline()
+            if not line:
+                break
+            lines.append(line)
+            match = re.search(r"listening on [\d.]+:(\d+)", line)
+            if match:
+                port = int(match.group(1))
+                break
+        if port is None:
+            serve.kill()
+            raise RuntimeError(
+                f"serve never printed its port:\n{''.join(lines)}")
+
+        drive = subprocess.run(
+            [binary, "drive", f"--port={port}",
+             f"--lambda={config['lambda']}",
+             f"--duration={config['duration']}",
+             f"--connections={config['connections']}",
+             f"--items={config['items']}", f"--zipf={config['zipf']}",
+             f"--seed={config['seed']}", f"--shards={config['shards']}",
+             "--json"],
+            capture_output=True, text=True, timeout=timeout)
+        if drive.returncode != 0:
+            serve.kill()
+            raise RuntimeError(
+                f"drive exited {drive.returncode}:\n{drive.stdout}\n"
+                f"{drive.stderr}")
+        report = json.loads(drive.stdout)
+        stats = report.get("stats", {})
+
+        serve.send_signal(signal.SIGINT)
+        try:
+            serve.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            serve.kill()
+            raise RuntimeError("serve did not drain within 30s of SIGINT")
+        tail = serve.stdout.read()
+        if serve.returncode != 0:
+            raise RuntimeError(f"serve exited {serve.returncode}:\n{tail}")
+
+        # Accounting invariants — hard requirements everywhere, always.
+        if not report.get("ok"):
+            raise RuntimeError(f"drive report not ok: {stats}")
+        if stats.get("errors", 1) != 0 or stats.get("unanswered", 1) != 0:
+            raise RuntimeError(f"lossy run: {stats}")
+        if stats["sent"] != stats["completed"] + stats["rejected"]:
+            raise RuntimeError(f"sent != completed + rejected: {stats}")
+        if sum(stats.get("shard_sent", [])) != stats["sent"]:
+            raise RuntimeError(f"shard_sent does not sum to sent: {stats}")
+        if sum(stats.get("shard_completed", [])) != stats["completed"]:
+            raise RuntimeError(
+                f"shard_completed does not sum to completed: {stats}")
+        match = re.search(r"(\d+) completed", tail)
+        if not match or int(match.group(1)) != stats["completed"]:
+            raise RuntimeError(
+                f"serve/drive disagree on completed:\n{tail}")
+        return stats
+    finally:
+        if serve.poll() is None:
+            serve.kill()
+
+
+def baseline_path(out_dir, protocol):
+    return f"{out_dir}/BENCH_serve_{protocol}.json"
+
+
+def main():
+    args = sys.argv[1:]
+    if not args or args[0].startswith("--"):
+        fail("usage: bench_baseline.py <cbtree-binary> [--out-dir=DIR] "
+             "[--quick] [--protocols=a,b,...]")
+    binary = args[0]
+    out_dir = "."
+    quick = False
+    protocols = PROTOCOLS
+    for flag in args[1:]:
+        if flag.startswith("--out-dir="):
+            out_dir = flag.split("=", 1)[1]
+        elif flag == "--quick":
+            quick = True
+        elif flag.startswith("--protocols="):
+            protocols = flag.split("=", 1)[1].split(",")
+        else:
+            fail(f"unknown flag {flag}")
+
+    config = dict(CANONICAL)
+    if quick:
+        config.update(QUICK_OVERRIDES)
+
+    for protocol in protocols:
+        try:
+            stats = run_campaign(binary, protocol, config)
+        except (RuntimeError, json.JSONDecodeError,
+                subprocess.TimeoutExpired) as err:
+            fail(f"{protocol}: {err}")
+        baseline = {
+            "schema": SCHEMA,
+            "protocol": protocol,
+            "config": config,
+            "result": {
+                "sent": stats["sent"],
+                "completed": stats["completed"],
+                "rejected": stats["rejected"],
+                "errors": stats["errors"],
+                "unanswered": stats["unanswered"],
+                "achieved_throughput": stats["achieved_throughput"],
+                "resp_p50": stats["resp_p50"],
+                "resp_p95": stats["resp_p95"],
+                "resp_p99": stats["resp_p99"],
+                "shard_sent": stats["shard_sent"],
+                "shard_completed": stats["shard_completed"],
+            },
+        }
+        path = baseline_path(out_dir, protocol)
+        with open(path, "w") as out:
+            json.dump(baseline, out, indent=2, sort_keys=True)
+            out.write("\n")
+        print(f"OK: {path} throughput="
+              f"{stats['achieved_throughput']:.0f}/s "
+              f"p99={stats['resp_p99']:.6f}s")
+
+
+if __name__ == "__main__":
+    main()

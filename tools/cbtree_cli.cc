@@ -87,6 +87,9 @@ struct CommonOptions {
   std::string host = "127.0.0.1";
   int port = 7070;
   int workers = 4;
+  int shards = 1;
+  int loops = 1;
+  uint64_t batch = 32;
   uint64_t queue = 1024;
   std::string duration = "5s";
   int connections = 4;
@@ -132,7 +135,18 @@ struct CommonOptions {
                     "blink | two-phase (alias of --algorithm)");
     flags->Register("host", &host, "serve/drive address");
     flags->Register("port", &port, "serve/drive TCP port (0 = ephemeral)");
-    flags->Register("workers", &workers, "serve worker threads");
+    flags->Register("workers", &workers,
+                    "serve worker threads total (divided across shards)");
+    flags->Register("shards", &shards,
+                    "serve: independent trees the key space is "
+                    "hash-partitioned across; drive: shard count of the "
+                    "server for occupancy accounting");
+    flags->Register("loops", &loops,
+                    "serve event-loop threads (SO_REUSEPORT per loop, or "
+                    "accept round-robin fallback)");
+    flags->Register("batch", &batch,
+                    "serve: max adjacent same-shard requests batched into "
+                    "one tree pass");
     flags->Register("queue", &queue,
                     "serve admission budget (in-flight requests before "
                     "rejects)");
@@ -637,6 +651,9 @@ int CmdServe(const CommonOptions& options) {
   server_options.preload_items = options.items;
   server_options.seed = options.seed;
   server_options.workers = std::max(1, options.workers);
+  server_options.shards = std::max(1, options.shards);
+  server_options.loops = std::max(1, options.loops);
+  server_options.max_batch = std::max<uint64_t>(1, options.batch);
   server_options.max_inflight = static_cast<size_t>(options.queue);
   server_options.trace = sink.get();
   net::Server server(server_options);
@@ -646,11 +663,13 @@ int CmdServe(const CommonOptions& options) {
     return 1;
   }
   // The "listening on" line is the readiness handshake scripts wait for.
-  std::printf("%s: %d workers, queue %" PRIu64 ", %" PRIu64
-              " keys preloaded\n",
+  std::printf("%s: %d shards x %d loops, %d workers, queue %" PRIu64
+              ", batch %" PRIu64 ", %" PRIu64 " keys preloaded\n",
               AlgorithmName(server_options.algorithm).c_str(),
+              server.num_shards(), server.num_loops(),
               server_options.workers,
               static_cast<uint64_t>(server_options.max_inflight),
+              static_cast<uint64_t>(server_options.max_batch),
               options.items);
   std::printf("listening on %s:%d\n", options.host.c_str(), server.port());
   std::fflush(stdout);
@@ -660,22 +679,59 @@ int CmdServe(const CommonOptions& options) {
   if (sink != nullptr) sink->Flush();
 
   const net::ServerStats stats = server.stats();
-  server.tree()->CheckInvariants();
-  CTreeStats tree_stats = server.tree()->stats();
+  server.CheckAllInvariants();
+  size_t total_keys = 0;
+  for (const net::ShardServerStats& shard : stats.shards) {
+    total_keys += shard.tree_size;
+  }
   std::printf(
-      "\ncbtree serve drained:\n"
+      "\ncbtree serve drained (%d shards, %d loops, %s accept):\n"
       "  connections %" PRIu64 " accepted, %" PRIu64 " closed\n"
       "  requests    %" PRIu64 " received: %" PRIu64 " completed, %" PRIu64
       " rejected, %" PRIu64 " shutdown-rejected\n"
       "  frames      %" PRIu64 " bad, %" PRIu64 " slow-consumer drops\n"
+      "  batching    %" PRIu64 " tree passes, %" PRIu64
+      " requests shared a pass\n"
       "  bytes       %" PRIu64 " in, %" PRIu64 " out\n"
-      "  final tree size %zu\n",
+      "  final keys  %zu across all shards\n",
+      server.num_shards(), server.num_loops(),
+      stats.reuseport ? "reuseport" : "round-robin",
       stats.connections_accepted, stats.connections_closed,
       stats.requests_received, stats.completed, stats.rejected,
       stats.shutdown_rejected, stats.bad_frames, stats.slow_consumer_drops,
-      stats.bytes_in, stats.bytes_out, server.tree()->size());
-  PrintLatchTable(tree_stats, options.csv);
+      stats.batches, stats.batched_requests, stats.bytes_in, stats.bytes_out,
+      total_keys);
+  if (stats.shards.size() > 1) {
+    Table shard_table({"shard", "executed", "batches", "batched", "keys"});
+    for (size_t s = 0; s < stats.shards.size(); ++s) {
+      shard_table.NewRow()
+          .Add(static_cast<int64_t>(s))
+          .Add(static_cast<int64_t>(stats.shards[s].executed))
+          .Add(static_cast<int64_t>(stats.shards[s].batches))
+          .Add(static_cast<int64_t>(stats.shards[s].batched_requests))
+          .Add(static_cast<int64_t>(stats.shards[s].tree_size));
+    }
+    shard_table.Print(std::cout, options.csv);
+  }
+  if (stats.loops.size() > 1) {
+    Table loop_table({"loop", "conns_accepted", "requests"});
+    for (size_t l = 0; l < stats.loops.size(); ++l) {
+      loop_table.NewRow()
+          .Add(static_cast<int64_t>(l))
+          .Add(static_cast<int64_t>(stats.loops[l].connections_accepted))
+          .Add(static_cast<int64_t>(stats.loops[l].requests_received));
+    }
+    loop_table.Print(std::cout, options.csv);
+  }
+  // Latch telemetry per shard (each shard is its own tree).
+  for (int s = 0; s < server.num_shards(); ++s) {
+    if (server.num_shards() > 1) std::printf("shard %d latches:\n", s);
+    PrintLatchTable(server.tree(s)->stats(), options.csv);
+  }
   // Accounting invariant: every well-formed frame got exactly one answer.
+  // The per-loop and per-shard breakdowns must also sum back to the
+  // server-wide counters — a loop or shard losing track of work shows up
+  // here even when the global counters happen to balance.
   const uint64_t answered =
       stats.completed + stats.rejected + stats.shutdown_rejected;
   if (answered != stats.requests_received) {
@@ -683,6 +739,28 @@ int CmdServe(const CommonOptions& options) {
                  "serve: accounting mismatch: %" PRIu64 " received vs %" PRIu64
                  " answered\n",
                  stats.requests_received, answered);
+    return 1;
+  }
+  uint64_t loop_requests = 0;
+  for (const net::LoopServerStats& loop : stats.loops) {
+    loop_requests += loop.requests_received;
+  }
+  if (loop_requests != stats.requests_received) {
+    std::fprintf(stderr,
+                 "serve: per-loop accounting mismatch: loops saw %" PRIu64
+                 " requests vs %" PRIu64 " server-wide\n",
+                 loop_requests, stats.requests_received);
+    return 1;
+  }
+  uint64_t shard_executed = 0;
+  for (const net::ShardServerStats& shard : stats.shards) {
+    shard_executed += shard.executed;
+  }
+  if (shard_executed != stats.completed) {
+    std::fprintf(stderr,
+                 "serve: per-shard accounting mismatch: shards executed "
+                 "%" PRIu64 " vs %" PRIu64 " completed\n",
+                 shard_executed, stats.completed);
     return 1;
   }
   return 0;
@@ -702,6 +780,7 @@ int CmdDrive(const CommonOptions& options) {
   drive.zipf_skew = options.zipf;
   drive.key_space = 2 * std::max<uint64_t>(options.items, 1);
   drive.seed = options.seed;
+  drive.shards = std::max(1, options.shards);
   drive.trace = sink.get();
   net::DriveReport report = net::RunDrive(drive);
   if (sink != nullptr) sink->Flush();
@@ -733,6 +812,16 @@ int CmdDrive(const CommonOptions& options) {
         // The report's own window is empty (per-connection windows were
         // merged in), so close it at 0 like the JSON writer does.
         report.active_ops.Average(0.0));
+    if (report.shard_sent.size() > 1) {
+      Table occupancy({"shard", "sent", "completed"});
+      for (size_t s = 0; s < report.shard_sent.size(); ++s) {
+        occupancy.NewRow()
+            .Add(static_cast<int64_t>(s))
+            .Add(static_cast<int64_t>(report.shard_sent[s]))
+            .Add(static_cast<int64_t>(report.shard_completed[s]));
+      }
+      occupancy.Print(std::cout, options.csv);
+    }
   }
   // Zero lost requests: every sent request was answered (completed or
   // rejected) — the acceptance invariant for a clean run.
@@ -756,11 +845,12 @@ void Usage() {
       "  stress    multi-threaded run on a real concurrent tree\n"
       "            (--threads, --stress_ops, --metrics=table|json, --zipf;\n"
       "            SIGINT drains and still prints the report)\n"
-      "  serve     TCP service over a real concurrent tree until SIGINT\n"
-      "            (--protocol, --host, --port, --workers, --queue)\n"
+      "  serve     sharded TCP service over real concurrent trees until\n"
+      "            SIGINT (--protocol, --host, --port, --shards, --loops,\n"
+      "            --workers, --batch, --queue)\n"
       "  drive     open-loop Poisson load against a running serve\n"
       "            (--port, --lambda, --duration, --connections, --zipf,\n"
-      "            --json)\n"
+      "            --shards for per-shard occupancy, --json)\n"
       "run 'cbtree <cmd> --help' for the full flag list\n");
 }
 

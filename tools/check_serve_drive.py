@@ -34,15 +34,22 @@ def main():
     extra = sys.argv[2:]
     protocol = "blink"
     lam = "1500"
+    shards = "1"
+    loops = "1"
     for flag in extra:
         if flag.startswith("--protocol="):
             protocol = flag.split("=", 1)[1]
         if flag.startswith("--lambda="):
             lam = flag.split("=", 1)[1]
+        if flag.startswith("--shards="):
+            shards = flag.split("=", 1)[1]
+        if flag.startswith("--loops="):
+            loops = flag.split("=", 1)[1]
 
     serve = subprocess.Popen(
         [binary, "serve", f"--protocol={protocol}", "--port=0",
-         "--items=5000", "--workers=4"],
+         "--items=5000", "--workers=4", f"--shards={shards}",
+         f"--loops={loops}"],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
     try:
         # Readiness handshake: serve prints "listening on HOST:PORT" once
@@ -66,7 +73,7 @@ def main():
         drive = subprocess.run(
             [binary, "drive", f"--port={port}", f"--lambda={lam}",
              "--duration=2s", "--connections=4", "--items=5000",
-             "--zipf=0.4", "--json"],
+             "--zipf=0.4", f"--shards={shards}", "--json"],
             capture_output=True, text=True, timeout=60)
         if drive.returncode != 0:
             serve.kill()
@@ -97,6 +104,11 @@ def main():
             fail("driver sent nothing")
         if not (stats["resp_p50"] <= stats["resp_p95"] <= stats["resp_p99"]):
             fail(f"percentiles not monotone: {stats}")
+        # Per-shard occupancy must fold back to the totals exactly.
+        if sum(stats.get("shard_sent", [])) != stats["sent"]:
+            fail(f"shard_sent does not sum to sent: {stats}")
+        if sum(stats.get("shard_completed", [])) != stats["completed"]:
+            fail(f"shard_completed does not sum to completed: {stats}")
 
         serve.send_signal(signal.SIGINT)
         try:

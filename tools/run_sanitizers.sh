@@ -24,10 +24,12 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-}:halt_on_error=1"
 sanitizers=("${@:-thread}")
 # Tests that exercise threads / the runner; everything else is covered by
 # the regular tier-1 run. obs_test stresses the sharded metrics registry
-# from many threads, and net_server_test crosses the event-loop / worker /
-# client thread boundaries of the TCP service — exactly what TSAN should vet.
+# from many threads; net_server_test and net_shard_test cross the
+# event-loop / shard-worker / client thread boundaries of the TCP service —
+# exactly what TSAN should vet. net_proto_fuzz_test decodes mutated frames
+# from exactly-sized heap buffers, which is what ASan red-zones exist for.
 test_targets=(ctree_test runner_test runner_experiment_test obs_test
-              net_server_test)
+              net_server_test net_shard_test net_proto_fuzz_test)
 
 for sanitizer in "${sanitizers[@]}"; do
   case "$sanitizer" in
