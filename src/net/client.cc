@@ -149,5 +149,18 @@ std::optional<Status> Client::Delete(Key key) {
   return response.status;
 }
 
+std::optional<std::string> Client::Stats(StatsFormat format) {
+  Request request;
+  request.op = OpCode::kStats;
+  request.id = ++next_id_;
+  request.key = static_cast<Key>(format);
+  Response response;
+  if (!Call(request, &response)) return std::nullopt;
+  if (response.status != Status::kStats || response.id != request.id) {
+    return std::nullopt;
+  }
+  return std::move(response.body);
+}
+
 }  // namespace net
 }  // namespace cbtree

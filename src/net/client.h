@@ -50,6 +50,10 @@ class Client {
   std::optional<Value> Search(Key key);
   std::optional<Status> Insert(Key key, Value value);
   std::optional<Status> Delete(Key key);
+  /// Serial kStats admin round trip: the server's stats body in `format`
+  /// (JSON or rendered table). nullopt on transport error or an unexpected
+  /// status. Safe on a draining server (kStats is answered out of band).
+  std::optional<std::string> Stats(StatsFormat format = StatsFormat::kJson);
 
   int fd() const { return fd_; }
 

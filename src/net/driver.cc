@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/build_info.h"
 #include "base/mutex.h"
 #include "base/thread_annotations.h"
 #include "net/client.h"
@@ -212,6 +213,7 @@ void ReceiverLoop(const DriveOptions& options, ConnDriver* conn,
                      response.id, pending.op, now, 0.0);
         break;
       case Status::kBadFrame:
+      case Status::kStats:  // never requested on a load connection
         conn->errors += 1;
         break;
     }
@@ -294,7 +296,8 @@ DriveReport RunDrive(const DriveOptions& options) {
 
 void WriteDriveJson(std::ostream& out, const std::string& algorithm,
                     const DriveOptions& options, const DriveReport& report,
-                    bool include_timing) {
+                    bool include_timing,
+                    const std::string* server_stats_json) {
   runner::SimPoint point;
   point.ok =
       report.connect_ok && report.errors == 0 && report.unanswered == 0;
@@ -332,6 +335,12 @@ void WriteDriveJson(std::ostream& out, const std::string& algorithm,
       {"send_lag_mean_seconds", report.send_lag.mean()},
       {"zipf_skew", options.zipf_skew},
   };
+  std::string build;
+  AppendBuildProvenanceJson(&build);
+  info.extra_raw_json.push_back({"build", std::move(build)});
+  if (server_stats_json != nullptr) {
+    info.extra_raw_json.push_back({"server", *server_stats_json});
+  }
   runner::WriteSimPointJson(out, info, point, include_timing);
 }
 

@@ -96,12 +96,17 @@ DriveReport RunDrive(const DriveOptions& options);
 
 /// SimPoint-shape-compatible JSON (kind "drive"): same "stats" fields as
 /// `cbtree simulate --json` — resp_p50/p95/p99, completed, mean_active_ops
-/// — plus service-level counters (sent/rejected/errors/unanswered) and
-/// achieved throughput, so response-time-vs-lambda curves from the
-/// analyzer, the simulator, and the live service overlay directly.
+/// — plus service-level counters (sent/rejected/errors/unanswered),
+/// achieved throughput, and a top-level "build" provenance object, so
+/// response-time-vs-lambda curves from the analyzer, the simulator, and
+/// the live service overlay directly and every curve names the build that
+/// produced it. `server_stats_json`, when non-null, must be the raw JSON
+/// body of a kStats reply and is embedded verbatim as a top-level "server"
+/// field (`cbtree drive --server_stats`).
 void WriteDriveJson(std::ostream& out, const std::string& algorithm,
                     const DriveOptions& options, const DriveReport& report,
-                    bool include_timing);
+                    bool include_timing,
+                    const std::string* server_stats_json = nullptr);
 
 }  // namespace net
 }  // namespace cbtree

@@ -38,7 +38,7 @@ int64_t GetI64(const uint8_t* p) { return static_cast<int64_t>(GetU64(p)); }
 
 bool IsValidOpCode(uint8_t raw) {
   return raw >= static_cast<uint8_t>(OpCode::kSearch) &&
-         raw <= static_cast<uint8_t>(OpCode::kDelete);
+         raw <= static_cast<uint8_t>(OpCode::kStats);
 }
 
 const char* OpCodeName(OpCode op) {
@@ -49,13 +49,15 @@ const char* OpCodeName(OpCode op) {
       return "insert";
     case OpCode::kDelete:
       return "delete";
+    case OpCode::kStats:
+      return "stats";
   }
   return "unknown";
 }
 
 bool IsValidStatus(uint8_t raw) {
   return raw >= static_cast<uint8_t>(Status::kFound) &&
-         raw <= static_cast<uint8_t>(Status::kBadFrame);
+         raw <= static_cast<uint8_t>(Status::kStats);
 }
 
 const char* StatusName(Status status) {
@@ -78,6 +80,8 @@ const char* StatusName(Status status) {
       return "shutting_down";
     case Status::kBadFrame:
       return "bad_frame";
+    case Status::kStats:
+      return "stats";
   }
   return "unknown";
 }
@@ -104,6 +108,20 @@ void AppendRequest(const Request& request, std::string* out) {
 }
 
 void AppendResponse(const Response& response, std::string* out) {
+  if (response.status == Status::kStats) {
+    // Variable-length frame: [len][status][id][body]. The body is clamped to
+    // the protocol cap so even an oversized snapshot cannot emit a frame the
+    // peer would reject as hostile.
+    size_t body_size = response.body.size();
+    if (body_size > kMaxStatsPayload - kStatsHeaderSize) {
+      body_size = kMaxStatsPayload - kStatsHeaderSize;
+    }
+    PutU32(kStatsHeaderSize + static_cast<uint32_t>(body_size), out);
+    out->push_back(static_cast<char>(response.status));
+    PutU64(response.id, out);
+    out->append(response.body.data(), body_size);
+    return;
+  }
   PutU32(kResponsePayloadSize, out);
   out->push_back(static_cast<char>(response.status));
   PutU64(response.id, out);
@@ -129,12 +147,32 @@ DecodeStatus DecodeRequest(const uint8_t* data, size_t size, Request* out,
 DecodeStatus DecodeResponse(const uint8_t* data, size_t size, Response* out,
                             size_t* consumed) {
   if (size < 4) return DecodeStatus::kNeedMore;
-  if (GetU32(data) != kResponsePayloadSize) return DecodeStatus::kError;
-  if (size < kResponseFrameSize) return DecodeStatus::kNeedMore;
+  const uint32_t payload = GetU32(data);
+  // Bound the length before waiting for the payload: a hostile length can
+  // neither stall the connection nor grow the read buffer past the cap.
+  if (payload > kMaxStatsPayload) return DecodeStatus::kError;
+  if (payload < kStatsHeaderSize) return DecodeStatus::kError;
+  if (size < 5) return DecodeStatus::kNeedMore;
   if (!IsValidStatus(data[4])) return DecodeStatus::kError;
-  out->status = static_cast<Status>(data[4]);
+  const Status status = static_cast<Status>(data[4]);
+  if (status == Status::kStats) {
+    const size_t frame = 4 + static_cast<size_t>(payload);
+    if (size < frame) return DecodeStatus::kNeedMore;
+    out->status = status;
+    out->id = GetU64(data + 5);
+    out->value = 0;
+    out->body.assign(reinterpret_cast<const char*>(data + 4 + kStatsHeaderSize),
+                     payload - kStatsHeaderSize);
+    *consumed = frame;
+    return DecodeStatus::kOk;
+  }
+  // Every other status is a fixed-size frame.
+  if (payload != kResponsePayloadSize) return DecodeStatus::kError;
+  if (size < kResponseFrameSize) return DecodeStatus::kNeedMore;
+  out->status = status;
   out->id = GetU64(data + 5);
   out->value = GetI64(data + 13);
+  out->body.clear();
   *consumed = kResponseFrameSize;
   return DecodeStatus::kOk;
 }

@@ -3,13 +3,16 @@
 //
 // Request frame:   [u32 payload_len][u8 opcode][u64 id][i64 key][i64 value]
 // Response frame:  [u32 payload_len][u8 status][u64 id][i64 value]
+// Stats response:  [u32 payload_len][u8 status=kStats][u64 id][body bytes]
 //
 // payload_len counts the bytes after the length field and is fixed per frame
 // type (kRequestPayloadSize / kResponsePayloadSize); any other value is a
 // protocol error, so a corrupt or hostile peer can never make the server
-// buffer an unbounded frame. Multiple frames may be pipelined on one
-// connection; responses carry the request's id because a worker pool
-// completes them out of order.
+// buffer an unbounded frame. The one variable-length frame is the kStats
+// admin reply, whose payload is still bounded by kMaxStatsPayload and
+// disambiguated by the status byte, so the no-unbounded-buffering property
+// holds. Multiple frames may be pipelined on one connection; responses carry
+// the request's id because a worker pool completes them out of order.
 //
 // The `value` of a response is overloaded by status: the stored value for
 // kFound, and the suggested retry backoff in microseconds for kRejected
@@ -33,6 +36,17 @@ enum class OpCode : uint8_t {
   kSearch = 1,
   kInsert = 2,
   kDelete = 3,
+  /// Admin: ask the server for a live stats snapshot. Served out-of-band on
+  /// the event loop (never enters the admission budget or the shard worker
+  /// pools). `key` selects the body format (see StatsFormat); `value` is
+  /// ignored.
+  kStats = 4,
+};
+
+/// Body formats for a kStats request, carried in `Request::key`.
+enum class StatsFormat : int64_t {
+  kJson = 0,   ///< machine-readable snapshot JSON
+  kTable = 1,  ///< server-rendered human-readable text table
 };
 
 /// True iff `raw` is one of the OpCode values.
@@ -49,6 +63,7 @@ enum class Status : uint8_t {
   kRejected = 7,     ///< queue full; value = retry hint in microseconds
   kShuttingDown = 8, ///< server draining; resend elsewhere/later
   kBadFrame = 9,     ///< malformed frame; id = 0, connection closes after
+  kStats = 10,       ///< stats reply; variable-length body follows the id
 };
 
 bool IsValidStatus(uint8_t raw);
@@ -72,6 +87,8 @@ struct Response {
   Status status = Status::kNotFound;
   uint64_t id = 0;
   Value value = 0;
+  /// Variable-length body, used only when status == kStats. Empty otherwise.
+  std::string body;
 };
 
 /// Fixed payload sizes (bytes after the u32 length prefix).
@@ -79,6 +96,13 @@ inline constexpr uint32_t kRequestPayloadSize = 1 + 8 + 8 + 8;
 inline constexpr uint32_t kResponsePayloadSize = 1 + 8 + 8;
 inline constexpr size_t kRequestFrameSize = 4 + kRequestPayloadSize;
 inline constexpr size_t kResponseFrameSize = 4 + kResponsePayloadSize;
+
+/// A kStats response payload is [u8 status][u64 id][body]: at least the
+/// 9-byte header, at most the header plus a bounded body. The cap keeps the
+/// hostile-length guarantee: no peer can make the other side buffer an
+/// unbounded frame.
+inline constexpr uint32_t kStatsHeaderSize = 1 + 8;
+inline constexpr uint32_t kMaxStatsPayload = kStatsHeaderSize + (1u << 20);
 
 /// Serializes one frame onto `out` (append; never clears).
 void AppendRequest(const Request& request, std::string* out);

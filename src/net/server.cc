@@ -11,9 +11,13 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <deque>
 #include <utility>
 
+#include "base/build_info.h"
+#include "obs/expo.h"
 #include "stats/rng.h"
 #include "util/check.h"
 
@@ -28,6 +32,37 @@ uint64_t ElapsedNs(Clock::time_point since) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                            since)
           .count());
+}
+
+/// Cells the server's registry needs: the base service metrics plus seven
+/// stage timers per shard (a timer takes 3 + kTimerBuckets cells); the
+/// default Registry capacity would overflow past ~30 shards.
+uint32_t RegistryCellCapacity(int shards) {
+  const uint32_t per_shard = 7u * (3u + obs::kTimerBuckets);
+  return 2048u + per_shard * static_cast<uint32_t>(shards);
+}
+
+void AppendJsonU64(const char* key, uint64_t value, bool* first,
+                   std::string* out) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "%s\"%s\":%llu", *first ? "" : ",",
+                key, static_cast<unsigned long long>(value));
+  *first = false;
+  out->append(buffer);
+}
+
+/// Raises `*into` by elementwise-merging another timer view (counts, total,
+/// buckets add; max keeps the larger).
+void MergeTimer(obs::TimerSnapshot* into, const obs::TimerSnapshot& from) {
+  into->count += from.count;
+  into->total_ns += from.total_ns;
+  if (from.max_ns > into->max_ns) into->max_ns = from.max_ns;
+  if (into->buckets.size() < from.buckets.size()) {
+    into->buckets.resize(from.buckets.size(), 0);
+  }
+  for (size_t b = 0; b < from.buckets.size(); ++b) {
+    into->buckets[b] += from.buckets[b];
+  }
 }
 
 /// Opens a nonblocking listen socket on host:port. SO_REUSEPORT is set when
@@ -94,6 +129,15 @@ struct Server::Conn {
   bool close_after_flush CBTREE_GUARDED_BY(mu) = false;
   bool write_error CBTREE_GUARDED_BY(mu) = false;
   bool slow_consumer CBTREE_GUARDED_BY(mu) = false;
+  /// Largest unflushed backlog this connection ever reached.
+  size_t write_buffer_hwm CBTREE_GUARDED_BY(mu) = 0;
+  /// Cumulative stream offsets: bytes ever appended / ever handed to the
+  /// kernel. appended_total - flushed_total == unflushed(). The flush spans
+  /// complete (stage timers, sampled waterfalls) once flushed_total passes
+  /// their end offset.
+  uint64_t appended_total CBTREE_GUARDED_BY(mu) = 0;
+  uint64_t flushed_total CBTREE_GUARDED_BY(mu) = 0;
+  std::deque<FlushSpan> flush_spans CBTREE_GUARDED_BY(mu);
 
   /// Dedupes handoffs to the owning loop's pending list.
   std::atomic<bool> handoff_queued{false};
@@ -125,6 +169,9 @@ struct Server::Loop {
   // Per-loop accounting (see LoopServerStats).
   std::atomic<uint64_t> connections_accepted{0};
   std::atomic<uint64_t> requests_received{0};
+  std::atomic<uint64_t> stats_requests{0};
+  std::atomic<uint64_t> slow_consumer_drops{0};
+  std::atomic<size_t> write_buffer_hwm{0};
 };
 
 /// One key-space shard: its tree and the dedicated worker pool that gives
@@ -135,9 +182,14 @@ struct Server::Shard {
   std::atomic<uint64_t> executed{0};
   std::atomic<uint64_t> batches{0};
   std::atomic<uint64_t> batched_requests{0};
+  /// Requests admitted to this shard and not yet completed (queued in the
+  /// pool + executing): the live per-shard queue depth.
+  std::atomic<uint64_t> in_flight{0};
 };
 
-Server::Server(ServerOptions options) : options_(std::move(options)) {
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      obs_(RegistryCellCapacity(std::max(1, options_.shards))) {
   obs_requests_ = obs_.counter("net.requests");
   obs_rejected_ = obs_.counter("net.rejected");
   obs_bad_frames_ = obs_.counter("net.bad_frames");
@@ -145,6 +197,22 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
   obs_batched_requests_ = obs_.counter("net.batched_requests");
   obs_service_ns_ = obs_.timer("net.service_ns");
   obs_request_ns_ = obs_.timer("net.request_ns");
+  const int shard_count = std::max(1, options_.shards);
+  obs_stage_.reserve(static_cast<size_t>(shard_count));
+  for (int s = 0; s < shard_count; ++s) {
+    const std::string suffix = ".s" + std::to_string(s);
+    StageTimers timers;
+    timers.admit = obs_.timer("stage.admit_ns" + suffix);
+    timers.queue = obs_.timer("stage.queue_ns" + suffix);
+    timers.batch = obs_.timer("stage.batch_ns" + suffix);
+    timers.tree = obs_.timer("stage.tree_ns" + suffix);
+    timers.buffer = obs_.timer("stage.buffer_ns" + suffix);
+    timers.flush = obs_.timer("stage.flush_ns" + suffix);
+    timers.total = obs_.timer("stage.total_ns" + suffix);
+    obs_stage_.push_back(timers);
+  }
+  stats_ring_ = std::make_unique<obs::SnapshotRing>(
+      options_.stats_ring == 0 ? 1 : options_.stats_ring);
 }
 
 Server::~Server() { Shutdown(); }
@@ -247,9 +315,35 @@ bool Server::Start(std::string* error) {
     }
   }
 
+  start_time_ = Clock::now();
+#if CBTREE_OBS_ENABLED
+  final_snapshot_done_ = false;
+  if (options_.stats_interval_s > 0 && !options_.stats_file.empty()) {
+    stats_file_ = std::fopen(options_.stats_file.c_str(), "w");
+    if (stats_file_ == nullptr) {
+      if (error != nullptr) {
+        *error = "stats_file open '" + options_.stats_file +
+                 "': " + strerror(errno);
+      }
+      return false;
+    }
+  }
+  if (options_.stats_port >= 0) {
+    stats_listen_fd_ =
+        OpenListenSocket(options_.host, options_.stats_port, false, error);
+    if (stats_listen_fd_ < 0) return false;
+    sockaddr_in bound = {};
+    socklen_t bound_len = sizeof(bound);
+    getsockname(stats_listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                &bound_len);
+    stats_port_actual_ = ntohs(bound.sin_port);
+    stats_stop_.store(false, std::memory_order_release);
+    stats_thread_ = std::thread([this] { StatsListenerLoop(); });
+  }
+#endif
+
   if (!StartListeners(error)) return false;
 
-  start_time_ = Clock::now();
   draining_.store(false, std::memory_order_release);
   loops_exited_.store(0, std::memory_order_release);
   running_.store(true, std::memory_order_release);
@@ -284,6 +378,28 @@ void Server::Shutdown() {
   }
   // Shard pools drain any residual queued work, then join their workers.
   for (auto& shard : shards_) shard->pool.reset();
+#if CBTREE_OBS_ENABLED
+  // The exposition listener stops before the final snapshot so no scrape
+  // can race it; the final interval is recorded only after every loop and
+  // worker has joined, which is what makes it exact (interval deltas then
+  // sum to the final cumulative totals bit for bit).
+  if (stats_thread_.joinable()) {
+    stats_stop_.store(true, std::memory_order_release);
+    stats_thread_.join();
+  }
+  if (stats_listen_fd_ != -1) {
+    close(stats_listen_fd_);
+    stats_listen_fd_ = -1;
+  }
+  if (any_joined && options_.stats_interval_s > 0 && !final_snapshot_done_) {
+    RecordStatsTick();
+    final_snapshot_done_ = true;
+  }
+  if (stats_file_ != nullptr) {
+    std::fclose(stats_file_);
+    stats_file_ = nullptr;
+  }
+#endif
   for (auto& loop : loops_) {
     if (loop->epoll_fd != -1) close(loop->epoll_fd);
     if (loop->wake_event_fd != -1) close(loop->wake_event_fd);
@@ -316,6 +432,7 @@ ServerStats Server::stats() const {
   stats.shutdown_rejected = shutdown_rejected_.load();
   stats.bad_frames = bad_frames_.load();
   stats.slow_consumer_drops = slow_consumer_drops_.load();
+  stats.stats_requests = stats_requests_.load();
   stats.bytes_in = bytes_in_.load();
   stats.bytes_out = bytes_out_.load();
   stats.reuseport = reuseport_;
@@ -335,9 +452,306 @@ ServerStats Server::stats() const {
     LoopServerStats l;
     l.connections_accepted = loop->connections_accepted.load();
     l.requests_received = loop->requests_received.load();
+    l.stats_requests = loop->stats_requests.load();
+    l.slow_consumer_drops = loop->slow_consumer_drops.load();
+    l.write_buffer_hwm = loop->write_buffer_hwm.load();
+    if (l.write_buffer_hwm > stats.write_buffer_hwm) {
+      stats.write_buffer_hwm = l.write_buffer_hwm;
+    }
     stats.loops.push_back(l);
   }
   return stats;
+}
+
+obs::Snapshot Server::MergedSnapshot() const {
+  obs::Snapshot snapshot = obs_.Read();
+  // Functional accounting injected as "srv.*" so the merged view (and with
+  // it kStats, the JSONL series, and the Prometheus text) stays truthful
+  // even when the build compiles the registry out (CBTREE_OBS=OFF).
+  snapshot.counters["srv.connections_accepted"] =
+      connections_accepted_.load(std::memory_order_relaxed);
+  snapshot.counters["srv.connections_closed"] =
+      connections_closed_.load(std::memory_order_relaxed);
+  snapshot.counters["srv.requests"] =
+      requests_received_.load(std::memory_order_relaxed);
+  snapshot.counters["srv.completed"] =
+      completed_.load(std::memory_order_relaxed);
+  snapshot.counters["srv.rejected"] =
+      rejected_.load(std::memory_order_relaxed);
+  snapshot.counters["srv.shutdown_rejected"] =
+      shutdown_rejected_.load(std::memory_order_relaxed);
+  snapshot.counters["srv.bad_frames"] =
+      bad_frames_.load(std::memory_order_relaxed);
+  snapshot.counters["srv.slow_consumer_drops"] =
+      slow_consumer_drops_.load(std::memory_order_relaxed);
+  snapshot.counters["srv.stats_requests"] =
+      stats_requests_.load(std::memory_order_relaxed);
+  snapshot.counters["srv.bytes_in"] =
+      bytes_in_.load(std::memory_order_relaxed);
+  snapshot.counters["srv.bytes_out"] =
+      bytes_out_.load(std::memory_order_relaxed);
+  snapshot.gauges["srv.in_flight"] =
+      static_cast<int64_t>(in_flight_.load(std::memory_order_relaxed));
+  size_t hwm = 0;
+  for (const auto& loop : loops_) {
+    const std::string prefix = "srv.loop" + std::to_string(loop->index);
+    snapshot.counters[prefix + ".requests"] =
+        loop->requests_received.load(std::memory_order_relaxed);
+    snapshot.counters[prefix + ".stats_requests"] =
+        loop->stats_requests.load(std::memory_order_relaxed);
+    snapshot.counters[prefix + ".slow_consumer_drops"] =
+        loop->slow_consumer_drops.load(std::memory_order_relaxed);
+    const size_t loop_hwm =
+        loop->write_buffer_hwm.load(std::memory_order_relaxed);
+    if (loop_hwm > hwm) hwm = loop_hwm;
+  }
+  snapshot.gauges["srv.write_buffer_hwm"] = static_cast<int64_t>(hwm);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const std::string prefix = "srv.shard" + std::to_string(s);
+    snapshot.counters[prefix + ".executed"] =
+        shards_[s]->executed.load(std::memory_order_relaxed);
+    snapshot.counters[prefix + ".batches"] =
+        shards_[s]->batches.load(std::memory_order_relaxed);
+    snapshot.counters[prefix + ".batched_requests"] =
+        shards_[s]->batched_requests.load(std::memory_order_relaxed);
+    snapshot.gauges[prefix + ".keys"] =
+        static_cast<int64_t>(shards_[s]->tree->size());
+    snapshot.gauges[prefix + ".in_flight"] = static_cast<int64_t>(
+        shards_[s]->in_flight.load(std::memory_order_relaxed));
+  }
+  // Per-level latch telemetry folded across shards: each shard's tree keeps
+  // its own registry, so level l's counters and contended-wait histograms
+  // merge into one "latch.L<l>.*" family (empty under CBTREE_OBS=OFF).
+  for (const auto& shard : shards_) {
+    const CTreeStats tree_stats = shard->tree->stats();
+    for (const LatchLevelStats& level : tree_stats.latch_levels) {
+      const std::string prefix = "latch.L" + std::to_string(level.level);
+      snapshot.counters[prefix + ".shared_acq"] += level.shared.acquisitions;
+      snapshot.counters[prefix + ".shared_contended"] +=
+          level.shared.contended;
+      snapshot.counters[prefix + ".exclusive_acq"] +=
+          level.exclusive.acquisitions;
+      snapshot.counters[prefix + ".exclusive_contended"] +=
+          level.exclusive.contended;
+      MergeTimer(&snapshot.timers[prefix + ".shared_wait_ns"],
+                 level.shared.wait);
+      MergeTimer(&snapshot.timers[prefix + ".exclusive_wait_ns"],
+                 level.exclusive.wait);
+    }
+  }
+  return snapshot;
+}
+
+std::vector<obs::IntervalSnapshot> Server::history() const {
+  if (stats_ring_ == nullptr) return {};
+  return stats_ring_->History();
+}
+
+void Server::RecordStatsTick() {
+  const double now_s = static_cast<double>(ElapsedNs(start_time_)) * 1e-9;
+  const obs::IntervalSnapshot interval =
+      stats_ring_->Record(now_s, MergedSnapshot());
+  if (stats_file_ != nullptr) {
+    std::string line;
+    interval.AppendJson(&line);
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), stats_file_);
+    std::fflush(stats_file_);
+  }
+}
+
+namespace {
+
+/// stage.<name>_ns.s<k> timer from the merged snapshot; empty if absent.
+obs::TimerSnapshot StageTimerOf(const obs::Snapshot& snapshot,
+                                const char* name, size_t shard) {
+  auto it = snapshot.timers.find("stage." + std::string(name) + "_ns.s" +
+                                 std::to_string(shard));
+  return it == snapshot.timers.end() ? obs::TimerSnapshot{} : it->second;
+}
+
+uint64_t CounterOf(const obs::Snapshot& snapshot, const std::string& name) {
+  auto it = snapshot.counters.find(name);
+  return it == snapshot.counters.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+std::string Server::BuildStatsBody(StatsFormat format) const {
+  const double uptime_s = static_cast<double>(ElapsedNs(start_time_)) * 1e-9;
+  const ServerStats totals = stats();
+  const obs::Snapshot snapshot = MergedSnapshot();
+  const uint64_t intervals_recorded =
+      stats_ring_ != nullptr ? stats_ring_->recorded() : 0;
+  const uint64_t intervals_dropped =
+      stats_ring_ != nullptr ? stats_ring_->dropped() : 0;
+  obs::IntervalSnapshot last;
+  if (intervals_recorded > 0) last = stats_ring_->last();
+  const std::string algorithm =
+      shards_.empty() ? "?" : shards_[0]->tree->name();
+  std::string out;
+  if (format == StatsFormat::kTable) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "cbtree serve  uptime %.3fs  algorithm %s  shards %d  "
+                  "loops %d\n",
+                  uptime_s, algorithm.c_str(), num_shards(), num_loops());
+    out += line;
+    out += "build " + BuildProvenanceLine() + "\n";
+    std::snprintf(line, sizeof(line),
+                  "requests %llu  completed %llu  rejected %llu  "
+                  "shutdown_rejected %llu  bad_frames %llu  stats %llu\n",
+                  static_cast<unsigned long long>(totals.requests_received),
+                  static_cast<unsigned long long>(totals.completed),
+                  static_cast<unsigned long long>(totals.rejected),
+                  static_cast<unsigned long long>(totals.shutdown_rejected),
+                  static_cast<unsigned long long>(totals.bad_frames),
+                  static_cast<unsigned long long>(totals.stats_requests));
+    out += line;
+    std::snprintf(
+        line, sizeof(line),
+        "in_flight %llu  write_buffer_hwm %llu  slow_consumer_drops %llu  "
+        "intervals %llu (dropped %llu)\n",
+        static_cast<unsigned long long>(
+            in_flight_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(totals.write_buffer_hwm),
+        static_cast<unsigned long long>(totals.slow_consumer_drops),
+        static_cast<unsigned long long>(intervals_recorded),
+        static_cast<unsigned long long>(intervals_dropped));
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "%-6s %12s %10s %9s %10s %12s %12s %13s %13s\n", "shard",
+                  "executed", "keys", "inflight", "exec/s", "tree_p50_us",
+                  "tree_p99_us", "total_p50_us", "total_p99_us");
+    out += line;
+    const double interval_dt = last.t_end_s - last.t_begin_s;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      double rate = 0.0;
+      if (intervals_recorded > 0 && interval_dt > 0) {
+        rate = static_cast<double>(
+                   CounterOf(last.delta,
+                             "srv.shard" + std::to_string(s) + ".executed")) /
+               interval_dt;
+      }
+      const obs::TimerSnapshot tree_t = StageTimerOf(snapshot, "tree", s);
+      const obs::TimerSnapshot total_t = StageTimerOf(snapshot, "total", s);
+      std::snprintf(
+          line, sizeof(line),
+          "s%-5zu %12llu %10zu %9llu %10.1f %12.1f %12.1f %13.1f %13.1f\n",
+          s,
+          static_cast<unsigned long long>(
+              shards_[s]->executed.load(std::memory_order_relaxed)),
+          shards_[s]->tree->size(),
+          static_cast<unsigned long long>(
+              shards_[s]->in_flight.load(std::memory_order_relaxed)),
+          rate, tree_t.quantile_ns(0.5) * 1e-3, tree_t.quantile_ns(0.99) * 1e-3,
+          total_t.quantile_ns(0.5) * 1e-3, total_t.quantile_ns(0.99) * 1e-3);
+      out += line;
+    }
+    return out;
+  }
+  // StatsFormat::kJson.
+  char buffer[64];
+  out += "{\"uptime_s\":";
+  std::snprintf(buffer, sizeof(buffer), "%.6f", uptime_s);
+  out += buffer;
+  out += ",\"algorithm\":\"" + algorithm + "\"";
+  out += ",\"shards\":" + std::to_string(num_shards());
+  out += ",\"loops\":" + std::to_string(num_loops());
+  out += ",\"obs\":";
+  out += CBTREE_OBS_ENABLED ? "true" : "false";
+  out += ",\"build\":";
+  AppendBuildProvenanceJson(&out);
+  out += ",\"totals\":{";
+  bool first = true;
+  AppendJsonU64("requests", totals.requests_received, &first, &out);
+  AppendJsonU64("completed", totals.completed, &first, &out);
+  AppendJsonU64("rejected", totals.rejected, &first, &out);
+  AppendJsonU64("shutdown_rejected", totals.shutdown_rejected, &first, &out);
+  AppendJsonU64("bad_frames", totals.bad_frames, &first, &out);
+  AppendJsonU64("stats_requests", totals.stats_requests, &first, &out);
+  AppendJsonU64("slow_consumer_drops", totals.slow_consumer_drops, &first,
+                &out);
+  AppendJsonU64("connections_accepted", totals.connections_accepted, &first,
+                &out);
+  AppendJsonU64("connections_closed", totals.connections_closed, &first,
+                &out);
+  AppendJsonU64("bytes_in", totals.bytes_in, &first, &out);
+  AppendJsonU64("bytes_out", totals.bytes_out, &first, &out);
+  AppendJsonU64("in_flight", in_flight_.load(std::memory_order_relaxed),
+                &first, &out);
+  AppendJsonU64("write_buffer_hwm", totals.write_buffer_hwm, &first, &out);
+  out += "},\"shards_detail\":[";
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (s > 0) out += ",";
+    out += "{";
+    first = true;
+    AppendJsonU64("executed",
+                  shards_[s]->executed.load(std::memory_order_relaxed),
+                  &first, &out);
+    AppendJsonU64("batches",
+                  shards_[s]->batches.load(std::memory_order_relaxed), &first,
+                  &out);
+    AppendJsonU64("batched_requests",
+                  shards_[s]->batched_requests.load(std::memory_order_relaxed),
+                  &first, &out);
+    AppendJsonU64("keys", shards_[s]->tree->size(), &first, &out);
+    AppendJsonU64("in_flight",
+                  shards_[s]->in_flight.load(std::memory_order_relaxed),
+                  &first, &out);
+    out += "}";
+  }
+  out += "],\"snapshot\":";
+  snapshot.AppendJson(&out);
+  out += ",\"last_interval\":";
+  if (intervals_recorded > 0) {
+    last.AppendJson(&out);
+  } else {
+    out += "null";
+  }
+  out += ",\"intervals_recorded\":" + std::to_string(intervals_recorded);
+  out += ",\"intervals_dropped\":" + std::to_string(intervals_dropped);
+  out += "}";
+  return out;
+}
+
+void Server::StatsListenerLoop() {
+  while (!stats_stop_.load(std::memory_order_acquire)) {
+    pollfd pfd = {};
+    pfd.fd = stats_listen_fd_;
+    pfd.events = POLLIN;
+    int rc = poll(&pfd, 1, 100);
+    if (rc <= 0) continue;
+    int fd = accept4(stats_listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    timeval tv = {};
+    tv.tv_sec = 1;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    // Whatever request line the scraper sent is irrelevant: every path
+    // serves the exposition text.
+    char sink[1024];
+    ssize_t ignored = recv(fd, sink, sizeof(sink), 0);
+    (void)ignored;
+    std::string body;
+    obs::AppendPrometheusText(MergedSnapshot(), "cbtree_", &body);
+    char header[160];
+    const int header_len = std::snprintf(
+        header, sizeof(header),
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n"
+        "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+        body.size());
+    std::string reply(header, static_cast<size_t>(header_len));
+    reply += body;
+    size_t sent = 0;
+    while (sent < reply.size()) {
+      ssize_t n = send(fd, reply.data() + sent, reply.size() - sent,
+                       MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<size_t>(n);
+    }
+    close(fd);
+  }
 }
 
 void Server::TraceConn(obs::TraceEventKind kind, uint64_t conn_id) {
@@ -367,6 +781,16 @@ void Server::EventLoop(Loop* loop) {
   bool deadline_set = false;
   Clock::time_point drain_deadline;
   epoll_event events[64];
+#if CBTREE_OBS_ENABLED
+  // Loop 0 doubles as the stats ticker: it shortens its epoll timeout to
+  // the next tick and samples the merged registry on schedule. Missed ticks
+  // (a long epoll batch) re-anchor instead of bursting.
+  const bool ticker = loop->index == 0 && options_.stats_interval_s > 0;
+  const auto tick_period = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(
+          ticker ? options_.stats_interval_s : 1.0));
+  Clock::time_point next_tick = Clock::now() + tick_period;
+#endif
   for (;;) {
     const bool draining = draining_.load(std::memory_order_acquire);
     if (draining) {
@@ -383,11 +807,31 @@ void Server::EventLoop(Loop* loop) {
       }
       if (LoopIdle(loop) || Clock::now() >= drain_deadline) break;
     }
-    int n = epoll_wait(loop->epoll_fd, events, 64, draining ? 10 : 200);
+    int timeout_ms = draining ? 10 : 200;
+#if CBTREE_OBS_ENABLED
+    if (ticker) {
+      auto until_tick = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            next_tick - Clock::now())
+                            .count();
+      if (until_tick < 0) until_tick = 0;
+      if (until_tick < timeout_ms) timeout_ms = static_cast<int>(until_tick);
+    }
+#endif
+    int n = epoll_wait(loop->epoll_fd, events, 64, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
+#if CBTREE_OBS_ENABLED
+    if (ticker) {
+      Clock::time_point now = Clock::now();
+      if (now >= next_tick) {
+        RecordStatsTick();
+        next_tick += tick_period;
+        if (next_tick <= now) next_tick = now + tick_period;
+      }
+    }
+#endif
     for (int i = 0; i < n; ++i) {
       int fd = events[i].data.fd;
       if (fd == loop->listen_fd) {
@@ -587,6 +1031,14 @@ bool Server::DrainReadBuffer(const std::shared_ptr<Conn>& conn) {
       return false;
     }
     conn->read_pos += consumed;
+    if (request.op == OpCode::kStats) {
+      // Admin plane: answered inline on the event loop, out of band from
+      // the data path. The pending batch flushes first so responses keep
+      // the connection's request order.
+      FlushBatch(conn, &batch);
+      HandleStatsRequest(conn, request);
+      continue;
+    }
     Admit(conn, request, &batch);
   }
   FlushBatch(conn, &batch);
@@ -640,7 +1092,34 @@ void Server::Admit(const std::shared_ptr<Conn>& conn, const Request& request,
     FlushBatch(conn, batch);
   }
   batch->shard = shard;
-  batch->requests.push_back(request);
+  AdmittedRequest admitted;
+  admitted.req = request;
+#if CBTREE_OBS_ENABLED
+  admitted.admit_ns = ElapsedNs(start_time_);
+  admitted.sampled =
+      options_.trace_sample > 0 && options_.trace != nullptr &&
+      trace_sample_seq_.fetch_add(1, std::memory_order_relaxed) %
+              options_.trace_sample ==
+          0;
+#endif
+  batch->requests.push_back(admitted);
+}
+
+void Server::HandleStatsRequest(const std::shared_ptr<Conn>& conn,
+                                const Request& request) {
+  // Deliberately NOT in requests_received_: the functional invariant
+  // requests == completed + rejected + shutdown_rejected covers the data
+  // path only, and a stats probe must not perturb it.
+  stats_requests_.fetch_add(1, std::memory_order_relaxed);
+  conn->loop->stats_requests.fetch_add(1, std::memory_order_relaxed);
+  Response response;
+  response.status = Status::kStats;
+  response.id = request.id;
+  response.body = BuildStatsBody(
+      request.key == static_cast<Key>(StatsFormat::kTable)
+          ? StatsFormat::kTable
+          : StatsFormat::kJson);
+  SendResponse(conn, response);
 }
 
 void Server::FlushBatch(const std::shared_ptr<Conn>& conn, Batch* batch) {
@@ -654,28 +1133,38 @@ void Server::FlushBatch(const std::shared_ptr<Conn>& conn, Batch* batch) {
                                      std::memory_order_relaxed);
     obs_batched_requests_.Add(batch->requests.size());
   }
-  Clock::time_point admitted = Clock::now();
+  shard.in_flight.fetch_add(batch->requests.size(),
+                            std::memory_order_relaxed);
+  const uint64_t enqueue_ns = ElapsedNs(start_time_);
   // The future is intentionally dropped; completion is observed through
   // in_flight_ and the write buffers.
   shard.pool->Submit([this, conn, shard_index,
                       requests = std::move(batch->requests),
-                      admitted]() mutable {
-    ExecuteBatch(std::move(conn), shard_index, std::move(requests), admitted);
+                      enqueue_ns]() mutable {
+    ExecuteBatch(std::move(conn), shard_index, std::move(requests),
+                 enqueue_ns);
   });
   batch->requests.clear();
   batch->shard = -1;
 }
 
 void Server::ExecuteBatch(std::shared_ptr<Conn> conn, int shard_index,
-                          std::vector<Request> requests,
-                          Clock::time_point admitted) {
+                          std::vector<AdmittedRequest> requests,
+                          uint64_t enqueue_ns) {
   Shard& shard = *shards_[static_cast<size_t>(shard_index)];
   ConcurrentBTree* tree = shard.tree.get();
   std::vector<Response> responses;
   responses.reserve(requests.size());
-  for (const Request& request : requests) {
+#if CBTREE_OBS_ENABLED
+  StageTimers& stage = obs_stage_[static_cast<size_t>(shard_index)];
+  const uint64_t dequeue_ns = ElapsedNs(start_time_);
+  FlushSpan span;
+  span.requests.reserve(requests.size());
+#endif
+  for (const AdmittedRequest& admitted : requests) {
+    const Request& request = admitted.req;
     if (options_.worker_delay_hook) options_.worker_delay_hook(request);
-    Clock::time_point op_start = Clock::now();
+    const uint64_t tree_start_ns = ElapsedNs(start_time_);
     Response response;
     response.id = request.id;
     switch (request.op) {
@@ -698,21 +1187,56 @@ void Server::ExecuteBatch(std::shared_ptr<Conn> conn, int shard_index,
         response.status = tree->Delete(request.key) ? Status::kDeleted
                                                     : Status::kDeleteMiss;
         break;
+      case OpCode::kStats:
+        // Unreachable: kStats is answered inline by the event loop and
+        // never admitted into a batch.
+        response.status = Status::kBadFrame;
+        break;
     }
-    obs_service_ns_.RecordNs(ElapsedNs(op_start));
+    const uint64_t tree_end_ns = ElapsedNs(start_time_);
+    obs_service_ns_.RecordNs(tree_end_ns - tree_start_ns);
+#if CBTREE_OBS_ENABLED
+    // Shared stamps telescope: admit + queue + batch + tree + buffer +
+    // flush == total per request, in exact integer nanoseconds.
+    stage.admit.RecordNs(enqueue_ns - admitted.admit_ns);
+    stage.queue.RecordNs(dequeue_ns - enqueue_ns);
+    stage.batch.RecordNs(tree_start_ns - dequeue_ns);
+    stage.tree.RecordNs(tree_end_ns - tree_start_ns);
+    FlushSpanRequest meta;
+    meta.id = request.id;
+    meta.op = request.op;
+    meta.shard = shard_index;
+    meta.sampled = admitted.sampled;
+    meta.admit_ns = admitted.admit_ns;
+    meta.enqueue_ns = enqueue_ns;
+    meta.dequeue_ns = dequeue_ns;
+    meta.tree_start_ns = tree_start_ns;
+    meta.tree_end_ns = tree_end_ns;
+    span.requests.push_back(meta);
+#endif
     responses.push_back(response);
   }
-  // One buffer lock for the whole batch: the single-tree-pass analogue on
-  // the write side.
-  SendResponses(conn, responses.data(), responses.size());
-  uint64_t request_ns = ElapsedNs(admitted);
+  // Count completions BEFORE buffering the responses: the increments then
+  // happen-before any client can have received a reply, so a kStats probe
+  // sent after a response reads counters that already include it
+  // (read-your-writes for the admin plane).
   shard.executed.fetch_add(requests.size(), std::memory_order_relaxed);
   completed_.fetch_add(requests.size(), std::memory_order_relaxed);
-  for (const Request& request : requests) {
+  // One buffer lock for the whole batch: the single-tree-pass analogue on
+  // the write side.
+#if CBTREE_OBS_ENABLED
+  SendResponses(conn, responses.data(), responses.size(),
+                /*close_after=*/false, &span);
+#else
+  SendResponses(conn, responses.data(), responses.size());
+#endif
+  const uint64_t request_ns = ElapsedNs(start_time_) - enqueue_ns;
+  for (const AdmittedRequest& admitted : requests) {
     obs_request_ns_.RecordNs(request_ns);
-    TraceRequest(obs::TraceEventKind::kOpComplete, request,
+    TraceRequest(obs::TraceEventKind::kOpComplete, admitted.req,
                  static_cast<double>(request_ns) * 1e-9);
   }
+  shard.in_flight.fetch_sub(requests.size(), std::memory_order_relaxed);
   // Last: the loops treat in_flight_ == 0 (plus empty buffers) as fully
   // drained, so the responses must already be appended.
   in_flight_.fetch_sub(requests.size(), std::memory_order_release);
@@ -720,14 +1244,42 @@ void Server::ExecuteBatch(std::shared_ptr<Conn> conn, int shard_index,
 
 void Server::SendResponses(const std::shared_ptr<Conn>& conn,
                            const Response* responses, size_t count,
-                           bool close_after) {
+                           bool close_after, FlushSpan* span) {
   bool handoff = false;
   Conn* c = conn.get();
   {
     MutexLock guard(&c->mu);
     if (c->closed || c->write_error) return;
+    const size_t before = c->write_buffer.size();
     for (size_t i = 0; i < count; ++i) {
       AppendResponse(responses[i], &c->write_buffer);
+    }
+    c->appended_total += c->write_buffer.size() - before;
+#if CBTREE_OBS_ENABLED
+    if (span != nullptr) {
+      const uint64_t buffered_ns = ElapsedNs(start_time_);
+      for (FlushSpanRequest& meta : span->requests) {
+        meta.buffered_ns = buffered_ns;
+        obs_stage_[static_cast<size_t>(meta.shard)].buffer.RecordNs(
+            buffered_ns - meta.tree_end_ns);
+      }
+      span->end_offset = c->appended_total;
+      c->flush_spans.push_back(std::move(*span));
+    }
+#else
+    (void)span;
+#endif
+    // The peak backlog is right after the append, before the flush attempt
+    // below shrinks it.
+    const size_t backlog = c->unflushed();
+    if (backlog > c->write_buffer_hwm) {
+      c->write_buffer_hwm = backlog;
+      size_t loop_hwm =
+          c->loop->write_buffer_hwm.load(std::memory_order_relaxed);
+      while (backlog > loop_hwm &&
+             !c->loop->write_buffer_hwm.compare_exchange_weak(
+                 loop_hwm, backlog, std::memory_order_relaxed)) {
+      }
     }
     if (close_after) c->close_after_flush = true;
     if (!FlushLocked(c)) {
@@ -737,6 +1289,7 @@ void Server::SendResponses(const std::shared_ptr<Conn>& conn,
         c->write_error = true;
         c->slow_consumer = true;
         slow_consumer_drops_.fetch_add(1, std::memory_order_relaxed);
+        c->loop->slow_consumer_drops.fetch_add(1, std::memory_order_relaxed);
       }
       handoff = true;  // owning loop arms EPOLLOUT (or closes)
     } else if (c->close_after_flush) {
@@ -754,20 +1307,89 @@ bool Server::FlushLocked(Conn* conn) CBTREE_REQUIRES(conn->mu) {
                      conn->unflushed(), MSG_NOSIGNAL);
     if (n > 0) {
       conn->write_pos += static_cast<size_t>(n);
+      conn->flushed_total += static_cast<uint64_t>(n);
       bytes_out_.fetch_add(static_cast<uint64_t>(n),
                            std::memory_order_relaxed);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      CompleteFlushedSpansLocked(conn);
+      return true;
+    }
     conn->write_error = true;  // EPIPE/ECONNRESET/...: reap via handoff
+    CompleteFlushedSpansLocked(conn);  // spans already on the wire complete
     return false;
   }
   if (conn->write_pos > 0) {
     conn->write_buffer.clear();
     conn->write_pos = 0;
   }
+  CompleteFlushedSpansLocked(conn);
   return true;
+}
+
+// Annotated on the definition, like FlushLocked.
+void Server::CompleteFlushedSpansLocked(Conn* conn)
+    CBTREE_REQUIRES(conn->mu) {
+#if CBTREE_OBS_ENABLED
+  if (conn->flush_spans.empty() ||
+      conn->flush_spans.front().end_offset > conn->flushed_total) {
+    return;
+  }
+  // One stamp covers every span completed by this flush; requests a
+  // connection drops before flushing never record flush/total (so
+  // stage.flush.count == stage.total.count <= the other stages' counts).
+  const uint64_t flushed_ns = ElapsedNs(start_time_);
+  while (!conn->flush_spans.empty() &&
+         conn->flush_spans.front().end_offset <= conn->flushed_total) {
+    const FlushSpan& span = conn->flush_spans.front();
+    for (const FlushSpanRequest& meta : span.requests) {
+      StageTimers& stage = obs_stage_[static_cast<size_t>(meta.shard)];
+      stage.flush.RecordNs(flushed_ns - meta.buffered_ns);
+      stage.total.RecordNs(flushed_ns - meta.admit_ns);
+      if (meta.sampled) EmitStageWaterfall(meta, flushed_ns);
+    }
+    conn->flush_spans.pop_front();
+  }
+#else
+  (void)conn;
+#endif
+}
+
+void Server::EmitStageWaterfall(const FlushSpanRequest& span,
+                                uint64_t flushed_ns) {
+  if (options_.trace == nullptr) return;
+  struct StageEdge {
+    const char* name;
+    uint64_t begin_ns;
+    uint64_t end_ns;
+  };
+  const StageEdge stages[] = {
+      {"admit", span.admit_ns, span.enqueue_ns},
+      {"queue", span.enqueue_ns, span.dequeue_ns},
+      {"batch", span.dequeue_ns, span.tree_start_ns},
+      {"tree", span.tree_start_ns, span.tree_end_ns},
+      {"buffer", span.tree_end_ns, span.buffered_ns},
+      {"flush", span.buffered_ns, flushed_ns},
+  };
+  for (const StageEdge& edge : stages) {
+    obs::TraceEvent begin;
+    begin.time = static_cast<double>(edge.begin_ns) * 1e-9;
+    begin.kind = obs::TraceEventKind::kStageBegin;
+    begin.id = span.id;
+    begin.what = edge.name;
+    begin.level = span.shard;
+    options_.trace->Record(begin);
+    obs::TraceEvent end;
+    end.time = static_cast<double>(edge.end_ns) * 1e-9;
+    end.kind = obs::TraceEventKind::kStageEnd;
+    end.id = span.id;
+    end.what = edge.name;
+    end.level = span.shard;
+    end.value = static_cast<double>(edge.end_ns - edge.begin_ns) * 1e-9;
+    options_.trace->Record(end);
+  }
 }
 
 void Server::RequestWriteInterest(const std::shared_ptr<Conn>& conn) {

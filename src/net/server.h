@@ -40,6 +40,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <memory>
@@ -54,6 +55,7 @@
 #include "ctree/ctree.h"
 #include "net/protocol.h"
 #include "obs/registry.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "runner/thread_pool.h"
 
@@ -101,6 +103,26 @@ struct ServerOptions {
   /// open/close) go here when non-null; must be thread-safe and outlive the
   /// server.
   obs::TraceSink* trace = nullptr;
+  /// Periodic stats snapshots: every `stats_interval_s` seconds loop 0
+  /// samples the merged registry, diffs it against the previous sample, and
+  /// retains the interval in a ring of `stats_ring` entries (live queries
+  /// via kStats / history()). 0 disables the ticker. No-op when the build
+  /// disables observability (CBTREE_OBS=OFF).
+  double stats_interval_s = 0.0;
+  size_t stats_ring = 64;
+  /// When non-empty, every interval snapshot is appended to this file as
+  /// one JSON line (a JSONL time series), including the final post-drain
+  /// interval written by Shutdown().
+  std::string stats_file;
+  /// Prometheus-style plain-text exposition on a dedicated listener:
+  /// -1 = off, 0 = ephemeral port (read it back from stats_port()).
+  /// Served out-of-band from the data path. Requires CBTREE_OBS.
+  int stats_port = -1;
+  /// Full-span stage sampling: every Nth admitted request emits
+  /// stage_begin/stage_end trace spans (admit/queue/tree/buffer/flush,
+  /// keyed by request id) to `trace`, rendering as a per-request waterfall.
+  /// 0 = off.
+  uint64_t trace_sample = 0;
   /// Test-only: run in the worker before each tree operation (e.g. a sleep
   /// to saturate the admission budget deterministically).
   std::function<void(const Request&)> worker_delay_hook;
@@ -118,6 +140,9 @@ struct ShardServerStats {
 struct LoopServerStats {
   uint64_t connections_accepted = 0;
   uint64_t requests_received = 0;
+  uint64_t stats_requests = 0;       ///< kStats admin frames answered here
+  uint64_t slow_consumer_drops = 0;  ///< slow-consumer conns owned by this loop
+  size_t write_buffer_hwm = 0;  ///< max unflushed bytes on any conn here
 };
 
 /// Functional accounting (plain atomics, alive even with CBTREE_OBS=OFF).
@@ -134,6 +159,10 @@ struct ServerStats {
   uint64_t shutdown_rejected = 0;
   uint64_t bad_frames = 0;
   uint64_t slow_consumer_drops = 0;
+  /// kStats admin frames answered; out-of-band, NOT in requests_received.
+  uint64_t stats_requests = 0;
+  /// Max unflushed response bytes observed on any single connection.
+  size_t write_buffer_hwm = 0;
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
   uint64_t batches = 0;           ///< sum of ShardServerStats::batches
@@ -184,18 +213,84 @@ class Server {
   void CheckAllInvariants() const;
 
   /// Server-side metrics registry (request/service timers, op counters,
-  /// per-shard batch counters).
+  /// per-shard batch counters, per-shard stage histograms).
   const obs::Registry& metrics() const { return obs_; }
+
+  /// One merged cumulative snapshot of everything the server knows: the
+  /// metrics registry, the functional atomics (injected as "srv.*" counters
+  /// and gauges so they are present even under CBTREE_OBS=OFF), per-shard
+  /// tree sizes/in-flight, and per-level latch-wait telemetry folded across
+  /// shards ("latch.L<n>.*"). This one view feeds the stats ticker, the
+  /// kStats admin frame, the Prometheus listener, and the final snapshot,
+  /// so they can never disagree.
+  obs::Snapshot MergedSnapshot() const;
+
+  /// Recorded interval snapshots, oldest first (empty when the ticker is
+  /// off). The final interval is recorded by Shutdown() after the drain, so
+  /// post-shutdown the interval deltas sum exactly to the final cumulative
+  /// totals.
+  std::vector<obs::IntervalSnapshot> history() const;
+
+  /// Renders the body of a kStats reply (also used by `cbtree stat`'s
+  /// in-process tests).
+  std::string BuildStatsBody(StatsFormat format) const;
+
+  /// Port of the Prometheus text listener (valid after Start when
+  /// options.stats_port >= 0 and the build has observability; -1 otherwise).
+  int stats_port() const { return stats_port_actual_; }
 
  private:
   struct Conn;
   struct Loop;
   struct Shard;
 
+  /// One admitted request plus its stage-timing identity. All timestamps
+  /// are nanoseconds since start_time_ (0 when stage timing is compiled
+  /// out).
+  struct AdmittedRequest {
+    Request req;
+    uint64_t admit_ns = 0;
+    bool sampled = false;  ///< emit a stage waterfall for this request
+  };
+
   /// Adjacent same-shard admitted requests awaiting one worker submission.
   struct Batch {
     int shard = -1;
-    std::vector<Request> requests;
+    std::vector<AdmittedRequest> requests;
+  };
+
+  /// Stage metadata for responses appended to a connection's write buffer,
+  /// completed (flush/total timers, sampled waterfalls) once the buffer has
+  /// flushed past `end_offset`.
+  struct FlushSpanRequest {
+    uint64_t id = 0;
+    OpCode op = OpCode::kSearch;
+    int shard = 0;
+    bool sampled = false;
+    uint64_t admit_ns = 0;
+    uint64_t enqueue_ns = 0;
+    uint64_t dequeue_ns = 0;
+    uint64_t tree_start_ns = 0;
+    uint64_t tree_end_ns = 0;
+    uint64_t buffered_ns = 0;
+  };
+  struct FlushSpan {
+    uint64_t end_offset = 0;  ///< conn->appended_total after the append
+    std::vector<FlushSpanRequest> requests;
+  };
+
+  /// Per-shard stage timers (log2-ns histograms). The six stages plus the
+  /// end-to-end total are recorded from shared timestamps, so per request
+  /// admit + queue + batch + tree + buffer + flush == total in exact
+  /// integer ns (the telescoping identity tests/net_stats_test.cc checks).
+  struct StageTimers {
+    obs::Timer admit;   ///< admission -> batch submitted to the shard pool
+    obs::Timer queue;   ///< submitted -> a shard worker dequeues the batch
+    obs::Timer batch;   ///< dequeued -> this request's own tree pass starts
+    obs::Timer tree;    ///< the tree operation itself
+    obs::Timer buffer;  ///< tree done -> response bytes buffered
+    obs::Timer flush;   ///< buffered -> last byte handed to the kernel
+    obs::Timer total;   ///< admission -> flushed
   };
 
   bool StartListeners(std::string* error);
@@ -214,17 +309,24 @@ class Server {
   /// batch is full).
   void Admit(const std::shared_ptr<Conn>& conn, const Request& request,
              Batch* batch);
+  /// Answers a kStats admin frame inline on the event loop: never enters
+  /// the admission budget or a shard pool, and is counted in
+  /// stats_requests_, not requests_received_.
+  void HandleStatsRequest(const std::shared_ptr<Conn>& conn,
+                          const Request& request);
   /// Submits the pending batch (if any) to its shard's worker pool.
   void FlushBatch(const std::shared_ptr<Conn>& conn, Batch* batch);
   void ExecuteBatch(std::shared_ptr<Conn> conn, int shard_index,
-                    std::vector<Request> requests,
-                    std::chrono::steady_clock::time_point admitted);
+                    std::vector<AdmittedRequest> requests,
+                    uint64_t enqueue_ns);
   /// Appends (and opportunistically flushes) responses under one buffer
   /// lock; safe from any thread. `close_after` poisons the connection once
-  /// the buffer drains.
+  /// the buffer drains. `span` (optional) carries the stage metadata of
+  /// these responses; it is stamped `buffered` under the lock and queued
+  /// for completion when the bytes flush.
   void SendResponses(const std::shared_ptr<Conn>& conn,
                      const Response* responses, size_t count,
-                     bool close_after = false);
+                     bool close_after = false, FlushSpan* span = nullptr);
   void SendResponse(const std::shared_ptr<Conn>& conn,
                     const Response& response, bool close_after = false) {
     SendResponses(conn, &response, 1, close_after);
@@ -236,6 +338,18 @@ class Server {
   void TraceConn(obs::TraceEventKind kind, uint64_t conn_id);
   void TraceRequest(obs::TraceEventKind kind, const Request& request,
                     double seconds);
+  /// Records flush/total stage timers (and emits sampled waterfalls) for
+  /// every span whose bytes have fully reached the kernel; must hold
+  /// conn->mu (annotated on the definition).
+  void CompleteFlushedSpansLocked(Conn* conn);
+  /// Emits the five stage_begin/stage_end span pairs of one sampled
+  /// request.
+  void EmitStageWaterfall(const FlushSpanRequest& span, uint64_t flushed_ns);
+  /// Loop 0's periodic sampler: records one interval into the ring and
+  /// appends it to the stats file.
+  void RecordStatsTick();
+  /// Dedicated Prometheus plain-text listener (own thread + socket).
+  void StatsListenerLoop();
   /// True when no request is in flight anywhere and this loop's own
   /// connections have nothing left to flush.
   bool LoopIdle(Loop* loop);
@@ -266,8 +380,10 @@ class Server {
   std::atomic<uint64_t> shutdown_rejected_{0};
   std::atomic<uint64_t> bad_frames_{0};
   std::atomic<uint64_t> slow_consumer_drops_{0};
+  std::atomic<uint64_t> stats_requests_{0};
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> trace_sample_seq_{0};
 
   obs::Registry obs_;
   obs::Counter obs_requests_;
@@ -277,6 +393,18 @@ class Server {
   obs::Counter obs_batched_requests_;
   obs::Timer obs_service_ns_;  ///< tree operation only
   obs::Timer obs_request_ns_;  ///< admission to response append
+  std::vector<StageTimers> obs_stage_;  ///< per shard, index = shard id
+
+  // Periodic snapshots (ticker on loop 0; final interval from Shutdown).
+  std::unique_ptr<obs::SnapshotRing> stats_ring_;
+  std::FILE* stats_file_ = nullptr;
+  bool final_snapshot_done_ = false;  ///< under shutdown_mu_
+
+  // Prometheus text listener (own thread, out of band).
+  std::thread stats_thread_;
+  int stats_listen_fd_ = -1;
+  int stats_port_actual_ = -1;
+  std::atomic<bool> stats_stop_{false};
 };
 
 }  // namespace net

@@ -1,0 +1,85 @@
+#include "obs/expo.h"
+
+#include <cstdio>
+
+namespace cbtree {
+namespace obs {
+namespace {
+
+bool IsNameByte(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%llu",
+                static_cast<unsigned long long>(v));
+  out->append(buffer);
+}
+
+void AppendF64(double v, std::string* out) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+  out->append(buffer);
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name[0] >= '0' && name[0] <= '9') out.push_back('_');
+  for (char c : name) {
+    out.push_back(IsNameByte(c) ? c : '_');
+  }
+  return out;
+}
+
+void AppendPrometheusText(const Snapshot& snapshot, const std::string& prefix,
+                          std::string* out) {
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = prefix + PrometheusName(name) + "_total";
+    out->append("# TYPE ").append(metric).append(" counter\n");
+    out->append(metric).push_back(' ');
+    AppendU64(value, out);
+    out->push_back('\n');
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = prefix + PrometheusName(name);
+    out->append("# TYPE ").append(metric).append(" gauge\n");
+    out->append(metric).push_back(' ');
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+    out->append(buffer);
+    out->push_back('\n');
+  }
+  for (const auto& [name, timer] : snapshot.timers) {
+    // Timers expose the summary shape: _count / _sum (in seconds, per
+    // Prometheus base-unit convention) plus approximate quantile gauges.
+    const std::string metric = prefix + PrometheusName(name);
+    out->append("# TYPE ").append(metric).append(" summary\n");
+    out->append(metric).append("_count ");
+    AppendU64(timer.count, out);
+    out->push_back('\n');
+    out->append(metric).append("_sum ");
+    AppendF64(static_cast<double>(timer.total_ns) * 1e-9, out);
+    out->push_back('\n');
+    static constexpr struct {
+      const char* label;
+      double q;
+    } kQuantiles[] = {{"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}};
+    for (const auto& [label, q] : kQuantiles) {
+      out->append(metric).append("{quantile=\"").append(label).append("\"} ");
+      AppendF64(timer.quantile_ns(q) * 1e-9, out);
+      out->push_back('\n');
+    }
+    out->append(metric).append("_max ");
+    AppendF64(static_cast<double>(timer.max_ns) * 1e-9, out);
+    out->push_back('\n');
+  }
+}
+
+}  // namespace obs
+}  // namespace cbtree

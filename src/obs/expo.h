@@ -1,0 +1,38 @@
+// Prometheus-style plain-text exposition of a registry Snapshot.
+//
+// Renders the cumulative snapshot in the text format scrapers expect:
+// counters as `<name>_total`, gauges as plain gauges, timers as a
+// `_count`/`_sum_seconds` pair plus per-quantile gauges (log2-histogram
+// quantiles are approximate; the exactly-reconciling numbers live in the
+// kStats JSON body and the JSONL time series). Metric names sanitize '.'
+// and any other non-[a-zA-Z0-9_] byte to '_' per the exposition charset.
+//
+// `cbtree serve --stats_port=P` serves exactly this text over a minimal
+// HTTP/1.0 responder, so a stock Prometheus scrape job can point at a live
+// server with no sidecar.
+
+#ifndef CBTREE_OBS_EXPO_H_
+#define CBTREE_OBS_EXPO_H_
+
+#include <string>
+
+#include "obs/registry.h"
+
+namespace cbtree {
+namespace obs {
+
+/// Sanitizes one metric name for the exposition format: [a-zA-Z0-9_] pass
+/// through, every other byte becomes '_', and a leading digit gains a '_'
+/// prefix.
+std::string PrometheusName(const std::string& name);
+
+/// Appends the whole snapshot in exposition text format, each sample
+/// `name{labels} value` on its own line. `prefix` is prepended to every
+/// metric name (e.g. "cbtree_").
+void AppendPrometheusText(const Snapshot& snapshot, const std::string& prefix,
+                          std::string* out);
+
+}  // namespace obs
+}  // namespace cbtree
+
+#endif  // CBTREE_OBS_EXPO_H_

@@ -1,0 +1,107 @@
+#include "obs/snapshot.h"
+
+#include <cstdio>
+
+namespace cbtree {
+namespace obs {
+namespace {
+
+uint64_t ClampedSub(uint64_t cur, uint64_t prev) {
+  return cur >= prev ? cur - prev : 0;
+}
+
+TimerSnapshot SubtractTimer(const TimerSnapshot& cur,
+                            const TimerSnapshot& prev) {
+  TimerSnapshot out;
+  out.count = ClampedSub(cur.count, prev.count);
+  out.total_ns = ClampedSub(cur.total_ns, prev.total_ns);
+  // A cumulative high-water mark has no meaningful interval difference;
+  // carry the current value so quantile_ns stays bounded by it.
+  out.max_ns = cur.max_ns;
+  out.buckets.resize(cur.buckets.size(), 0);
+  for (size_t b = 0; b < cur.buckets.size(); ++b) {
+    uint64_t prev_b = b < prev.buckets.size() ? prev.buckets[b] : 0;
+    out.buckets[b] = ClampedSub(cur.buckets[b], prev_b);
+  }
+  return out;
+}
+
+}  // namespace
+
+Snapshot Subtract(const Snapshot& cur, const Snapshot& prev) {
+  Snapshot out;
+  for (const auto& [name, value] : cur.counters) {
+    auto it = prev.counters.find(name);
+    out.counters[name] =
+        ClampedSub(value, it == prev.counters.end() ? 0 : it->second);
+  }
+  // Gauges are instantaneous readings, not accumulations: the interval
+  // value is simply the latest one.
+  out.gauges = cur.gauges;
+  for (const auto& [name, timer] : cur.timers) {
+    auto it = prev.timers.find(name);
+    out.timers[name] = it == prev.timers.end()
+                           ? timer
+                           : SubtractTimer(timer, it->second);
+  }
+  return out;
+}
+
+void IntervalSnapshot::AppendJson(std::string* out) const {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"seq\":%llu,\"t_begin_s\":%.6f,\"t_end_s\":%.6f,",
+                static_cast<unsigned long long>(seq), t_begin_s, t_end_s);
+  out->append(buffer);
+  out->append("\"delta\":");
+  delta.AppendJson(out);
+  out->append(",\"cumulative\":");
+  cumulative.AppendJson(out);
+  out->push_back('}');
+}
+
+SnapshotRing::SnapshotRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+IntervalSnapshot SnapshotRing::Record(double now_s,
+                                      const Snapshot& cumulative) {
+  MutexLock lock(&mu_);
+  IntervalSnapshot interval;
+  interval.seq = recorded_;
+  interval.t_begin_s = prev_t_s_;
+  interval.t_end_s = now_s;
+  interval.delta = Subtract(cumulative, prev_);
+  interval.cumulative = cumulative;
+  prev_ = cumulative;
+  prev_t_s_ = now_s;
+  ++recorded_;
+  ring_.push_back(interval);
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  return interval;
+}
+
+std::vector<IntervalSnapshot> SnapshotRing::History() const {
+  MutexLock lock(&mu_);
+  return std::vector<IntervalSnapshot>(ring_.begin(), ring_.end());
+}
+
+IntervalSnapshot SnapshotRing::last() const {
+  MutexLock lock(&mu_);
+  return ring_.empty() ? IntervalSnapshot() : ring_.back();
+}
+
+uint64_t SnapshotRing::recorded() const {
+  MutexLock lock(&mu_);
+  return recorded_;
+}
+
+uint64_t SnapshotRing::dropped() const {
+  MutexLock lock(&mu_);
+  return dropped_;
+}
+
+}  // namespace obs
+}  // namespace cbtree

@@ -1,0 +1,93 @@
+// Snapshot diffing and retention: turns cumulative Registry snapshots into
+// monotonic interval deltas and keeps a bounded ring of them for live
+// queries.
+//
+// The serving stack samples its merged registry every --stats_interval and
+// records the sample here; SnapshotRing::Record computes the delta against
+// the previous sample, so each IntervalSnapshot says what happened *within*
+// the interval (throughput, per-stage latency mass, rejects) while also
+// carrying the cumulative totals at its end. Because every delta is the
+// exact difference of two cumulative reads of monotone counters, interval
+// sums telescope: summing any contiguous run of deltas reproduces the
+// difference of the bracketing cumulative snapshots bit-exactly — the
+// reconciliation property tests/net_stats_test.cc and
+// tools/check_live_stats.py verify end to end.
+
+#ifndef CBTREE_OBS_SNAPSHOT_H_
+#define CBTREE_OBS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+#include "obs/registry.h"
+
+namespace cbtree {
+namespace obs {
+
+/// Per-name difference `cur - prev` of two cumulative snapshots.
+///
+/// Counters and timer count/total/buckets subtract (clamped at zero, so a
+/// name that vanished or a racy non-quiescent read can never produce a
+/// wrapped delta); gauges are instantaneous values and keep `cur`; a timer's
+/// max_ns keeps `cur`'s value (a cumulative high-water mark cannot be
+/// diffed). Names only in `cur` pass through; names only in `prev` are
+/// dropped.
+Snapshot Subtract(const Snapshot& cur, const Snapshot& prev);
+
+/// One stats interval: activity within (t_begin_s, t_end_s] plus the
+/// cumulative totals at its end.
+struct IntervalSnapshot {
+  uint64_t seq = 0;        ///< 0-based interval index since server start
+  double t_begin_s = 0.0;  ///< interval start, seconds since server start
+  double t_end_s = 0.0;    ///< interval end, seconds since server start
+  Snapshot delta;          ///< what happened within the interval
+  Snapshot cumulative;     ///< totals as of t_end_s
+
+  /// Appends the interval as one JSON object (one JSONL time-series line):
+  /// {"seq":..,"t_begin_s":..,"t_end_s":..,"delta":{..},"cumulative":{..}}.
+  void AppendJson(std::string* out) const;
+};
+
+/// Bounded, thread-safe retention of the most recent intervals.
+///
+/// Record() is called from one sampling thread but History()/last() may be
+/// called from any thread (the admin/stats plane), hence the lock — this is
+/// control-plane state sampled a few times a second, not a data-path
+/// structure.
+class SnapshotRing {
+ public:
+  explicit SnapshotRing(size_t capacity);
+
+  /// Records a cumulative sample taken at `now_s` (seconds since server
+  /// start), computing the delta against the previous sample (or against
+  /// zero for the first). Returns the interval it recorded.
+  IntervalSnapshot Record(double now_s, const Snapshot& cumulative);
+
+  /// Most recent intervals, oldest first (up to `capacity`).
+  std::vector<IntervalSnapshot> History() const;
+
+  /// The last recorded interval; a default (seq 0, empty) if none yet.
+  IntervalSnapshot last() const;
+
+  /// Number of intervals ever recorded / evicted from the ring.
+  uint64_t recorded() const;
+  uint64_t dropped() const;
+
+ private:
+  const size_t capacity_;
+  mutable Mutex mu_;
+  std::deque<IntervalSnapshot> ring_ CBTREE_GUARDED_BY(mu_);
+  Snapshot prev_ CBTREE_GUARDED_BY(mu_);
+  double prev_t_s_ CBTREE_GUARDED_BY(mu_) = 0.0;
+  uint64_t recorded_ CBTREE_GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ CBTREE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace obs
+}  // namespace cbtree
+
+#endif  // CBTREE_OBS_SNAPSHOT_H_

@@ -37,6 +37,10 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "conn_open";
     case TraceEventKind::kConnClose:
       return "conn_close";
+    case TraceEventKind::kStageBegin:
+      return "stage_begin";
+    case TraceEventKind::kStageEnd:
+      return "stage_end";
   }
   return "unknown";
 }
@@ -95,6 +99,23 @@ void ChromeTraceSink::Record(const TraceEvent& event) {
                     "\"args\":{\"response\":%.6g,\"measured\":%s}}",
                     event.id, event.what, ts, event.value,
                     event.measured ? "true" : "false");
+      break;
+    // Stage spans nest inside the request's own async track ("cat":"stage",
+    // same id as the op span), so one sampled request renders as a
+    // waterfall of admit/queue/tree/buffer/flush under its op span.
+    case TraceEventKind::kStageBegin:
+      std::snprintf(line, sizeof(line),
+                    "{\"ph\":\"b\",\"cat\":\"stage\",\"id\":%" PRIu64
+                    ",\"name\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":1,"
+                    "\"args\":{\"shard\":%d}}",
+                    event.id, event.what, ts, event.level);
+      break;
+    case TraceEventKind::kStageEnd:
+      std::snprintf(line, sizeof(line),
+                    "{\"ph\":\"e\",\"cat\":\"stage\",\"id\":%" PRIu64
+                    ",\"name\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":1,"
+                    "\"args\":{\"duration\":%.6g}}",
+                    event.id, event.what, ts, event.value);
       break;
     default:
       std::snprintf(line, sizeof(line),

@@ -40,6 +40,12 @@ enum class TraceEventKind {
   kReject,     ///< request shed by backpressure or a draining server
   kConnOpen,   ///< connection accepted
   kConnClose,  ///< connection closed (either side)
+  // Request-stage sampling (serve --trace_sample): one begin/end pair per
+  // pipeline stage of a sampled request, keyed by request id so a trace
+  // viewer renders the request as a stage waterfall. `what` names the stage
+  // (admit/queue/tree/buffer/flush).
+  kStageBegin,
+  kStageEnd,
 };
 
 /// Stable wire name ("op_complete", "lock_acquire", ...).

@@ -295,6 +295,12 @@ void WriteSimPointJson(std::ostream& out, const SimRunInfo& info,
     json.push_back(']');
   }
   json.push_back('}');
+  for (const auto& [name, raw] : info.extra_raw_json) {
+    json.append(",\"");
+    json.append(name);
+    json.append("\":");
+    json.append(raw);
+  }
   if (include_timing) {
     AppendTiming(&json, info.jobs, info.wall_seconds, {point.seconds});
   }

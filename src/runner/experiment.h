@@ -178,6 +178,10 @@ struct SimRunInfo {
   /// emitted inside "stats" as JSON arrays: "name":[c0,c1,...]. Index order
   /// is the caller's (shard id for the driver).
   std::vector<std::pair<std::string, std::vector<uint64_t>>> extra_count_arrays;
+  /// Pre-rendered JSON values emitted as top-level "name":<value> fields
+  /// after "stats" (the caller guarantees each value is well-formed JSON) —
+  /// build provenance, an embedded server-side stats body, and the like.
+  std::vector<std::pair<std::string, std::string>> extra_raw_json;
 };
 
 /// A merged multi-seed point as JSON:

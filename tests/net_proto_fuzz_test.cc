@@ -50,9 +50,21 @@ std::string ValidRequestWire(Rng& rng) {
 
 std::string ValidResponseWire(Rng& rng) {
   Response response;
-  response.status = static_cast<Status>(1 + rng.NextBounded(9));
-  response.id = rng.Next();
-  response.value = static_cast<Value>(rng.Next());
+  // One in four responses is the variable-length kStats admin frame, so the
+  // mutation corpus covers hostile truncations/length rewrites of it too.
+  if (rng.NextBounded(4) == 0) {
+    response.status = Status::kStats;
+    response.id = rng.Next();
+    size_t body_size = rng.NextBounded(128);
+    response.body.reserve(body_size);
+    for (size_t i = 0; i < body_size; ++i) {
+      response.body.push_back(static_cast<char>(rng.Next()));
+    }
+  } else {
+    response.status = static_cast<Status>(1 + rng.NextBounded(9));
+    response.id = rng.Next();
+    response.value = static_cast<Value>(rng.Next());
+  }
   std::string wire;
   AppendResponse(response, &wire);
   return wire;
@@ -156,16 +168,49 @@ TEST(NetProtoFuzzTest, ResponseDecoderNeverOverreadsOrMisclassifies) {
     Response out;
     size_t consumed = 0;
     DecodeStatus status = DecodeResponseExact(wire, &out, &consumed);
+    // The declared payload, when the prefix is present: the decoder's own
+    // view of how long the frame claims to be.
+    uint64_t declared = 0;
+    if (wire.size() >= 4) {
+      for (int i = 0; i < 4; ++i) {
+        declared |= static_cast<uint64_t>(static_cast<uint8_t>(wire[i]))
+                    << (8 * i);
+      }
+    }
     switch (status) {
       case DecodeStatus::kOk:
         ++ok;
-        ASSERT_EQ(consumed, kResponseFrameSize);
         ASSERT_LE(consumed, wire.size());
         ASSERT_TRUE(IsValidStatus(static_cast<uint8_t>(out.status)));
+        if (out.status == Status::kStats) {
+          // The variable frame consumed exactly what its prefix declared,
+          // and the body length follows from it.
+          ASSERT_EQ(consumed, 4 + declared);
+          ASSERT_EQ(out.body.size(), declared - kStatsHeaderSize);
+          ASSERT_LE(declared, kMaxStatsPayload);
+        } else {
+          ASSERT_EQ(consumed, kResponseFrameSize);
+        }
         break;
       case DecodeStatus::kNeedMore:
         ++need_more;
-        ASSERT_LT(wire.size(), kResponseFrameSize);
+        // More bytes may only be requested for a strict prefix of a frame
+        // whose declared length is within protocol bounds — a hostile
+        // length never turns into a buffering demand.
+        if (wire.size() >= 5) {
+          ASSERT_GE(declared, kStatsHeaderSize);
+          ASSERT_LE(declared, kMaxStatsPayload);
+          if (static_cast<uint8_t>(wire[4]) ==
+              static_cast<uint8_t>(Status::kStats)) {
+            ASSERT_LT(wire.size(), 4 + declared);
+          } else {
+            ASSERT_EQ(declared, kResponsePayloadSize);
+            ASSERT_LT(wire.size(), kResponseFrameSize);
+          }
+        } else if (wire.size() == 4) {
+          ASSERT_GE(declared, kStatsHeaderSize);
+          ASSERT_LE(declared, kMaxStatsPayload);
+        }
         break;
       case DecodeStatus::kError:
         ++error;

@@ -22,7 +22,8 @@ const uint8_t* Bytes(const std::string& s) {
 }
 
 TEST(NetProtoTest, RequestRoundTripsEveryOpCode) {
-  const OpCode ops[] = {OpCode::kSearch, OpCode::kInsert, OpCode::kDelete};
+  const OpCode ops[] = {OpCode::kSearch, OpCode::kInsert, OpCode::kDelete,
+                        OpCode::kStats};
   for (OpCode op : ops) {
     Request in;
     in.op = op;
@@ -46,6 +47,8 @@ TEST(NetProtoTest, RequestRoundTripsEveryOpCode) {
 }
 
 TEST(NetProtoTest, ResponseRoundTripsEveryStatus) {
+  // Statuses 1..9 are the fixed-size frames; kStats (10) is the one
+  // variable-length frame and round-trips in StatsResponseRoundTrips below.
   for (uint8_t raw = 1; raw <= 9; ++raw) {
     ASSERT_TRUE(IsValidStatus(raw));
     Response in;
@@ -157,7 +160,7 @@ TEST(NetProtoTest, GarbageOpCodeIsAnError) {
   in.id = 1;
   std::string wire;
   AppendRequest(in, &wire);
-  for (int bad : {0, 4, 5, 0x7f, 0xff}) {
+  for (int bad : {0, 5, 6, 0x7f, 0xff}) {
     std::string corrupt = wire;
     corrupt[4] = static_cast<char>(bad);
     Request out;
@@ -174,7 +177,7 @@ TEST(NetProtoTest, GarbageStatusIsAnError) {
   in.id = 1;
   std::string wire;
   AppendResponse(in, &wire);
-  for (int bad : {0, 10, 0x80, 0xff}) {
+  for (int bad : {0, 11, 0x80, 0xff}) {
     std::string corrupt = wire;
     corrupt[4] = static_cast<char>(bad);
     Response out;
@@ -238,9 +241,99 @@ TEST(NetProtoTest, NamesAreStable) {
   EXPECT_STREQ(OpCodeName(OpCode::kSearch), "search");
   EXPECT_STREQ(OpCodeName(OpCode::kInsert), "insert");
   EXPECT_STREQ(OpCodeName(OpCode::kDelete), "delete");
+  EXPECT_STREQ(OpCodeName(OpCode::kStats), "stats");
   EXPECT_STREQ(StatusName(Status::kRejected), "rejected");
   EXPECT_STREQ(StatusName(Status::kShuttingDown), "shutting_down");
   EXPECT_STREQ(StatusName(Status::kBadFrame), "bad_frame");
+  EXPECT_STREQ(StatusName(Status::kStats), "stats");
+}
+
+TEST(NetProtoTest, StatsResponseRoundTrips) {
+  for (const std::string& body :
+       {std::string(), std::string("{\"uptime_s\":1.5}"),
+        std::string(4096, 'x'), std::string("embedded\0nul", 12)}) {
+    Response in;
+    in.status = Status::kStats;
+    in.id = 0xfeedfacecafebeefull;
+    in.body = body;
+    std::string wire;
+    AppendResponse(in, &wire);
+    ASSERT_EQ(wire.size(), 4 + kStatsHeaderSize + body.size());
+
+    Response out;
+    out.value = 1234;  // must be reset to 0 by the stats decode path
+    size_t consumed = 0;
+    ASSERT_EQ(DecodeResponse(Bytes(wire), wire.size(), &out, &consumed),
+              DecodeStatus::kOk);
+    EXPECT_EQ(consumed, wire.size());
+    EXPECT_EQ(out.status, Status::kStats);
+    EXPECT_EQ(out.id, in.id);
+    EXPECT_EQ(out.value, 0);
+    EXPECT_EQ(out.body, body);
+  }
+}
+
+TEST(NetProtoTest, StatsResponseEveryTruncationNeedsMore) {
+  Response in;
+  in.status = Status::kStats;
+  in.id = 77;
+  in.body = "per-shard interval stats body";
+  std::string wire;
+  AppendResponse(in, &wire);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    Response out;
+    size_t consumed = 0xbeef;
+    EXPECT_EQ(DecodeResponse(Bytes(wire), len, &out, &consumed),
+              DecodeStatus::kNeedMore)
+        << "prefix length " << len;
+    EXPECT_EQ(consumed, 0xbeefu);
+  }
+}
+
+TEST(NetProtoTest, StatsResponseHostileLengthsAreErrors) {
+  Response in;
+  in.status = Status::kStats;
+  in.id = 1;
+  in.body = "ok";
+  std::string wire;
+  AppendResponse(in, &wire);
+  // Payloads below the stats header or above the cap must be rejected from
+  // the prefix alone (no buffering demand).
+  for (uint32_t len : {0u, 1u, kStatsHeaderSize - 1, kMaxStatsPayload + 1,
+                       0xffffffffu}) {
+    std::string corrupt = wire;
+    for (int shift = 0; shift < 32; shift += 8) {
+      corrupt[shift / 8] = static_cast<char>((len >> shift) & 0xff);
+    }
+    Response out;
+    size_t consumed = 0;
+    EXPECT_EQ(DecodeResponse(Bytes(corrupt), corrupt.size(), &out, &consumed),
+              DecodeStatus::kError)
+        << "length " << len;
+  }
+  // A non-stats status byte with a variable length is a framing error too.
+  std::string fixed_status = wire;
+  fixed_status[4] = static_cast<char>(Status::kFound);
+  Response out;
+  size_t consumed = 0;
+  EXPECT_EQ(
+      DecodeResponse(Bytes(fixed_status), fixed_status.size(), &out, &consumed),
+      DecodeStatus::kError);
+}
+
+TEST(NetProtoTest, OversizedStatsBodyIsClampedAtTheCap) {
+  Response in;
+  in.status = Status::kStats;
+  in.id = 9;
+  in.body.assign(kMaxStatsPayload, 'z');  // larger than the cap allows
+  std::string wire;
+  AppendResponse(in, &wire);
+  ASSERT_EQ(wire.size(), 4 + static_cast<size_t>(kMaxStatsPayload));
+  Response out;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeResponse(Bytes(wire), wire.size(), &out, &consumed),
+            DecodeStatus::kOk);
+  EXPECT_EQ(out.body.size(), kMaxStatsPayload - kStatsHeaderSize);
 }
 
 }  // namespace

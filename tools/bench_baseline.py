@@ -49,7 +49,8 @@ def fail(message):
 
 
 def run_campaign(binary, protocol, config, timeout=120):
-    """Runs one serve+drive campaign; returns the drive stats dict.
+    """Runs one serve+drive campaign; returns the full drive report dict
+    (stats under "stats", build provenance under "build").
 
     Raises RuntimeError on any accounting or lifecycle violation — those are
     correctness failures, never performance noise.
@@ -121,7 +122,7 @@ def run_campaign(binary, protocol, config, timeout=120):
         if not match or int(match.group(1)) != stats["completed"]:
             raise RuntimeError(
                 f"serve/drive disagree on completed:\n{tail}")
-        return stats
+        return report
     finally:
         if serve.poll() is None:
             serve.kill()
@@ -156,14 +157,18 @@ def main():
 
     for protocol in protocols:
         try:
-            stats = run_campaign(binary, protocol, config)
+            report = run_campaign(binary, protocol, config)
         except (RuntimeError, json.JSONDecodeError,
                 subprocess.TimeoutExpired) as err:
             fail(f"{protocol}: {err}")
+        stats = report["stats"]
         baseline = {
             "schema": SCHEMA,
             "protocol": protocol,
             "config": config,
+            # Provenance of the build that produced the committed numbers;
+            # bench_compare.py prints committed-vs-current on a mismatch.
+            "build": report.get("build", {}),
             "result": {
                 "sent": stats["sent"],
                 "completed": stats["completed"],

@@ -53,6 +53,19 @@ def relative_delta(current, committed):
     return (current - committed) / committed
 
 
+def format_build(build):
+    """One-line provenance, e.g. 'sha=1a2b3c build=Release obs=on'."""
+    if not build:
+        return "(no provenance recorded)"
+    parts = [f"sha={build.get('git_sha', '?')}",
+             f"build={build.get('build_type', '?')}",
+             f"obs={'on' if build.get('obs') else 'off'}",
+             f"latch_check={'on' if build.get('latch_check') else 'off'}"]
+    if build.get("sanitize"):
+        parts.append(f"sanitize={build['sanitize']}")
+    return " ".join(parts)
+
+
 def main():
     args = sys.argv[1:]
     if not args or args[0].startswith("--"):
@@ -93,13 +106,16 @@ def main():
         if quick:
             config.update(QUICK_OVERRIDES)
         committed = baseline["result"]
+        committed_build = baseline.get("build", {})
 
         try:
-            stats = run_campaign(binary, protocol, config)
+            report = run_campaign(binary, protocol, config)
         except (RuntimeError, json.JSONDecodeError,
                 subprocess.TimeoutExpired) as err:
             hard_failures.append(f"{protocol}: {err}")
             continue
+        stats = report["stats"]
+        current_build = report.get("build", {})
 
         throughput_delta = relative_delta(stats["achieved_throughput"],
                                           committed["achieved_throughput"])
@@ -127,6 +143,10 @@ def main():
             else:
                 advisories.append(message)
             print(f"WARN: {message}")
+            # A mismatch is only interpretable knowing WHAT produced each
+            # number: the committed baseline's build vs the replay's.
+            print(f"  committed build: {format_build(committed_build)}")
+            print(f"  current build:   {format_build(current_build)}")
         else:
             print(f"OK: {line}")
 

@@ -10,6 +10,7 @@
 //   cbtree stress    --algorithm=link --threads=8 [--stress_ops=100000]
 //   cbtree serve     --protocol=blink --port=7070 [--workers=4 --queue=1024]
 //   cbtree drive     --port=7070 --lambda=2000 --duration=5s [--connections=4]
+//   cbtree stat      --port=7070 [--json]
 //
 // Tree flags (all subcommands): --items, --node_size, --disk_cost,
 // --qs/--qi/--qd, and for simulate also --seed, --buffer_pool, --zipf.
@@ -24,6 +25,13 @@
 // report; drive is the open-loop Poisson client whose --json report is
 // shape-compatible with `simulate --json`. stress also drains on
 // SIGINT/SIGTERM instead of dying mid-report.
+//
+// Live observability (serve): --stats_interval periodically snapshots the
+// merged metrics registry (ring + optional --stats_file JSONL series),
+// --stats_port serves Prometheus text out of band, --trace_sample emits a
+// stage waterfall for every Nth request into --trace. `cbtree stat` asks a
+// running server for its stats over the data port (kStats admin frame);
+// `drive --server_stats --json` embeds the same body in the drive report.
 
 #include <chrono>
 #include <cinttypes>
@@ -35,11 +43,13 @@
 #include <thread>
 #include <vector>
 
+#include "base/build_info.h"
 #include "core/analyzer.h"
 #include "core/buffer_model.h"
 #include "core/optimistic_model.h"
 #include "core/rules_of_thumb.h"
 #include "ctree/ctree.h"
+#include "net/client.h"
 #include "net/driver.h"
 #include "net/server.h"
 #include "net/shutdown.h"
@@ -93,6 +103,13 @@ struct CommonOptions {
   uint64_t queue = 1024;
   std::string duration = "5s";
   int connections = 4;
+  // serve live observability / drive+stat admin plane
+  double stats_interval = 0.0;
+  std::string stats_file;
+  int stats_port = -1;
+  uint64_t stats_ring = 64;
+  uint64_t trace_sample = 0;
+  bool server_stats = false;
 
   void Register(FlagSet* flags) {
     flags->Register("algorithm", &algorithm,
@@ -153,6 +170,23 @@ struct CommonOptions {
     flags->Register("duration", &duration,
                     "drive run length, e.g. 5s | 1500ms | 1m");
     flags->Register("connections", &connections, "drive TCP connections");
+    flags->Register("stats_interval", &stats_interval,
+                    "serve: seconds between periodic stats snapshots "
+                    "(0 = off)");
+    flags->Register("stats_file", &stats_file,
+                    "serve: append each interval snapshot to this file as "
+                    "one JSON line (needs --stats_interval)");
+    flags->Register("stats_port", &stats_port,
+                    "serve: Prometheus text exposition port "
+                    "(-1 = off, 0 = ephemeral)");
+    flags->Register("stats_ring", &stats_ring,
+                    "serve: interval snapshots retained for live queries");
+    flags->Register("trace_sample", &trace_sample,
+                    "serve: emit a stage waterfall into --trace for every "
+                    "Nth admitted request (0 = off)");
+    flags->Register("server_stats", &server_stats,
+                    "drive: fetch the server's stats after the run and "
+                    "embed them in the --json report");
   }
 
   /// Algorithm for serve/drive: --protocol wins (accepting "blink" for the
@@ -656,6 +690,12 @@ int CmdServe(const CommonOptions& options) {
   server_options.max_batch = std::max<uint64_t>(1, options.batch);
   server_options.max_inflight = static_cast<size_t>(options.queue);
   server_options.trace = sink.get();
+  server_options.stats_interval_s = options.stats_interval;
+  server_options.stats_file = options.stats_file;
+  server_options.stats_port = options.stats_port;
+  server_options.stats_ring =
+      static_cast<size_t>(std::max<uint64_t>(1, options.stats_ring));
+  server_options.trace_sample = options.trace_sample;
   net::Server server(server_options);
   std::string error;
   if (!server.Start(&error)) {
@@ -671,6 +711,19 @@ int CmdServe(const CommonOptions& options) {
               static_cast<uint64_t>(server_options.max_inflight),
               static_cast<uint64_t>(server_options.max_batch),
               options.items);
+  std::printf("build %s\n", BuildProvenanceLine().c_str());
+  if (options.stats_interval > 0) {
+    std::printf("stats every %.3fs (ring %" PRIu64 "%s%s)\n",
+                options.stats_interval, options.stats_ring,
+                options.stats_file.empty() ? "" : ", file ",
+                options.stats_file.c_str());
+  }
+  if (server.stats_port() >= 0) {
+    std::printf("stats exposition on %s:%d\n", options.host.c_str(),
+                server.stats_port());
+  }
+  // The "listening on" line stays last before the flush: it is the
+  // readiness handshake scripts wait for.
   std::printf("listening on %s:%d\n", options.host.c_str(), server.port());
   std::fflush(stdout);
 
@@ -693,6 +746,8 @@ int CmdServe(const CommonOptions& options) {
       "  batching    %" PRIu64 " tree passes, %" PRIu64
       " requests shared a pass\n"
       "  bytes       %" PRIu64 " in, %" PRIu64 " out\n"
+      "  admin       %" PRIu64 " stats requests, write buffer hwm %zu\n"
+      "  build       %s\n"
       "  final keys  %zu across all shards\n",
       server.num_shards(), server.num_loops(),
       stats.reuseport ? "reuseport" : "round-robin",
@@ -700,7 +755,14 @@ int CmdServe(const CommonOptions& options) {
       stats.requests_received, stats.completed, stats.rejected,
       stats.shutdown_rejected, stats.bad_frames, stats.slow_consumer_drops,
       stats.batches, stats.batched_requests, stats.bytes_in, stats.bytes_out,
-      total_keys);
+      stats.stats_requests, stats.write_buffer_hwm,
+      BuildProvenanceLine().c_str(), total_keys);
+  const auto history = server.history();
+  if (!history.empty()) {
+    std::printf("  snapshots   %zu intervals retained%s%s\n", history.size(),
+                options.stats_file.empty() ? "" : ", series in ",
+                options.stats_file.c_str());
+  }
   if (stats.shards.size() > 1) {
     Table shard_table({"shard", "executed", "batches", "batched", "keys"});
     for (size_t s = 0; s < stats.shards.size(); ++s) {
@@ -714,12 +776,16 @@ int CmdServe(const CommonOptions& options) {
     shard_table.Print(std::cout, options.csv);
   }
   if (stats.loops.size() > 1) {
-    Table loop_table({"loop", "conns_accepted", "requests"});
+    Table loop_table({"loop", "conns_accepted", "requests", "stats",
+                      "slow_drops", "wbuf_hwm"});
     for (size_t l = 0; l < stats.loops.size(); ++l) {
       loop_table.NewRow()
           .Add(static_cast<int64_t>(l))
           .Add(static_cast<int64_t>(stats.loops[l].connections_accepted))
-          .Add(static_cast<int64_t>(stats.loops[l].requests_received));
+          .Add(static_cast<int64_t>(stats.loops[l].requests_received))
+          .Add(static_cast<int64_t>(stats.loops[l].stats_requests))
+          .Add(static_cast<int64_t>(stats.loops[l].slow_consumer_drops))
+          .Add(static_cast<int64_t>(stats.loops[l].write_buffer_hwm));
     }
     loop_table.Print(std::cout, options.csv);
   }
@@ -763,6 +829,61 @@ int CmdServe(const CommonOptions& options) {
                  shard_executed, stats.completed);
     return 1;
   }
+  // Fold-back identities for the admin-plane and backpressure counters:
+  // every per-loop breakdown must sum (or max) back to the server-wide
+  // value, exactly like the request counters above.
+  uint64_t loop_stats_requests = 0;
+  uint64_t loop_drops = 0;
+  size_t loop_hwm = 0;
+  for (const net::LoopServerStats& loop : stats.loops) {
+    loop_stats_requests += loop.stats_requests;
+    loop_drops += loop.slow_consumer_drops;
+    loop_hwm = std::max(loop_hwm, loop.write_buffer_hwm);
+  }
+  if (loop_stats_requests != stats.stats_requests) {
+    std::fprintf(stderr,
+                 "serve: per-loop stats-request mismatch: loops saw %" PRIu64
+                 " vs %" PRIu64 " server-wide\n",
+                 loop_stats_requests, stats.stats_requests);
+    return 1;
+  }
+  if (loop_drops != stats.slow_consumer_drops) {
+    std::fprintf(stderr,
+                 "serve: per-loop slow-consumer mismatch: loops dropped "
+                 "%" PRIu64 " vs %" PRIu64 " server-wide\n",
+                 loop_drops, stats.slow_consumer_drops);
+    return 1;
+  }
+  if (loop_hwm != stats.write_buffer_hwm) {
+    std::fprintf(stderr,
+                 "serve: write-buffer hwm mismatch: loops max %zu vs %zu "
+                 "server-wide\n",
+                 loop_hwm, stats.write_buffer_hwm);
+    return 1;
+  }
+  return 0;
+}
+
+// Asks a running `cbtree serve` for its live stats over the data port (the
+// out-of-band kStats admin frame): a rendered table by default, the raw
+// JSON body with --json.
+int CmdStat(const CommonOptions& options) {
+  net::Client client;
+  std::string error;
+  if (!client.Connect(options.host, options.port, &error)) {
+    std::cerr << "stat: cannot connect to " << options.host << ":"
+              << options.port << ": " << error << "\n";
+    return 1;
+  }
+  std::optional<std::string> body = client.Stats(
+      options.json ? net::StatsFormat::kJson : net::StatsFormat::kTable);
+  if (!body.has_value()) {
+    std::cerr << "stat: no kStats reply from " << options.host << ":"
+              << options.port << "\n";
+    return 1;
+  }
+  std::fputs(body->c_str(), stdout);
+  if (options.json) std::fputc('\n', stdout);
   return 0;
 }
 
@@ -790,8 +911,24 @@ int CmdDrive(const CommonOptions& options) {
     return 1;
   }
   const std::string algorithm = AlgorithmName(options.ParseProtocol());
+  // --server_stats: one kStats probe on a fresh connection after the run —
+  // the server is still up (it drains on ITS signal, not ours), so the body
+  // reflects the load just applied.
+  std::optional<std::string> server_stats;
+  if (options.server_stats) {
+    net::Client stat_client;
+    std::string stat_error;
+    if (stat_client.Connect(options.host, options.port, &stat_error)) {
+      server_stats = stat_client.Stats(net::StatsFormat::kJson);
+    }
+    if (!server_stats.has_value()) {
+      std::cerr << "drive: --server_stats probe failed"
+                << (stat_error.empty() ? "" : ": " + stat_error) << "\n";
+    }
+  }
   if (options.json) {
-    net::WriteDriveJson(std::cout, algorithm, drive, report, options.timing);
+    net::WriteDriveJson(std::cout, algorithm, drive, report, options.timing,
+                        server_stats.has_value() ? &*server_stats : nullptr);
   } else {
     double span = report.wall_seconds > 0.0 ? report.wall_seconds : 1.0;
     std::printf(
@@ -847,10 +984,15 @@ void Usage() {
       "            SIGINT drains and still prints the report)\n"
       "  serve     sharded TCP service over real concurrent trees until\n"
       "            SIGINT (--protocol, --host, --port, --shards, --loops,\n"
-      "            --workers, --batch, --queue)\n"
+      "            --workers, --batch, --queue; live observability:\n"
+      "            --stats_interval, --stats_file, --stats_port,\n"
+      "            --stats_ring, --trace_sample)\n"
       "  drive     open-loop Poisson load against a running serve\n"
       "            (--port, --lambda, --duration, --connections, --zipf,\n"
-      "            --shards for per-shard occupancy, --json)\n"
+      "            --shards for per-shard occupancy, --json,\n"
+      "            --server_stats to embed the server's stats)\n"
+      "  stat      live stats of a running serve over the data port\n"
+      "            (--host, --port, --json)\n"
       "run 'cbtree <cmd> --help' for the full flag list\n");
 }
 
@@ -877,6 +1019,7 @@ int main(int argc, char** argv) {
   if (command == "stress") return CmdStress(options);
   if (command == "serve") return CmdServe(options);
   if (command == "drive") return CmdDrive(options);
+  if (command == "stat") return CmdStat(options);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   Usage();
   return 1;

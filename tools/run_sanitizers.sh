@@ -28,8 +28,11 @@ sanitizers=("${@:-thread}")
 # event-loop / shard-worker / client thread boundaries of the TCP service —
 # exactly what TSAN should vet. net_proto_fuzz_test decodes mutated frames
 # from exactly-sized heap buffers, which is what ASan red-zones exist for.
+# net_stats_test races the stats ticker, the admin plane, and the Prometheus
+# listener against concurrent client load.
 test_targets=(ctree_test runner_test runner_experiment_test obs_test
-              net_server_test net_shard_test net_proto_fuzz_test)
+              net_server_test net_shard_test net_proto_fuzz_test
+              net_stats_test)
 
 for sanitizer in "${sanitizers[@]}"; do
   case "$sanitizer" in
