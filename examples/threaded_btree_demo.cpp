@@ -1,4 +1,5 @@
-// The three concurrency-control protocols on real threads: a mixed workload
+// The paper's concurrency-control protocols (plus optimistic lock coupling)
+// on real threads: a mixed workload
 // hammered at each concurrent B-tree implementation, with consistency
 // verification and throughput/restructuring statistics.
 //
@@ -35,7 +36,7 @@ int main(int argc, char** argv) {
 
   for (Algorithm algorithm :
        {Algorithm::kNaiveLockCoupling, Algorithm::kOptimisticDescent,
-        Algorithm::kLinkType}) {
+        Algorithm::kLinkType, Algorithm::kOlc}) {
     auto tree = MakeConcurrentBTree(algorithm, node_size);
     Rng preload_rng(7);
     for (int64_t i = 0; i < preload; ++i) {

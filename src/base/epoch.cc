@@ -1,0 +1,185 @@
+#include "base/epoch.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace cbtree {
+
+namespace epoch_internal {
+
+struct SlotArray {
+  Slot slots[EpochManager::kMaxThreads];
+};
+
+namespace {
+
+/// One thread's registration against one manager. The shared_ptr keeps the
+/// slot array alive past the manager's destruction, so thread-exit cleanup
+/// never touches freed memory; identity is the array address (which cannot
+/// be reused while this reference pins it).
+struct ThreadSlotRef {
+  std::shared_ptr<SlotArray> slots;
+  int index;
+};
+
+struct ThreadSlots {
+  std::vector<ThreadSlotRef> refs;
+
+  ~ThreadSlots() {
+    for (const ThreadSlotRef& ref : refs) {
+      Slot& slot = ref.slots->slots[ref.index];
+      slot.pinned.store(kIdle, std::memory_order_release);
+      slot.claimed.store(false, std::memory_order_release);
+    }
+  }
+};
+
+thread_local ThreadSlots tls_slots;
+
+}  // namespace
+}  // namespace epoch_internal
+
+using epoch_internal::kIdle;
+using epoch_internal::Slot;
+using epoch_internal::SlotArray;
+
+EpochManager::EpochManager() : slots_(std::make_shared<SlotArray>()) {}
+
+EpochManager::~EpochManager() {
+  for (const Slot& slot : slots_->slots) {
+    if (slot.claimed.load(std::memory_order_acquire) &&
+        slot.pinned.load(std::memory_order_acquire) != kIdle) {
+      std::fprintf(stderr,
+                   "EpochManager destroyed with an active EpochGuard\n");
+      std::abort();
+    }
+  }
+  // No guard can be active, so everything pending is free to go.
+  std::deque<Retired> drained;
+  {
+    MutexLock guard(&mutex_);
+    drained.swap(retired_);
+  }
+  for (const Retired& entry : drained) entry.deleter(entry.ptr);
+  freed_count_.fetch_add(drained.size(), std::memory_order_relaxed);
+}
+
+Slot* EpochManager::SlotForThisThread() {
+  auto& refs = epoch_internal::tls_slots.refs;
+  for (const auto& ref : refs) {
+    if (ref.slots.get() == slots_.get()) {
+      return &ref.slots->slots[ref.index];
+    }
+  }
+  for (int i = 0; i < kMaxThreads; ++i) {
+    Slot& slot = slots_->slots[i];
+    bool expected = false;
+    if (!slot.claimed.load(std::memory_order_relaxed) &&
+        slot.claimed.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+      slot.pinned.store(kIdle, std::memory_order_release);
+      slot.depth = 0;
+      refs.push_back({slots_, i});
+      return &slot;
+    }
+  }
+  std::fprintf(stderr, "EpochManager: more than %d registered threads\n",
+               kMaxThreads);
+  std::abort();
+}
+
+void EpochManager::EnterGuard() {
+  Slot* slot = SlotForThisThread();
+  if (slot->depth++ > 0) return;
+  // Publish the pin, then re-check the epoch: once the loop exits, any
+  // reclaimer observing a later epoch also observes this pin, so nothing
+  // retired from here on can be freed under us. (Pointers obtained before
+  // the guard are not protected — that is the contract.)
+  uint64_t e;
+  do {
+    e = epoch_.load(std::memory_order_seq_cst);
+    slot->pinned.store(e, std::memory_order_seq_cst);
+  } while (epoch_.load(std::memory_order_seq_cst) != e);
+}
+
+void EpochManager::ExitGuard() {
+  Slot* slot = SlotForThisThread();
+  if (--slot->depth == 0) {
+    slot->pinned.store(kIdle, std::memory_order_release);
+  }
+}
+
+uint64_t EpochManager::MinPinned() const {
+  uint64_t min_pinned = kIdle;
+  for (const Slot& slot : slots_->slots) {
+    if (!slot.claimed.load(std::memory_order_acquire)) continue;
+    uint64_t pinned = slot.pinned.load(std::memory_order_seq_cst);
+    if (pinned < min_pinned) min_pinned = pinned;
+  }
+  return min_pinned;
+}
+
+uint64_t EpochManager::ReclaimQuiesced() {
+  std::vector<Retired> ready;
+  {
+    MutexLock guard(&mutex_);
+    // The pin scan must run *after* this mutex acquisition: every candidate
+    // entry's stamp advance happened under the mutex before its push, so
+    // the acquisition orders each advance before the scan's slot loads, and
+    // the guard-entry re-validation loop then guarantees any pin at or
+    // below a candidate's stamp is visible to this scan. Scanning before
+    // taking the mutex (the original shape) let an entry pushed after a
+    // stale scan be freed under a guard the scan never saw.
+    uint64_t min_pinned = MinPinned();
+    while (!retired_.empty() && retired_.front().stamp < min_pinned) {
+      ready.push_back(retired_.front());
+      retired_.pop_front();
+    }
+  }
+  for (const Retired& entry : ready) entry.deleter(entry.ptr);
+  freed_count_.fetch_add(ready.size(), std::memory_order_relaxed);
+  return ready.size();
+}
+
+uint64_t EpochManager::Retire(void* ptr, void (*deleter)(void*)) {
+  {
+    MutexLock guard(&mutex_);
+    // The stamp must be this retire's *own* advance (the fetch_add's prior
+    // value), not a separately-read epoch: the free condition is
+    // stamp < MinPinned, so its safety needs "any guard pinning an epoch
+    // *above* the stamp already sees the node unlinked". A pin above the
+    // stamp can only have been read from this fetch_add or a later RMW in
+    // its release sequence, which synchronizes with it — and the unlink is
+    // sequenced before the Retire call — so such a guard can no longer
+    // reach the pointer. A stale stamp (the old relaxed read) broke exactly
+    // that arm: a guard could pin a newer epoch via some *other* thread's
+    // advance, never synchronize with this unlink, still read the old
+    // pointer, and have it freed underneath. Guards pinned at or below the
+    // stamp simply block the free. The advance stays under the mutex so
+    // stamps are nondecreasing front to back and reclamation pops a prefix.
+    uint64_t stamp = epoch_.fetch_add(1, std::memory_order_seq_cst);
+    retired_.push_back({ptr, deleter, stamp});
+  }
+  retired_count_.fetch_add(1, std::memory_order_relaxed);
+  advances_.fetch_add(1, std::memory_order_relaxed);
+  return ReclaimQuiesced();
+}
+
+uint64_t EpochManager::Advance() {
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  advances_.fetch_add(1, std::memory_order_relaxed);
+  return ReclaimQuiesced();
+}
+
+EpochStats EpochManager::stats() const {
+  EpochStats stats;
+  stats.epoch = epoch_.load(std::memory_order_acquire);
+  stats.retired = retired_count_.load(std::memory_order_relaxed);
+  stats.freed = freed_count_.load(std::memory_order_relaxed);
+  stats.pending = stats.retired - stats.freed;
+  stats.advances = advances_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace cbtree

@@ -44,6 +44,10 @@ struct AnalysisResult {
   double per_first_descent = 0.0;  ///< update first-pass response
   double per_redo_insert = 0.0;    ///< Per of the redo-insert pass
 
+  // OLC extra (zero elsewhere): expected optimistic restarts per operation
+  // (attempts - 1 of the version-validated descent).
+  double restart_rate = 0.0;
+
   double root_writer_utilization() const {
     return levels.empty() ? 0.0 : levels.back().rho_w;
   }

@@ -4,6 +4,7 @@
 
 #include "core/linktype_model.h"
 #include "core/naive_model.h"
+#include "core/olc_model.h"
 #include "core/optimistic_model.h"
 #include "core/two_phase_model.h"
 #include "stats/solver.h"
@@ -21,6 +22,8 @@ std::string AlgorithmName(Algorithm algorithm) {
       return "link-type";
     case Algorithm::kTwoPhaseLocking:
       return "two-phase-locking";
+    case Algorithm::kOlc:
+      return "olc";
   }
   return "unknown";
 }
@@ -76,6 +79,8 @@ std::unique_ptr<Analyzer> MakeAnalyzer(Algorithm algorithm,
       return std::make_unique<LinkTypeModel>(std::move(params));
     case Algorithm::kTwoPhaseLocking:
       return std::make_unique<TwoPhaseLockingModel>(std::move(params));
+    case Algorithm::kOlc:
+      return std::make_unique<OlcModel>(std::move(params));
   }
   CBTREE_CHECK(false) << "unreachable";
   return nullptr;

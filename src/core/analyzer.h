@@ -18,6 +18,7 @@ enum class Algorithm {
   kOptimisticDescent,
   kLinkType,
   kTwoPhaseLocking,
+  kOlc,
 };
 
 std::string AlgorithmName(Algorithm algorithm);

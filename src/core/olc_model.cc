@@ -1,0 +1,136 @@
+#include "core/olc_model.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/level_solver.h"
+#include "core/rw_queue.h"
+#include "util/check.h"
+
+namespace cbtree {
+
+AnalysisResult OlcModel::Analyze(double lambda) const {
+  CBTREE_CHECK_GE(lambda, 0.0);
+  const CostModel& cost = params_.cost;
+  const StructureParams& st = params_.structure;
+  const OperationMix& mix = params_.mix;
+  const int h = params_.height();
+
+  AnalysisResult result;
+  result.levels.resize(h + 1);
+
+  std::vector<double> lambda_level(h + 1, 0.0);
+  lambda_level[h] = lambda;
+  for (int i = h - 1; i >= 1; --i) {
+    lambda_level[i] = lambda_level[i + 1] / st.E(i + 1);
+  }
+
+  const double update_fraction = mix.update_fraction();
+  const double insert_share =
+      update_fraction > 0.0 ? mix.q_i / update_fraction : 0.0;
+
+  bool stable = true;
+  int bottleneck = 0;
+  for (int i = 1; i <= h; ++i) {
+    LevelAnalysis& level = result.levels[i];
+    level.level = i;
+    level.lambda = lambda_level[i];
+    level.t_s = cost.Se(i);
+    level.mu_r = 1.0 / level.t_s;
+
+    // Readers place no locks: the queue sees writers only. The W stream is
+    // identical to the Link-type model's (updates at the leaf; split
+    // postings above, thinned by the split-probability product).
+    level.lambda_r = 0.0;
+    if (i == 1) {
+      level.lambda_w = update_fraction * lambda_level[1];
+      double split_prob = insert_share * st.PrF(1);
+      level.t_i = cost.M() + st.PrF(1) * cost.Sp(1);
+      level.t_d = cost.M();
+      level.mu_w = 1.0 / (cost.M() + split_prob * cost.Sp(1));
+    } else {
+      level.lambda_w = mix.q_i * lambda_level[i] * st.PrFProduct(i - 1);
+      level.t_i = cost.M(i) + st.PrF(i) * cost.Sp(i);
+      level.t_d = level.t_i;
+      level.mu_w = 1.0 / level.t_i;
+    }
+
+    RwQueueResult queue = SolveRwQueue(
+        {level.lambda_r, level.lambda_w, level.mu_r, level.mu_w});
+    level.rho_w = queue.rho_w;
+    level.r_u = queue.r_u;
+    level.r_e = queue.r_e;
+    level.stable = queue.stable;
+    if (!queue.stable && stable) {
+      stable = false;
+      bottleneck = i;
+    }
+
+    WaitTimes waits = ExponentialServerWaits(queue);
+    level.wait_r = 0.0;  // readers never wait; they restart
+    level.wait_w = waits.w;
+  }
+
+  result.stable = stable;
+  result.bottleneck_level = bottleneck;
+  if (!stable) {
+    result.per_search = result.per_insert = result.per_delete =
+        result.mean_response = std::numeric_limits<double>::infinity();
+    result.restart_rate = std::numeric_limits<double>::infinity();
+    return result;
+  }
+
+  // Per-level restart probability: a writer locks the node during the Se(i)
+  // read window (Poisson arrivals). A node found already locked does NOT
+  // restart the descent — the reader spins on the locked bit and takes its
+  // stamp after the release, so the busy probability rho_w costs a short
+  // wait (O(rho_w * t_w), negligible below saturation) rather than a
+  // restart. The descent succeeds only if every level validates; attempts
+  // are geometric, and an attempt pays Se(i) only if the levels above i
+  // (visited first) all validated.
+  std::vector<double> p(h + 1, 0.0);
+  double success = 1.0;
+  for (int i = 1; i <= h; ++i) {
+    p[i] = 1.0 - std::exp(-result.levels[i].lambda_w * cost.Se(i));
+    success *= 1.0 - p[i];
+  }
+  if (success <= 0.0) {
+    // Every attempt fails: livelock, report as saturation at the leaf.
+    result.stable = false;
+    result.bottleneck_level = 1;
+    result.per_search = result.per_insert = result.per_delete =
+        result.mean_response = std::numeric_limits<double>::infinity();
+    result.restart_rate = std::numeric_limits<double>::infinity();
+    return result;
+  }
+  double attempts = 1.0 / success;
+  double attempt_cost = 0.0;
+  double survive_above = 1.0;  // prob of reaching level i from the root
+  for (int i = h; i >= 1; --i) {
+    attempt_cost += survive_above * cost.Se(i);
+    survive_above *= 1.0 - p[i];
+  }
+  double descent = attempts * attempt_cost;  // Wald
+  result.restart_rate = attempts - 1.0;
+
+  // Searches are exactly the descent. Updates share it (the leaf
+  // upgrade-CAS failure is the p(1) event, already in `attempts`), then
+  // modify under the lock; a split at level j pays the half-split plus a
+  // blocking-lock wait and modify one level up, with probability
+  // prod_{k<=j} Pr[F(k)] — as in the Link-type model.
+  result.per_search = descent;
+  double per_i = descent + cost.M();
+  for (int j = 1; j <= h - 1; ++j) {
+    per_i += st.PrFProduct(j) *
+             (cost.Sp(j) + result.levels[j + 1].wait_w + cost.M(j + 1));
+  }
+  result.per_insert = per_i;
+  result.per_delete = descent + cost.M();
+  result.mean_response = mix.q_s * result.per_search +
+                         mix.q_i * result.per_insert +
+                         mix.q_d * result.per_delete;
+  return result;
+}
+
+}  // namespace cbtree

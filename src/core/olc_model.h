@@ -1,0 +1,42 @@
+// Analytical model of the optimistic-lock-coupling B-link algorithm.
+//
+// Readers place no locks at all, so the per-level queues see only writer
+// arrivals (the same W streams as the Link-type model: updates at the leaf,
+// split postings thinned by the product of split probabilities above it).
+// What readers pay instead is restarts: a descent whose validation window
+// overlaps a version bump throws the whole attempt away and starts over
+// from the root. A node found already locked does NOT restart — the reader
+// spins on the locked bit and stamps after the release — so the busy
+// probability rho_w(i) costs a short wait, not an attempt. With Poisson
+// writer arrivals at rate lambda_w(i) into the path node at level i and a
+// read residence of Se(i), the per-level restart probability is
+//
+//   p(i) = 1 - exp(-lambda_w(i) * Se(i))
+//
+// (a writer locked the node during the read window). A descent
+// succeeds with probability prod_i (1 - p(i)); the number of attempts is
+// geometric, and Wald's identity gives the expected descent time as
+// E[attempts] * E[cost per attempt], where an attempt pays Se(i) only if
+// every level above it validated. The writer's leaf upgrade-CAS is the same
+// event as p(1) (something changed since the stamp), so writer restarts are
+// covered by the same attempt count; split postings above the leaf use a
+// blocking lock and pay the writer queue wait instead.
+
+#ifndef CBTREE_CORE_OLC_MODEL_H_
+#define CBTREE_CORE_OLC_MODEL_H_
+
+#include "core/analyzer.h"
+
+namespace cbtree {
+
+class OlcModel : public Analyzer {
+ public:
+  explicit OlcModel(ModelParams params) : Analyzer(std::move(params)) {}
+
+  std::string name() const override { return "olc-blink"; }
+  AnalysisResult Analyze(double lambda) const override;
+};
+
+}  // namespace cbtree
+
+#endif  // CBTREE_CORE_OLC_MODEL_H_

@@ -6,6 +6,7 @@
 
 #include "ctree/blink_tree.h"
 #include "ctree/lock_coupling_tree.h"
+#include "ctree/olc_tree.h"
 #include "ctree/optimistic_tree.h"
 
 namespace cbtree {
@@ -230,6 +231,8 @@ std::unique_ptr<ConcurrentBTree> MakeConcurrentBTree(Algorithm algorithm,
       return std::make_unique<BLinkTree>(max_node_size);
     case Algorithm::kTwoPhaseLocking:
       return std::make_unique<TwoPhaseTree>(max_node_size);
+    case Algorithm::kOlc:
+      return std::make_unique<OlcTree>(max_node_size);
   }
   CBTREE_CHECK(false) << "unreachable";
   return nullptr;

@@ -77,13 +77,13 @@ class ConcurrentBTree {
   virtual std::string name() const = 0;
 
   /// Range scan of [lo, hi]: appends up to `limit` (key, value) pairs in
-  /// key order. Thread-safe for every protocol here: descent crabs shared
-  /// latches, the leaf walk crabs along right links (nodes are never
-  /// physically removed, so the chain is stable), and concurrent splits are
-  /// absorbed by the usual move-right rule. Keys inserted before the scan
-  /// starts and not deleted are guaranteed to appear.
-  size_t Scan(Key lo, Key hi, size_t limit,
-              std::vector<std::pair<Key, Value>>* out) const;
+  /// key order. Thread-safe for every protocol: the latched trees crab
+  /// shared latches down and along right links (nodes are never physically
+  /// removed, so the chain is stable); the OLC tree overrides this with a
+  /// version-validated walk. Keys inserted before the scan starts and not
+  /// deleted are guaranteed to appear.
+  virtual size_t Scan(Key lo, Key hi, size_t limit,
+                      std::vector<std::pair<Key, Value>>* out) const;
 
   /// Number of keys (exact when quiescent).
   size_t size() const { return size_.load(std::memory_order_relaxed); }
@@ -96,13 +96,16 @@ class ConcurrentBTree {
 
   /// Quiescent structural check (no concurrent mutators): key order, bounds,
   /// level uniformity, link chains. Aborts on violation.
-  void CheckInvariants() const;
+  virtual void CheckInvariants() const;
   /// Quiescent count of reachable keys (must equal size()).
-  size_t CountKeys() const;
+  virtual size_t CountKeys() const;
 
  protected:
   CNode* root() const { return root_; }
   CNodeArena* arena() { return &arena_; }
+  /// Mutable registry access for subclasses that register their own
+  /// instruments (the OLC tree's restart/epoch counters).
+  obs::Registry& registry() { return obs_; }
   void AdjustSize(int64_t delta) {
     size_.fetch_add(delta, std::memory_order_relaxed);
   }

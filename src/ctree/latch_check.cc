@@ -56,6 +56,12 @@ DisciplineSpec SpecFor(Discipline discipline) {
       return {2, true, true, /*excl_level=*/1, false};
     case Discipline::kBLink:
       return {1, true, true, -1, true};
+    case Discipline::kOlc:
+      // Writers hold one exclusive version lock on the write target; the
+      // empty-leaf unlink briefly holds parent + left sibling + victim
+      // (acquired top-down, try-lock below the parent). Readers validate
+      // versions and never appear here at all.
+      return {3, false, true, -1, true};
   }
   return {0, false, false, -1, false};
 }
@@ -117,6 +123,8 @@ const char* DisciplineName(Discipline discipline) {
       return "optimistic-descent";
     case Discipline::kBLink:
       return "b-link";
+    case Discipline::kOlc:
+      return "olc";
   }
   return "unknown";
 }
@@ -266,6 +274,8 @@ const char* DisciplineName(Discipline discipline) {
       return "optimistic-descent";
     case Discipline::kBLink:
       return "b-link";
+    case Discipline::kOlc:
+      return "olc";
   }
   return "unknown";
 }

@@ -60,6 +60,9 @@ enum class Discipline {
   kTwoPhaseSearch,    ///< shared root-to-leaf chain, released at op end
   kOptimisticDescent, ///< shared crabbing + exclusive leaf only
   kBLink,             ///< at most one latch, move-right allowed
+  kOlc,               ///< version-validated descent: exclusive-only version
+                      ///< locks at the write target (plus parent+sibling
+                      ///< during an unlink); readers never latch
 };
 
 enum class Rule {

@@ -227,6 +227,11 @@ std::unique_ptr<SimOperation> MakeSimOperation(Simulator* sim, OpId id,
         return std::make_unique<TwoPhaseSearchOp>(sim, id, op, arrival_time);
       }
       return std::make_unique<TwoPhaseUpdateOp>(sim, id, op, arrival_time);
+    case Algorithm::kOlc:
+      if (op.type == OpType::kSearch) {
+        return std::make_unique<OlcSearchOp>(sim, id, op, arrival_time);
+      }
+      return std::make_unique<OlcUpdateOp>(sim, id, op, arrival_time);
   }
   CBTREE_CHECK(false) << "unreachable";
   return nullptr;

@@ -1,0 +1,255 @@
+#include "sim/protocol_ops.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace cbtree {
+
+// ---------------------------------------------------------------------------
+// OlcSearchOp: no locks; every visit is an optimistic read of one node,
+// validated at the end of its residence window.
+// ---------------------------------------------------------------------------
+
+void OlcSearchOp::Start() { Visit(tree().root()); }
+
+void OlcSearchOp::Restart() {
+  sim()->RecordRestart(id());
+  Visit(tree().root());
+}
+
+void OlcSearchOp::Visit(NodeId node) {
+  if (sim()->WriteLocked(node)) {
+    // The real reader spins on the locked bit before taking its stamp (no
+    // restart recorded); model the spin as an R-lock wait that is granted
+    // when the writer departs.
+    AcquireLock(node, LockMode::kRead, [this, node] {
+      ReleaseLock(node);
+      Visit(node);
+    });
+    return;
+  }
+  double window_start = sim()->now();
+  DoWork(SearchCostAt(node), [this, node, window_start] {
+    // Validation: a locked version never validates — and the real reader's
+    // retry would spin on that same bit, so wait out the hold and charge
+    // ONE restart (instant re-descents would re-fail on the same hold, a
+    // storm neither the model nor the spinning tree exhibits).
+    if (sim()->WriteLocked(node)) {
+      AcquireLock(node, LockMode::kRead, [this, node] {
+        ReleaseLock(node);
+        Restart();
+      });
+      return;
+    }
+    // The version must not have moved while we read.
+    if (sim()->LastVersionBump(node) > window_start) {
+      Restart();
+      return;
+    }
+    const Node& n = tree().node(node);
+    if (op().key > n.high_key) {
+      sim()->RecordLinkCrossing(id(), node);
+      NodeId right = n.right;
+      CBTREE_CHECK_NE(right, kInvalidNode);
+      Visit(right);
+      return;
+    }
+    if (n.is_leaf()) {
+      Finish();
+      return;
+    }
+    Visit(tree().Child(node, op().key));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// OlcUpdateOp.
+// ---------------------------------------------------------------------------
+
+void OlcUpdateOp::Start() {
+  anchors_.assign(tree().height() + 2, kInvalidNode);
+  Visit(tree().root());
+}
+
+void OlcUpdateOp::Restart() {
+  sim()->RecordRestart(id());
+  anchors_.assign(tree().height() + 2, kInvalidNode);
+  Visit(tree().root());
+}
+
+NodeId OlcUpdateOp::AnchorFor(int level) {
+  if (level < static_cast<int>(anchors_.size()) &&
+      anchors_[level] != kInvalidNode) {
+    return anchors_[level];
+  }
+  return sim()->tree().root();
+}
+
+void OlcUpdateOp::Visit(NodeId node) {
+  if (sim()->WriteLocked(node)) {
+    // Entry spin, as in OlcSearchOp::Visit.
+    AcquireLock(node, LockMode::kRead, [this, node] {
+      ReleaseLock(node);
+      Visit(node);
+    });
+    return;
+  }
+  double window_start = sim()->now();
+  const Node& pre = tree().node(node);
+  if (!pre.is_leaf()) {
+    if (pre.level >= static_cast<int>(anchors_.size())) {
+      anchors_.resize(pre.level + 1, kInvalidNode);
+    }
+    anchors_[pre.level] = node;
+  }
+  DoWork(SearchCostAt(node), [this, node, window_start] {
+    const Node& n = tree().node(node);
+    if (n.is_leaf() && op().key <= n.high_key) {
+      // Upgrade: the real tree CASes the version from the residence's read
+      // stamp to locked, so there is exactly ONE failure opportunity at the
+      // leaf — validating here AND after the grant would double-count it.
+      // Queue for the W lock and validate once at grant time: any bump
+      // since window_start (including the release of whoever made us wait)
+      // restarts, exactly like a failed upgrade CAS.
+      AcquireLock(node, LockMode::kWrite, [this, node, window_start] {
+        LeafGranted(node, window_start);
+      });
+      return;
+    }
+    if (sim()->WriteLocked(node)) {
+      // Wait out the hold, then restart once (see OlcSearchOp::Visit).
+      AcquireLock(node, LockMode::kRead, [this, node] {
+        ReleaseLock(node);
+        Restart();
+      });
+      return;
+    }
+    if (sim()->LastVersionBump(node) > window_start) {
+      Restart();
+      return;
+    }
+    if (op().key > n.high_key) {
+      sim()->RecordLinkCrossing(id(), node);
+      NodeId right = n.right;
+      CBTREE_CHECK_NE(right, kInvalidNode);
+      Visit(right);
+      return;
+    }
+    Visit(tree().Child(node, op().key));
+  });
+}
+
+void OlcUpdateOp::LeafGranted(NodeId leaf, double window_start) {
+  if (sim()->LastVersionBump(leaf) > window_start) {
+    ReleaseLock(leaf);
+    Restart();
+    return;
+  }
+  sim()->NoteWriteLock(leaf);
+  LeafWork(leaf);
+}
+
+void OlcUpdateOp::LeafWork(NodeId leaf) {
+  DoWork(ModifyCostAt(leaf), [this, leaf] {
+    MarkModified(leaf);
+    if (op().type == OpType::kDelete) {
+      // The real tree unlinks an emptied leaf with three short try-locks;
+      // that is rare enough to ignore here, exactly as the paper ignores
+      // Link-type merges (§2): the leaf stays lazily in place.
+      tree().LeafDelete(leaf, op().key);
+      sim()->NoteWriteUnlock(leaf);
+      ReleaseLock(leaf);
+      Finish();
+      return;
+    }
+    tree().LeafInsert(leaf, op().key, op().value);
+    if (static_cast<int>(tree().node(leaf).size()) <=
+        tree().options().max_node_size) {
+      sim()->NoteWriteUnlock(leaf);
+      ReleaseLock(leaf);
+      Finish();
+      return;
+    }
+    if (leaf == tree().root()) {
+      DoWork(SplitCostAt(leaf), [this, leaf] {
+        tree().SplitRootInPlace();
+        sim()->NoteWriteUnlock(leaf);
+        ReleaseLock(leaf);
+        Finish();
+      });
+      return;
+    }
+    DoWork(SplitCostAt(leaf), [this, leaf] {
+      BTree::SplitResult split = tree().Split(leaf);
+      sim()->NoteWriteUnlock(leaf);
+      ReleaseLock(leaf);
+      Ascend(2, split.separator, split.right);
+    });
+  });
+}
+
+void OlcUpdateOp::Ascend(int level, Key separator, NodeId right) {
+  NodeId target = AnchorFor(level);
+  AcquireLock(target, LockMode::kWrite, [this, target, level, separator,
+                                         right] {
+    sim()->NoteWriteLock(target);
+    AscendGranted(target, level, separator, right);
+  });
+}
+
+void OlcUpdateOp::AscendGranted(NodeId node, int level, Key separator,
+                                NodeId right) {
+  const Node& n = tree().node(node);
+  if (separator > n.high_key) {
+    sim()->RecordLinkCrossing(id(), node);
+    NodeId next = n.right;
+    CBTREE_CHECK_NE(next, kInvalidNode);
+    sim()->NoteWriteUnlock(node);
+    ReleaseLock(node);
+    AcquireLock(next, LockMode::kWrite, [this, next, level, separator,
+                                         right] {
+      sim()->NoteWriteLock(next);
+      AscendGranted(next, level, separator, right);
+    });
+    return;
+  }
+  if (n.level > level) {
+    NodeId child = tree().Child(node, separator);
+    sim()->NoteWriteUnlock(node);
+    ReleaseLock(node);
+    AcquireLock(child, LockMode::kWrite, [this, child, level, separator,
+                                          right] {
+      sim()->NoteWriteLock(child);
+      AscendGranted(child, level, separator, right);
+    });
+    return;
+  }
+  CBTREE_CHECK_EQ(n.level, level);
+  DoWork(ModifyCostAt(node), [this, node, level, separator, right] {
+    MarkModified(node);
+    tree().InsertSplitEntry(node, separator, right);
+    if (static_cast<int>(tree().node(node).size()) <=
+        tree().options().max_node_size) {
+      sim()->NoteWriteUnlock(node);
+      ReleaseLock(node);
+      Finish();
+      return;
+    }
+    if (node == tree().root()) {
+      DoWork(SplitCostAt(node), [this, node] {
+        tree().SplitRootInPlace();
+        sim()->NoteWriteUnlock(node);
+        ReleaseLock(node);
+        Finish();
+      });
+      return;
+    }
+    DoWork(SplitCostAt(node), [this, node, level] {
+      BTree::SplitResult split = tree().Split(node);
+      sim()->NoteWriteUnlock(node);
+      ReleaseLock(node);
+      Ascend(level + 1, split.separator, split.right);
+    });
+  });
+}
+
+}  // namespace cbtree

@@ -127,6 +127,45 @@ class LinkUpdateOp : public SimOperation {
   std::vector<NodeId> anchors_;
 };
 
+/// Optimistic lock coupling: readers take no locks at all. Each node visit
+/// is an optimistic read validated at the end of its residence window
+/// against the simulator's per-node version state (write-locked at
+/// validation time, or a version bump inside the window, restarts the whole
+/// operation from the root — the restart pays the next descent's work, as
+/// the real tree does). Updates descend the same way and then "upgrade" at
+/// the leaf: the W lock is taken and re-validated at grant, a failed
+/// re-validation releasing it and restarting; separators are posted with
+/// blocking W locks exactly like the Link-type update. Empty leaves stay
+/// lazily in place (the unlink's three short locks are rare enough to
+/// ignore, as the paper does for Link-type merges).
+class OlcSearchOp : public SimOperation {
+ public:
+  using SimOperation::SimOperation;
+  void Start() override;
+
+ private:
+  void Visit(NodeId node);
+  void Restart();
+};
+
+class OlcUpdateOp : public SimOperation {
+ public:
+  using SimOperation::SimOperation;
+  void Start() override;
+
+ private:
+  void Visit(NodeId node);
+  void Restart();
+  void LeafGranted(NodeId leaf, double window_start);
+  void LeafWork(NodeId leaf);
+  void Ascend(int level, Key separator, NodeId right);
+  void AscendGranted(NodeId node, int level, Key separator, NodeId right);
+  NodeId AnchorFor(int level);
+
+  /// Rightmost node seen at each level during the descent (index = level).
+  std::vector<NodeId> anchors_;
+};
+
 /// Creates the right operation object for (algorithm, op type).
 std::unique_ptr<SimOperation> MakeSimOperation(Simulator* sim, OpId id,
                                                Operation op,

@@ -82,6 +82,28 @@ void Simulator::RecordLinkCrossing(OpId op, NodeId node) {
   metrics_.RecordLinkCrossing();
 }
 
+void Simulator::NoteWriteLock(NodeId node) {
+  OlcVersionState& state = olc_versions_[node];
+  ++state.depth;
+  state.last_bump = now();
+}
+
+void Simulator::NoteWriteUnlock(NodeId node) {
+  OlcVersionState& state = olc_versions_[node];
+  --state.depth;
+  state.last_bump = now();
+}
+
+bool Simulator::WriteLocked(NodeId node) const {
+  auto it = olc_versions_.find(node);
+  return it != olc_versions_.end() && it->second.depth > 0;
+}
+
+double Simulator::LastVersionBump(NodeId node) const {
+  auto it = olc_versions_.find(node);
+  return it == olc_versions_.end() ? 0.0 : it->second.last_bump;
+}
+
 double Simulator::NodeAccessCost(NodeId node) {
   if (!pool_.enabled()) return AccessCost(tree_->node(node).level);
   bool hit = pool_.Access(node);

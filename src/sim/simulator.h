@@ -156,6 +156,16 @@ class Simulator {
   /// the matching trace event in one place.
   void RecordRestart(OpId op);
   void RecordLinkCrossing(OpId op, NodeId node);
+  /// OLC version-state bookkeeping. Writers note lock/unlock on each node
+  /// (both stamp a version bump at the current simulated time, matching the
+  /// real tree where acquiring and releasing the version lock both change
+  /// the version word); optimistic readers consult the state to decide
+  /// whether a residence window validates.
+  void NoteWriteLock(NodeId node);
+  void NoteWriteUnlock(NodeId node);
+  bool WriteLocked(NodeId node) const;
+  /// 0.0 for a node no writer ever touched.
+  double LastVersionBump(NodeId node) const;
   /// Removes an empty child from its parent in the tree and retires its
   /// lock-manager state (checked empty).
   void RemoveChildNode(NodeId parent, NodeId child);
@@ -177,6 +187,12 @@ class Simulator {
   std::unique_ptr<WorkloadGenerator> workload_;
   Rng service_rng_;
   Rng arrival_rng_;
+
+  struct OlcVersionState {
+    int depth = 0;        ///< write-lock nesting (0 or 1 in practice)
+    double last_bump = 0.0;
+  };
+  std::unordered_map<NodeId, OlcVersionState> olc_versions_;
 
   std::unordered_map<OpId, std::unique_ptr<SimOperation>> active_ops_;
   std::vector<OpId> retired_;

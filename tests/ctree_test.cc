@@ -175,7 +175,8 @@ INSTANTIATE_TEST_SUITE_P(Protocols, CTreeTest,
                          ::testing::Values(Algorithm::kNaiveLockCoupling,
                                            Algorithm::kOptimisticDescent,
                                            Algorithm::kLinkType,
-                                           Algorithm::kTwoPhaseLocking),
+                                           Algorithm::kTwoPhaseLocking,
+                                           Algorithm::kOlc),
                          [](const auto& info) {
                            std::string name = AlgorithmName(info.param);
                            for (char& c : name) {
@@ -364,9 +365,13 @@ TEST_P(CTreeTest, StressRunsUnderLatchValidator) {
   }
   for (auto& thread : threads) thread.join();
   tree->CheckInvariants();
-  EXPECT_GT(latch_check::CheckedAcquires() - before,
-            static_cast<uint64_t>(kThreads) * kOpsPerThread)
-      << "every operation latches at least once; the validator saw less";
+  // Latched protocols latch on every operation; OLC readers never latch,
+  // so only its update half (50% inserts of the mix, plus deletes and
+  // split/unlink lock chains) flows through the validator.
+  uint64_t floor = static_cast<uint64_t>(kThreads) * kOpsPerThread;
+  if (GetParam() == Algorithm::kOlc) floor /= 2;
+  EXPECT_GT(latch_check::CheckedAcquires() - before, floor)
+      << "operations must flow through the validator; it saw less";
 }
 
 TEST(CTreeStatsTest, OptimisticCountsRestarts) {

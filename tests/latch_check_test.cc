@@ -378,7 +378,8 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, LatchCheckTreeTest,
                          ::testing::Values(Algorithm::kNaiveLockCoupling,
                                            Algorithm::kOptimisticDescent,
                                            Algorithm::kLinkType,
-                                           Algorithm::kTwoPhaseLocking),
+                                           Algorithm::kTwoPhaseLocking,
+                                           Algorithm::kOlc),
                          [](const auto& info) -> std::string {
                            switch (info.param) {
                              case Algorithm::kNaiveLockCoupling:
@@ -389,6 +390,8 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, LatchCheckTreeTest,
                                return "LinkType";
                              case Algorithm::kTwoPhaseLocking:
                                return "TwoPhaseLocking";
+                             case Algorithm::kOlc:
+                               return "Olc";
                            }
                            return "Unknown";
                          });

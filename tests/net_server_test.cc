@@ -67,7 +67,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllProtocols, NetServerAllProtocolsTest,
     ::testing::Values(Algorithm::kNaiveLockCoupling,
                       Algorithm::kOptimisticDescent, Algorithm::kLinkType,
-                      Algorithm::kTwoPhaseLocking),
+                      Algorithm::kTwoPhaseLocking, Algorithm::kOlc),
     [](const ::testing::TestParamInfo<Algorithm>& info) {
       switch (info.param) {
         case Algorithm::kNaiveLockCoupling:
@@ -78,6 +78,8 @@ INSTANTIATE_TEST_SUITE_P(
           return std::string("link");
         case Algorithm::kTwoPhaseLocking:
           return std::string("two_phase");
+        case Algorithm::kOlc:
+          return std::string("olc");
       }
       return std::string("unknown");
     });

@@ -51,6 +51,8 @@ std::string AlgorithmLabel(Algorithm algorithm) {
       return "link";
     case Algorithm::kTwoPhaseLocking:
       return "two_phase";
+    case Algorithm::kOlc:
+      return "olc";
   }
   return "unknown";
 }
@@ -176,7 +178,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Algorithm::kNaiveLockCoupling,
                                          Algorithm::kOptimisticDescent,
                                          Algorithm::kLinkType,
-                                         Algorithm::kTwoPhaseLocking),
+                                         Algorithm::kTwoPhaseLocking,
+                                         Algorithm::kOlc),
                        ::testing::Values(1, 4), ::testing::Values(1, 4)),
     [](const ::testing::TestParamInfo<ShardParam>& info) {
       return AlgorithmLabel(std::get<0>(info.param)) + "_s" +

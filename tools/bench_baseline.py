@@ -3,7 +3,7 @@
 
 Usage:
     bench_baseline.py <cbtree-binary> [--out-dir=DIR] [--quick]
-                      [--protocols=naive,optimistic,link,two-phase]
+                      [--protocols=naive,optimistic,link,two-phase,olc]
 
 For each protocol this starts `cbtree serve` with the canonical sharded
 topology, drives it with the open-loop Poisson client at a rate chosen well
@@ -25,7 +25,7 @@ import sys
 import time
 
 SCHEMA = "cbtree-bench-serve-v1"
-PROTOCOLS = ["naive", "optimistic", "link", "two-phase"]
+PROTOCOLS = ["naive", "optimistic", "link", "two-phase", "olc"]
 
 # The canonical campaign: modest sizes so CI boxes finish in seconds, and an
 # offered load comfortably below a single-core saturation point.

@@ -4,7 +4,7 @@
 Usage:
     bench_compare.py <cbtree-binary> [--baseline-dir=DIR]
                      [--tolerance=25%] [--quick] [--strict]
-                     [--protocols=naive,optimistic,link,two-phase]
+                     [--protocols=naive,optimistic,link,two-phase,olc]
 
 Each baseline file records its full campaign config; this script replays the
 identical campaign and compares two different classes of result:

@@ -113,7 +113,7 @@ struct CommonOptions {
 
   void Register(FlagSet* flags) {
     flags->Register("algorithm", &algorithm,
-                    "naive | optimistic | link | two-phase");
+                    "naive | optimistic | link | two-phase | olc");
     flags->Register("lambda", &lambda, "arrival rate");
     flags->Register("items", &items, "tree size (keys)");
     flags->Register("node_size", &node_size, "max entries per node (N)");
@@ -149,7 +149,7 @@ struct CommonOptions {
                     "trace file format: jsonl | chrome");
     flags->Register("protocol", &protocol,
                     "serve/drive tree protocol: naive | optimistic | link | "
-                    "blink | two-phase (alias of --algorithm)");
+                    "blink | two-phase | olc (alias of --algorithm)");
     flags->Register("host", &host, "serve/drive address");
     flags->Register("port", &port, "serve/drive TCP port (0 = ephemeral)");
     flags->Register("workers", &workers,
@@ -197,8 +197,9 @@ struct CommonOptions {
     if (name == "naive") return Algorithm::kNaiveLockCoupling;
     if (name == "optimistic") return Algorithm::kOptimisticDescent;
     if (name == "two-phase") return Algorithm::kTwoPhaseLocking;
+    if (name == "olc") return Algorithm::kOlc;
     std::cerr << "unknown --protocol '" << name
-              << "' (naive | optimistic | link | blink | two-phase)\n";
+              << "' (naive | optimistic | link | blink | two-phase | olc)\n";
     std::exit(1);
   }
 
@@ -207,8 +208,9 @@ struct CommonOptions {
     if (algorithm == "optimistic") return Algorithm::kOptimisticDescent;
     if (algorithm == "link") return Algorithm::kLinkType;
     if (algorithm == "two-phase") return Algorithm::kTwoPhaseLocking;
+    if (algorithm == "olc") return Algorithm::kOlc;
     std::cerr << "unknown --algorithm '" << algorithm
-              << "' (naive | optimistic | link | two-phase)\n";
+              << "' (naive | optimistic | link | two-phase | olc)\n";
     std::exit(1);
   }
 
@@ -317,7 +319,7 @@ int CmdCompare(const CommonOptions& options) {
                "max_throughput"});
   const std::vector<Algorithm> algorithms = {
       Algorithm::kTwoPhaseLocking, Algorithm::kNaiveLockCoupling,
-      Algorithm::kOptimisticDescent, Algorithm::kLinkType};
+      Algorithm::kOptimisticDescent, Algorithm::kLinkType, Algorithm::kOlc};
   struct Row {
     std::string name;
     AnalysisResult result;
@@ -974,7 +976,7 @@ void Usage() {
       "commands:\n"
       "  analyze   per-level queueing analysis at one arrival rate\n"
       "  sweep     analysis across a lambda grid (--points, --json)\n"
-      "  compare   all four algorithms side by side at one lambda\n"
+      "  compare   all five algorithms side by side at one lambda\n"
       "  capacity  max throughput and lambda at a target root rho_w\n"
       "  rules     the paper's rules of thumb for this tree\n"
       "  simulate  discrete-event simulation (--seeds, --ops, --json,\n"

@@ -36,6 +36,7 @@ def main():
     lam = "1500"
     shards = "1"
     loops = "1"
+    mix = []  # extra --qs/--qi/--qd flags forwarded to drive
     for flag in extra:
         if flag.startswith("--protocol="):
             protocol = flag.split("=", 1)[1]
@@ -45,6 +46,8 @@ def main():
             shards = flag.split("=", 1)[1]
         if flag.startswith("--loops="):
             loops = flag.split("=", 1)[1]
+        if flag.startswith(("--qs=", "--qi=", "--qd=")):
+            mix.append(flag)
 
     serve = subprocess.Popen(
         [binary, "serve", f"--protocol={protocol}", "--port=0",
@@ -73,7 +76,7 @@ def main():
         drive = subprocess.run(
             [binary, "drive", f"--port={port}", f"--lambda={lam}",
              "--duration=2s", "--connections=4", "--items=5000",
-             "--zipf=0.4", f"--shards={shards}", "--json"],
+             "--zipf=0.4", f"--shards={shards}", "--json"] + mix,
             capture_output=True, text=True, timeout=60)
         if drive.returncode != 0:
             serve.kill()

@@ -29,10 +29,13 @@ sanitizers=("${@:-thread}")
 # exactly what TSAN should vet. net_proto_fuzz_test decodes mutated frames
 # from exactly-sized heap buffers, which is what ASan red-zones exist for.
 # net_stats_test races the stats ticker, the admin plane, and the Prometheus
-# listener against concurrent client load.
+# listener against concurrent client load. epoch_test and olc_tree_test are
+# the OLC battery: latch-free readers racing writers (TSAN's job) and
+# epoch-deferred frees (ASan's job — a premature free is a use-after-free
+# in the torture tests, a missed one is a leak at exit).
 test_targets=(ctree_test runner_test runner_experiment_test obs_test
               net_server_test net_shard_test net_proto_fuzz_test
-              net_stats_test)
+              net_stats_test epoch_test olc_tree_test)
 
 for sanitizer in "${sanitizers[@]}"; do
   case "$sanitizer" in
@@ -57,6 +60,19 @@ for sanitizer in "${sanitizers[@]}"; do
     echo "--- $target ($sanitizer) ---"
     "$build/tests/$target"
   done
+
+  case "$sanitizer" in
+    address|address+undefined)
+      # Serve-shutdown leak check: a delete-heavy OLC drive unlinks leaves
+      # into the epoch manager mid-serve; LeakSanitizer at the server's
+      # SIGINT exit proves teardown frees every node, pending or live.
+      echo "--- serve-drive olc leak check ($sanitizer) ---"
+      cmake --build "$build" --target cbtree_cli -j "$(nproc)"
+      python3 tools/check_serve_drive.py "$build/tools/cbtree" \
+              --protocol=olc --lambda=1000 --shards=2 --loops=2 \
+              --qs=0.2 --qi=0.4 --qd=0.4
+      ;;
+  esac
 done
 
 echo "all sanitizer runs passed"
