@@ -70,7 +70,13 @@ struct SlotArray;
 
 }  // namespace epoch_internal
 
-class EpochManager {
+/// The manager itself is a shared capability ("epoch"): holding it shared
+/// means "this thread has a live guard pinning the epoch". EpochGuard is
+/// the scoped acquisition, so `-Wthread-safety` can check the
+/// CBTREE_REQUIRES_SHARED(epoch_) contracts on the OLC tree's optimistic
+/// helpers the same way it checks latch REQUIRES contracts. Exclusive
+/// acquisition is never used — retires are internally synchronized.
+class CBTREE_CAPABILITY("epoch") EpochManager {
  public:
   /// Fixed registration capacity; claiming past it aborts (a process with
   /// this many tree-touching threads has bigger problems).
@@ -107,8 +113,8 @@ class EpochManager {
   friend class EpochGuard;
 
   epoch_internal::Slot* SlotForThisThread();
-  void EnterGuard();
-  void ExitGuard();
+  void EnterGuard() CBTREE_ACQUIRE_SHARED();
+  void ExitGuard() CBTREE_RELEASE_SHARED();
   /// Minimum epoch pinned by any registered thread (kIdle if none).
   uint64_t MinPinned() const;
 
@@ -130,13 +136,19 @@ class EpochManager {
 };
 
 /// Pins the current epoch for this thread while in scope. Nestable; only
-/// the outermost guard publishes/clears the pin.
-class EpochGuard {
+/// the outermost guard publishes/clears the pin. A scoped shared
+/// acquisition of the manager capability — and only ever a scope: the
+/// cbtree-epoch-guard tidy check additionally forbids heap-allocating one
+/// or storing one as a member, which would defeat the pin's lifetime
+/// argument. (TSA does not model the nesting; intentionally-nested guards
+/// in tests carry CBTREE_NO_THREAD_SAFETY_ANALYSIS.)
+class CBTREE_SCOPED_CAPABILITY EpochGuard {
  public:
-  explicit EpochGuard(EpochManager* manager) : manager_(manager) {
+  explicit EpochGuard(EpochManager* manager)
+      CBTREE_ACQUIRE_SHARED(manager) : manager_(manager) {
     manager_->EnterGuard();
   }
-  ~EpochGuard() { manager_->ExitGuard(); }
+  ~EpochGuard() CBTREE_RELEASE() { manager_->ExitGuard(); }
 
   EpochGuard(const EpochGuard&) = delete;
   EpochGuard& operator=(const EpochGuard&) = delete;

@@ -15,6 +15,7 @@
 #ifndef CBTREE_BASE_MUTEX_H_
 #define CBTREE_BASE_MUTEX_H_
 
+#include <condition_variable>
 #include <mutex>
 
 #include "base/thread_annotations.h"
@@ -33,6 +34,17 @@ class CBTREE_CAPABILITY("mutex") Mutex {
   // BasicLockable spelling (std::condition_variable_any compatibility).
   void lock() CBTREE_ACQUIRE() { m_.lock(); }
   void unlock() CBTREE_RELEASE() { m_.unlock(); }
+
+  /// Blocks on `cv`, atomically releasing this mutex while asleep and
+  /// reacquiring it before returning. To the analysis the capability is
+  /// held across the call (the wait's internal release/reacquire pair
+  /// happens inside a system header TSA does not look into), which is
+  /// exactly the contract callers rely on: the usual
+  /// `while (!predicate) mu_.Wait(&cv_);` loop inside a MutexLock section
+  /// needs no NO_THREAD_SAFETY_ANALYSIS escape.
+  void Wait(std::condition_variable_any* cv) CBTREE_REQUIRES(this) {
+    cv->wait(*this);
+  }
 
  private:
   std::mutex m_;

@@ -68,6 +68,17 @@
 #define CBTREE_EXCLUDES(...) \
   CBTREE_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
 
+/// Declares lock-ordering edges between capabilities: this one must be
+/// acquired before/after the named ones whenever both are held. Checked by
+/// Clang under -Wthread-safety-beta; a pure declaration otherwise. Only
+/// capability expressions nameable from the annotation site are
+/// expressible — cross-object orderings that TSA cannot spell live in the
+/// lock-DAG comment in src/net/server.h instead.
+#define CBTREE_ACQUIRED_BEFORE(...) \
+  CBTREE_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define CBTREE_ACQUIRED_AFTER(...) \
+  CBTREE_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
 /// Returns a reference to the named capability.
 #define CBTREE_RETURN_CAPABILITY(x) \
   CBTREE_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
@@ -79,5 +90,25 @@
 /// ctree/latch_check.h covers instead.
 #define CBTREE_NO_THREAD_SAFETY_ANALYSIS \
   CBTREE_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+// --- Epoch-discipline markers (read by tools/cbtree_tidy, not by TSA) ----
+//
+// The epoch rules ("no retire-able node dereference outside a live
+// EpochGuard") are not lock acquisitions, so -Wthread-safety cannot state
+// them; the cbtree-epoch-guard check in tools/cbtree_tidy does. These
+// markers are its interprocedural contract annotations, expanding to plain
+// `annotate` attributes (zero codegen, visible in the AST and to the
+// lexical analyzer).
+
+/// The caller must hold a live EpochGuard across this call. Used on free
+/// helpers that cannot name an `epoch_` member; OlcTree member functions
+/// carry the checkable CBTREE_REQUIRES_SHARED(epoch_) instead.
+#define CBTREE_REQUIRES_EPOCH \
+  CBTREE_THREAD_ANNOTATION_ATTRIBUTE__(annotate("cbtree::requires_epoch"))
+
+/// The function runs only when no concurrent operation exists (destructor,
+/// invariant checker, test hook), so node access without a guard is safe.
+#define CBTREE_EPOCH_QUIESCENT \
+  CBTREE_THREAD_ANNOTATION_ATTRIBUTE__(annotate("cbtree::epoch_quiescent"))
 
 #endif  // CBTREE_BASE_THREAD_ANNOTATIONS_H_

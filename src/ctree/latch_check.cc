@@ -23,6 +23,7 @@ struct HeldLatch {
 struct ThreadState {
   Discipline discipline = Discipline::kNone;
   int held = 0;
+  int epoch_depth = 0;  ///< live EpochScope nesting on this thread
   HeldLatch stack[kHeldCapacity];
 };
 
@@ -149,6 +150,8 @@ const char* RuleName(Rule rule) {
       return "latch-leak";
     case Rule::kNestedOpWithLatches:
       return "nested-op-with-latches";
+    case Rule::kEpochRequired:
+      return "epoch-required";
   }
   return "unknown";
 }
@@ -237,6 +240,18 @@ ScopedOp::~ScopedOp() {
   tls.discipline = saved_;
 }
 
+EpochScope::EpochScope() { ++tls.epoch_depth; }
+
+EpochScope::~EpochScope() { --tls.epoch_depth; }
+
+void RequireEpochPinned(const void* node) {
+  if (tls.epoch_depth == 0) {
+    Report(Rule::kEpochRequired, node, 0, Mode::kExclusive);
+  }
+}
+
+int EpochDepthForTest() { return tls.epoch_depth; }
+
 uint64_t CheckedAcquires() {
   return g_checked_acquires.load(std::memory_order_relaxed);
 }
@@ -248,6 +263,7 @@ ViolationHandler SetViolationHandlerForTest(ViolationHandler handler) {
 void ResetThreadForTest() {
   tls.held = 0;
   tls.discipline = Discipline::kNone;
+  tls.epoch_depth = 0;
 }
 
 }  // namespace latch_check
@@ -300,6 +316,8 @@ const char* RuleName(Rule rule) {
       return "latch-leak";
     case Rule::kNestedOpWithLatches:
       return "nested-op-with-latches";
+    case Rule::kEpochRequired:
+      return "epoch-required";
   }
   return "unknown";
 }

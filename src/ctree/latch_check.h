@@ -25,6 +25,8 @@
 //   - kReleaseNotHeld     releasing a node/mode this thread does not hold
 //   - kLatchLeak          operation ended with latches still held
 //   - kNestedOpWithLatches  starting an operation while holding latches
+//   - kEpochRequired      OLC node access or retire with no live EpochGuard
+//                         on this thread (guard depth zero)
 //
 // Enforcement is per-thread and costs a few branches plus one relaxed
 // global counter per acquisition; configure -DCBTREE_LATCH_CHECK=OFF (or
@@ -75,6 +77,7 @@ enum class Rule {
   kReleaseNotHeld,
   kLatchLeak,
   kNestedOpWithLatches,
+  kEpochRequired,
 };
 
 const char* DisciplineName(Discipline discipline);
@@ -113,6 +116,29 @@ class ScopedOp {
   Discipline saved_;
 };
 
+/// Mirrors an EpochGuard's lifetime into the validator: bumps this
+/// thread's guard depth for the scope. The OLC tree pairs one with every
+/// EpochGuard it takes, so RequireEpochPinned below can tell a guarded
+/// node access from a stray one. Lives here (not in base/epoch.h) because
+/// the discipline belongs to the tree layer — base must not depend on it.
+class EpochScope {
+ public:
+  EpochScope();
+  ~EpochScope();
+
+  EpochScope(const EpochScope&) = delete;
+  EpochScope& operator=(const EpochScope&) = delete;
+};
+
+/// Declares that the calling thread is about to touch `node` (or retire
+/// it) under the OLC protocol, which is only safe inside a live
+/// EpochGuard. Reports kEpochRequired if this thread's guard depth is
+/// zero. The dynamic twin of the cbtree-epoch-guard tidy check.
+void RequireEpochPinned(const void* node);
+
+/// This thread's current epoch-guard depth (test hook).
+int EpochDepthForTest();
+
 constexpr bool Enabled() { return true; }
 
 /// Total acquisitions validated, process-wide (tests assert it advances).
@@ -138,6 +164,16 @@ class ScopedOp {
   ScopedOp(const ScopedOp&) = delete;
   ScopedOp& operator=(const ScopedOp&) = delete;
 };
+
+class EpochScope {
+ public:
+  EpochScope() {}
+  EpochScope(const EpochScope&) = delete;
+  EpochScope& operator=(const EpochScope&) = delete;
+};
+
+inline void RequireEpochPinned(const void*) {}
+inline int EpochDepthForTest() { return 0; }
 
 constexpr bool Enabled() { return false; }
 inline uint64_t CheckedAcquires() { return 0; }

@@ -3,6 +3,8 @@
 #include <limits>
 #include <thread>
 
+#include "base/thread_annotations.h"
+
 namespace cbtree {
 
 namespace {
@@ -13,9 +15,14 @@ constexpr uint64_t kVersionStep = OlcNode::kVersionStep;
 
 bool IsObsolete(uint64_t version) { return (version & kObsoleteBit) != 0; }
 
+// Every free helper below dereferences OlcNode fields, so each carries
+// CBTREE_REQUIRES_EPOCH: the caller must hold a live EpochGuard (they all
+// run from the *Attempt/unlink paths, which do). The marker is what lets
+// the cbtree-epoch-guard check verify the contract file-wide.
+
 /// Optimistic child lookup (max-key layout): may observe torn state; the
 /// caller must validate the node's version before trusting the result.
-OlcNode* ChildForRelaxed(const OlcNode* node, Key key) {
+OlcNode* ChildForRelaxed(const OlcNode* node, Key key) CBTREE_REQUIRES_EPOCH {
   int count = node->count.load(std::memory_order_relaxed);
   if (count < 1 || count > node->capacity) return nullptr;
   for (int i = 0; i < count; ++i) {
@@ -30,13 +37,14 @@ OlcNode* ChildForRelaxed(const OlcNode* node, Key key) {
 // accesses are safe because the version word serializes writers and the
 // unlock's release store publishes every field to validating readers.
 
-OlcNode* ChildForLocked(const OlcNode* node, Key key) {
+OlcNode* ChildForLocked(const OlcNode* node, Key key) CBTREE_REQUIRES_EPOCH {
   OlcNode* child = ChildForRelaxed(node, key);
   CBTREE_CHECK(child != nullptr) << "key above node bounds; move right first";
   return child;
 }
 
-bool LeafInsertLocked(OlcNode* leaf, Key key, Value value) {
+bool LeafInsertLocked(OlcNode* leaf, Key key,
+                      Value value) CBTREE_REQUIRES_EPOCH {
   int count = leaf->count.load(std::memory_order_relaxed);
   int pos = 0;
   while (pos < count && leaf->keys[pos].load(std::memory_order_relaxed) < key)
@@ -59,7 +67,7 @@ bool LeafInsertLocked(OlcNode* leaf, Key key, Value value) {
   return true;
 }
 
-bool LeafDeleteLocked(OlcNode* leaf, Key key) {
+bool LeafDeleteLocked(OlcNode* leaf, Key key) CBTREE_REQUIRES_EPOCH {
   int count = leaf->count.load(std::memory_order_relaxed);
   int pos = 0;
   while (pos < count && leaf->keys[pos].load(std::memory_order_relaxed) < key)
@@ -80,7 +88,8 @@ bool LeafDeleteLocked(OlcNode* leaf, Key key) {
 
 /// Half-split under `node`'s lock: upper half moves to a fresh (private)
 /// right sibling; same key/link arithmetic as cnode::HalfSplit.
-OlcNode* HalfSplitLocked(OlcNode* node, OlcNode* sibling, Key* separator) {
+OlcNode* HalfSplitLocked(OlcNode* node, OlcNode* sibling,
+                         Key* separator) CBTREE_REQUIRES_EPOCH {
   int count = node->count.load(std::memory_order_relaxed);
   CBTREE_CHECK_GE(count, 2);
   int keep = (count + 1) / 2;
@@ -113,7 +122,8 @@ OlcNode* HalfSplitLocked(OlcNode* node, OlcNode* sibling, Key* separator) {
 
 /// In-place root growth under the root's lock (the root pointer never
 /// changes): contents move into two fresh children, as cnode counterpart.
-void SplitRootInPlaceLocked(OlcNode* root, OlcNode* left, OlcNode* right) {
+void SplitRootInPlaceLocked(OlcNode* root, OlcNode* left,
+                            OlcNode* right) CBTREE_REQUIRES_EPOCH {
   int count = root->count.load(std::memory_order_relaxed);
   CBTREE_CHECK_GE(count, 2);
   CBTREE_CHECK(root->right.load(std::memory_order_relaxed) == nullptr);
@@ -152,7 +162,7 @@ void SplitRootInPlaceLocked(OlcNode* root, OlcNode* left, OlcNode* right) {
 /// `separator`, insert `right` after it (mirrors cnode::InsertSplitEntry,
 /// including the delayed-update tolerance on the captured bound).
 void InsertSplitEntryLocked(OlcNode* parent, Key separator, OlcNode* right,
-                            Key right_high_key) {
+                            Key right_high_key) CBTREE_REQUIRES_EPOCH {
   CBTREE_CHECK_LT(separator, kInfKey);
   CBTREE_CHECK_LE(separator,
                   parent->high_key.load(std::memory_order_relaxed));
@@ -196,7 +206,7 @@ OlcTree::OlcTree(int max_node_size)
   obs_epoch_freed_ = registry().counter("epoch.freed");
 }
 
-OlcTree::~OlcTree() {
+OlcTree::~OlcTree() CBTREE_EPOCH_QUIESCENT {
   // Quiescent teardown: free every linked node level by level (the leftmost
   // node of each level reaches the one below through children[0]); nodes
   // already unlinked are on the epoch manager's retire list and are freed
@@ -230,6 +240,7 @@ bool OlcTree::ReadLockOrRestart(const OlcNode* node, uint64_t* version) {
   // bounded windows, and restarting immediately would just re-arrive at the
   // same locked node and restart again (a restart storm paying a full
   // descent per spin). Only an obsolete node forces a restart from the root.
+  latch_check::RequireEpochPinned(node);
   int spins = 0;
   uint64_t v = node->version.load(std::memory_order_acquire);
   while ((v & kLockedBit) != 0) {
@@ -250,6 +261,7 @@ bool OlcTree::Validate(const OlcNode* node, uint64_t version) {
 }
 
 void OlcTree::LockNode(OlcNode* node) const {
+  latch_check::RequireEpochPinned(node);
   int spins = 0;
   uint64_t v = node->version.load(std::memory_order_relaxed);
   for (;;) {
@@ -270,6 +282,7 @@ void OlcTree::LockNode(OlcNode* node) const {
 }
 
 bool OlcTree::TryLockNode(OlcNode* node) const {
+  latch_check::RequireEpochPinned(node);
   uint64_t v = node->version.load(std::memory_order_relaxed);
   if ((v & kLockedBit) != 0) return false;
   if (!node->version.compare_exchange_strong(v, v | kLockedBit,
@@ -283,6 +296,7 @@ bool OlcTree::TryLockNode(OlcNode* node) const {
 }
 
 bool OlcTree::UpgradeLockOrRestart(OlcNode* node, uint64_t version) const {
+  latch_check::RequireEpochPinned(node);
   uint64_t expected = version;
   if (!node->version.compare_exchange_strong(expected, version | kLockedBit,
                                              std::memory_order_acquire,
@@ -380,6 +394,7 @@ bool OlcTree::SearchAttempt(Key key, bool* found, Value* value) const {
 
 std::optional<Value> OlcTree::Search(Key key) const {
   EpochGuard guard(&epoch_);
+  latch_check::EpochScope epoch_scope;
   bool found = false;
   Value value{};
   while (!SearchAttempt(key, &found, &value)) RecordRestart();
@@ -431,6 +446,7 @@ size_t OlcTree::Scan(Key lo, Key hi, size_t limit,
   CBTREE_CHECK(out != nullptr);
   if (limit == 0 || lo > hi) return 0;
   EpochGuard guard(&epoch_);
+  latch_check::EpochScope epoch_scope;
   size_t appended = 0;
   Key cursor = lo;
   std::vector<std::pair<Key, Value>> entries;
@@ -520,6 +536,7 @@ bool OlcTree::Insert(Key key, Value value) {
   CBTREE_CHECK_LT(key, kInfKey);
   latch_check::ScopedOp op(latch_check::Discipline::kOlc);
   EpochGuard guard(&epoch_);
+  latch_check::EpochScope epoch_scope;
   std::vector<OlcNode*> anchors;
   for (;;) {
     anchors.clear();
@@ -617,6 +634,7 @@ int OlcTree::DeleteAttempt(Key key, OlcNode** emptied) {
 bool OlcTree::Delete(Key key) {
   latch_check::ScopedOp op(latch_check::Discipline::kOlc);
   EpochGuard guard(&epoch_);
+  latch_check::EpochScope epoch_scope;
   OlcNode* emptied = nullptr;
   int result;
   for (;;) {
@@ -760,6 +778,7 @@ void OlcTree::TryUnlinkLeaf(OlcNode* victim) {
   obs_unlinks_.Add();
 
   UnlockObsolete(victim);
+  latch_check::RequireEpochPinned(victim);
   obs_epoch_retired_.Add();
   uint64_t freed = epoch_.RetireObject(victim);
   if (freed > 0) obs_epoch_freed_.Add(freed);
@@ -808,7 +827,7 @@ void OlcTree::CheckOlcSubtree(const OlcNode* node, Key bound,
   }
 }
 
-void OlcTree::CheckInvariants() const {
+void OlcTree::CheckInvariants() const CBTREE_EPOCH_QUIESCENT {
   CBTREE_CHECK(olc_root_->right.load(std::memory_order_relaxed) == nullptr);
   CBTREE_CHECK_EQ(olc_root_->high_key.load(std::memory_order_relaxed),
                   kInfKey);
@@ -818,7 +837,7 @@ void OlcTree::CheckInvariants() const {
   CBTREE_CHECK_EQ(keys, size());
 }
 
-size_t OlcTree::CountKeys() const {
+size_t OlcTree::CountKeys() const CBTREE_EPOCH_QUIESCENT {
   size_t keys = 0;
   CheckOlcSubtree(olc_root_, kInfKey,
                   olc_root_->level.load(std::memory_order_relaxed), &keys);

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "base/epoch.h"
+#include "base/thread_annotations.h"
 #include "ctree/ctree.h"
 
 namespace cbtree {
@@ -100,48 +101,60 @@ class OlcTree : public ConcurrentBTree {
   /// Test-only: bump a node's version as an invisible writer would,
   /// invalidating every in-flight optimistic read of it. The caller must
   /// guarantee no concurrent real writer holds the node's lock.
-  static void BumpVersionForTest(OlcNode* node);
+  static void BumpVersionForTest(OlcNode* node) CBTREE_EPOCH_QUIESCENT;
 
  private:
-  // Version-lock primitives (latch_check reports exclusive mode).
-  static bool ReadLockOrRestart(const OlcNode* node, uint64_t* version);
-  static bool Validate(const OlcNode* node, uint64_t version);
-  void LockNode(OlcNode* node) const;
-  bool TryLockNode(OlcNode* node) const;
-  bool UpgradeLockOrRestart(OlcNode* node, uint64_t version) const;
-  void UnlockNode(OlcNode* node) const;
-  void UnlockObsolete(OlcNode* node) const;
+  // Version-lock primitives (latch_check reports exclusive mode). Member
+  // primitives carry CBTREE_REQUIRES_SHARED(epoch_) — every caller must be
+  // inside the EpochGuard its entry point took, and -Wthread-safety proves
+  // it; the static ones cannot name epoch_ and use the tidy-checked
+  // CBTREE_REQUIRES_EPOCH marker instead.
+  static bool ReadLockOrRestart(const OlcNode* node,
+                                uint64_t* version) CBTREE_REQUIRES_EPOCH;
+  static bool Validate(const OlcNode* node,
+                       uint64_t version) CBTREE_REQUIRES_EPOCH;
+  void LockNode(OlcNode* node) const CBTREE_REQUIRES_SHARED(epoch_);
+  bool TryLockNode(OlcNode* node) const CBTREE_REQUIRES_SHARED(epoch_);
+  bool UpgradeLockOrRestart(OlcNode* node, uint64_t version) const
+      CBTREE_REQUIRES_SHARED(epoch_);
+  void UnlockNode(OlcNode* node) const CBTREE_REQUIRES_SHARED(epoch_);
+  void UnlockObsolete(OlcNode* node) const CBTREE_REQUIRES_SHARED(epoch_);
 
   void RecordRestart() const;
-  void MaybeDescendHook(OlcNode* node) const;
+  void MaybeDescendHook(OlcNode* node) const CBTREE_REQUIRES_SHARED(epoch_);
 
   /// One optimistic search attempt; false = restart.
-  bool SearchAttempt(Key key, bool* found, Value* value) const;
+  bool SearchAttempt(Key key, bool* found, Value* value) const
+      CBTREE_REQUIRES_SHARED(epoch_);
   /// One optimistic snapshot of the leaf covering `cursor`; false = restart.
   bool ScanLeafAttempt(Key cursor, Key hi,
                        std::vector<std::pair<Key, Value>>* entries,
-                       Key* leaf_high) const;
+                       Key* leaf_high) const CBTREE_REQUIRES_SHARED(epoch_);
   /// One insert/delete attempt: optimistic descent, leaf lock upgrade,
   /// mutation, split chain. Returns -1 = restart, 0 = no-op, 1 = mutated.
-  int InsertAttempt(Key key, Value value, std::vector<OlcNode*>* anchors);
-  int DeleteAttempt(Key key, OlcNode** emptied);
+  int InsertAttempt(Key key, Value value, std::vector<OlcNode*>* anchors)
+      CBTREE_REQUIRES_SHARED(epoch_);
+  int DeleteAttempt(Key key, OlcNode** emptied)
+      CBTREE_REQUIRES_SHARED(epoch_);
 
   /// Write-locks the level-`target_level` node covering `separator`,
   /// starting from the remembered descent anchor (move-right and in-place
   /// root growth handled as in the latched B-link tree).
   OlcNode* LockTargetForSeparator(int target_level, Key separator,
-                                  const std::vector<OlcNode*>& anchors);
+                                  const std::vector<OlcNode*>& anchors)
+      CBTREE_REQUIRES_SHARED(epoch_);
 
   /// Best-effort unlink of an emptied leaf: write-lock parent, left
   /// sibling, victim (try-locks below the parent; any conflict abandons),
   /// splice it out, mark obsolete, retire to the epoch manager.
-  void TryUnlinkLeaf(OlcNode* victim);
+  void TryUnlinkLeaf(OlcNode* victim) CBTREE_REQUIRES_SHARED(epoch_);
   /// Write-locks the level-2 node covering `key`; nullptr = abandon.
-  OlcNode* LockParentFor(Key key);
+  OlcNode* LockParentFor(Key key) CBTREE_REQUIRES_SHARED(epoch_);
 
-  OlcNode* AllocateNode(int level) const;
+  /// Builds a node nobody else can reach yet, so it needs no guard.
+  OlcNode* AllocateNode(int level) const CBTREE_EPOCH_QUIESCENT;
   void CheckOlcSubtree(const OlcNode* node, Key bound, int expected_level,
-                       size_t* keys) const;
+                       size_t* keys) const CBTREE_EPOCH_QUIESCENT;
 
   OlcNode* const olc_root_;
   mutable EpochManager epoch_;

@@ -122,7 +122,10 @@ struct Server::Conn {
   size_t read_pos = 0;
   bool poisoned = false;  ///< framing lost; discard further input
 
-  Mutex mu;
+  /// Write-side lock. Acquired after the owning loop's mu whenever both
+  /// would be held (see the lock-order note on Server::shutdown_mu_);
+  /// today no path nests them, the attribute pins the designed direction.
+  Mutex mu CBTREE_ACQUIRED_AFTER(loop->mu);
   std::string write_buffer CBTREE_GUARDED_BY(mu);
   size_t write_pos CBTREE_GUARDED_BY(mu) = 0;
   bool closed CBTREE_GUARDED_BY(mu) = false;
@@ -317,7 +320,12 @@ bool Server::Start(std::string* error) {
 
   start_time_ = Clock::now();
 #if CBTREE_OBS_ENABLED
-  final_snapshot_done_ = false;
+  {
+    // Start runs single-threaded, but the flag is guarded by shutdown_mu_
+    // and the uncontended acquisition costs nothing here.
+    MutexLock guard(&shutdown_mu_);
+    final_snapshot_done_ = false;
+  }
   if (options_.stats_interval_s > 0 && !options_.stats_file.empty()) {
     stats_file_ = std::fopen(options_.stats_file.c_str(), "w");
     if (stats_file_ == nullptr) {
@@ -362,7 +370,7 @@ void Server::WakeLoop(Loop* loop) {
 
 void Server::Shutdown() {
   // Serialized so a signal-driven drain and the destructor cannot race.
-  std::lock_guard<std::mutex> guard(shutdown_mu_);
+  MutexLock guard(&shutdown_mu_);
   bool any_joined = false;
   for (auto& loop : loops_) {
     if (loop->thread.joinable()) {

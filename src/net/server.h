@@ -44,7 +44,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -358,7 +357,19 @@ class Server {
   ServerOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<Loop>> loops_;
-  std::mutex shutdown_mu_;
+  /// Serializes Shutdown against itself (signal-driven drain vs the
+  /// destructor) and guards the final-snapshot state below.
+  ///
+  /// Lock ordering across the serving plane (never violated; the acyclic
+  /// order is what TSA cannot fully spell, so it is recorded here):
+  ///   shutdown_mu_  >  Loop::mu  >  Conn::mu  >  obs internals
+  /// where ">" means "may be held when acquiring". In today's code the
+  /// first three are never actually nested — every path swaps shared
+  /// vectors out under one mutex, releases it, then locks the next — and
+  /// the obs registry/snapshot-ring mutexes are leaves (acquired last,
+  /// nothing taken under them). Conn::mu declares its edge with
+  /// CBTREE_ACQUIRED_AFTER, the one case the attribute can express.
+  Mutex shutdown_mu_;
   std::chrono::steady_clock::time_point start_time_;
 
   int port_ = 0;
@@ -398,7 +409,7 @@ class Server {
   // Periodic snapshots (ticker on loop 0; final interval from Shutdown).
   std::unique_ptr<obs::SnapshotRing> stats_ring_;
   std::FILE* stats_file_ = nullptr;
-  bool final_snapshot_done_ = false;  ///< under shutdown_mu_
+  bool final_snapshot_done_ CBTREE_GUARDED_BY(shutdown_mu_) = false;
 
   // Prometheus text listener (own thread, out of band).
   std::thread stats_thread_;

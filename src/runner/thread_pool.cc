@@ -41,14 +41,15 @@ void ThreadPool::Enqueue(std::function<void()> task) {
   cv_.notify_one();
 }
 
-// unique_lock + condition_variable defeat the lexical lock tracking, so the
-// worker loop sits outside the static analysis.
-void ThreadPool::WorkerLoop() CBTREE_NO_THREAD_SAFETY_ANALYSIS {
+void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<Mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      // Mutex::Wait keeps the capability held across the sleep as far as
+      // the analysis can see, so the whole loop stays inside
+      // -Wthread-safety (no escape hatch needed).
+      while (!shutdown_ && queue_.empty()) mu_.Wait(&cv_);
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();

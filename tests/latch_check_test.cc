@@ -348,6 +348,46 @@ TEST_F(LatchCheckTest, NestedOperationWithLatchesHeldIsCaught) {
 }
 
 // ---------------------------------------------------------------------------
+// kEpochRequired: OLC node access / retirement with no live EpochScope.
+
+TEST_F(LatchCheckTest, NodeAccessOutsideEpochScopeIsCaught) {
+  FakeNodes n;
+  RequireEpochPinned(n[0]);
+  EXPECT_TRUE(Saw(Rule::kEpochRequired));
+}
+
+TEST_F(LatchCheckTest, NodeAccessInsideEpochScopeIsSilent) {
+  FakeNodes n;
+  EpochScope scope;
+  RequireEpochPinned(n[0]);
+  EXPECT_TRUE(violations_.empty());
+}
+
+TEST_F(LatchCheckTest, EpochScopesNestAndUnwind) {
+  FakeNodes n;
+  EXPECT_EQ(EpochDepthForTest(), 0);
+  {
+    EpochScope outer;
+    EXPECT_EQ(EpochDepthForTest(), 1);
+    {
+      EpochScope inner;
+      EXPECT_EQ(EpochDepthForTest(), 2);
+      RequireEpochPinned(n[0]);
+    }
+    EXPECT_EQ(EpochDepthForTest(), 1);
+    RequireEpochPinned(n[1]);
+  }
+  EXPECT_EQ(EpochDepthForTest(), 0);
+  EXPECT_TRUE(violations_.empty());
+  RequireEpochPinned(n[2]);  // depth back to zero: caught again
+  EXPECT_TRUE(Saw(Rule::kEpochRequired));
+}
+
+TEST_F(LatchCheckTest, EpochRequiredRuleHasName) {
+  EXPECT_STREQ(RuleName(Rule::kEpochRequired), "epoch-required");
+}
+
+// ---------------------------------------------------------------------------
 // Production call sites report in: every protocol's real operations pass
 // through the validator cleanly and advance the global acquisition counter.
 

@@ -54,6 +54,14 @@ static_assert(sizeof(CBTREE_TEST_STRINGIFY(CBTREE_EXCLUDES(m))) == 1,
 static_assert(
     sizeof(CBTREE_TEST_STRINGIFY(CBTREE_NO_THREAD_SAFETY_ANALYSIS)) == 1,
     "CBTREE_NO_THREAD_SAFETY_ANALYSIS must expand to nothing off Clang");
+static_assert(sizeof(CBTREE_TEST_STRINGIFY(CBTREE_ACQUIRED_BEFORE(m))) == 1,
+              "CBTREE_ACQUIRED_BEFORE must expand to nothing off Clang");
+static_assert(sizeof(CBTREE_TEST_STRINGIFY(CBTREE_ACQUIRED_AFTER(m))) == 1,
+              "CBTREE_ACQUIRED_AFTER must expand to nothing off Clang");
+static_assert(sizeof(CBTREE_TEST_STRINGIFY(CBTREE_REQUIRES_EPOCH)) == 1,
+              "CBTREE_REQUIRES_EPOCH must expand to nothing off Clang");
+static_assert(sizeof(CBTREE_TEST_STRINGIFY(CBTREE_EPOCH_QUIESCENT)) == 1,
+              "CBTREE_EPOCH_QUIESCENT must expand to nothing off Clang");
 #endif  // !__clang__
 
 // Layout parity, checked under every compiler: the annotated NodeLatch

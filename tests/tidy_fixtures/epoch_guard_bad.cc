@@ -1,0 +1,46 @@
+// Positive fixture for cbtree-epoch-guard: every `expect-diag` line below
+// must be reported, with the exact check name. Fixtures are analyzer input
+// only — never compiled — so declarations are minimal stand-ins.
+#include "base/epoch.h"
+
+namespace cbtree {
+
+struct OlcNode {
+  int keys[8];
+  OlcNode* children[8];
+  int count;
+};
+
+class EpochManager;
+
+class LeakyCache {
+ public:
+  EpochManager* mgr;
+  EpochGuard guard_;  // expect-diag: cbtree-epoch-guard
+};
+
+int ReadFirstKeyUnguarded(OlcNode* node) {
+  return node->keys[0];  // expect-diag: cbtree-epoch-guard
+}
+
+int GuardTakenTooLate(EpochManager* mgr, OlcNode* node) {
+  int k = node->keys[0];  // expect-diag: cbtree-epoch-guard
+  EpochGuard guard(mgr);
+  return k + node->keys[1];
+}
+
+void RetireUnguarded(EpochManager* mgr, OlcNode* node) {
+  RetireObject(mgr, node);  // expect-diag: cbtree-epoch-guard
+}
+
+void HeapGuard(EpochManager* mgr) {
+  EpochGuard* g = new EpochGuard(mgr);  // expect-diag: cbtree-epoch-guard
+  delete g;
+}
+
+void StaticGuard(EpochManager* mgr) {
+  static EpochGuard guard(mgr);  // expect-diag: cbtree-epoch-guard
+  (void)guard;
+}
+
+}  // namespace cbtree

@@ -1,0 +1,47 @@
+// Negative fixture for cbtree-epoch-guard: no line here may be diagnosed.
+#include "base/epoch.h"
+#include "base/thread_annotations.h"
+
+namespace cbtree {
+
+struct OlcNode {
+  int keys[8];
+  OlcNode* children[8];
+  int count;
+};
+
+class EpochManager;
+
+// A live guard before the first node access: fine.
+int ReadFirstKey(EpochManager* mgr, OlcNode* node) {
+  EpochGuard guard(mgr);
+  return node->keys[0];
+}
+
+// Contract markers push the obligation to the caller: fine.
+int ReadUnderCallerGuard(OlcNode* node) CBTREE_REQUIRES_EPOCH {
+  return node->keys[node->count - 1];
+}
+
+OlcNode* BuildUnpublished(OlcNode* proto) CBTREE_EPOCH_QUIESCENT {
+  proto->keys[0] = 1;
+  return proto;
+}
+
+// Retire under a guard: fine.
+void RetireGuarded(EpochManager* mgr, OlcNode* node) {
+  EpochGuard guard(mgr);
+  RetireObject(mgr, node);
+}
+
+// Functions that never touch a node may use EpochGuard freely.
+void PinBriefly(EpochManager* mgr) {
+  EpochGuard guard(mgr);
+}
+
+// A NOLINT escape must be honored.
+int SuppressedAccess(OlcNode* node) {
+  return node->keys[0];  // NOLINT(cbtree-epoch-guard)
+}
+
+}  // namespace cbtree

@@ -1,0 +1,32 @@
+// Positive fixture for cbtree-node-alloc.
+
+namespace cbtree {
+
+struct OlcNode {
+  OlcNode(int level, int capacity);
+  int level;
+};
+
+struct CNode {
+  explicit CNode(int level);
+  int level;
+};
+
+void Publish(OlcNode* node);
+
+// Naked new of a node type outside the arena/AllocateNode paths.
+OlcNode* MakeDetachedLeaf() {
+  return new OlcNode(1, 8);  // expect-diag: cbtree-node-alloc
+}
+
+void GrowSideways(CNode** out) {
+  *out = new CNode(2);  // expect-diag: cbtree-node-alloc
+}
+
+// Naked delete of a node pointer outside destructor/reclamation paths:
+// a reader may still hold this node.
+void FreeEagerly(OlcNode* victim) {
+  delete victim;  // expect-diag: cbtree-node-alloc
+}
+
+}  // namespace cbtree

@@ -1,0 +1,38 @@
+// Negative fixture for cbtree-node-alloc.
+#include "base/thread_annotations.h"
+
+namespace cbtree {
+
+struct OlcNode {
+  OlcNode(int level, int capacity);
+  int level;
+};
+
+class Tree {
+ public:
+  ~Tree();
+
+ private:
+  // The allocator path owns naked new.
+  OlcNode* AllocateNode(int level) const;
+  // Epoch-quiescent reclamation owns naked delete.
+  void FreeRetired(OlcNode* node) CBTREE_EPOCH_QUIESCENT;
+
+  OlcNode* root_;
+};
+
+OlcNode* Tree::AllocateNode(int level) const {
+  return new OlcNode(level, 8);
+}
+
+void Tree::FreeRetired(OlcNode* node) CBTREE_EPOCH_QUIESCENT {
+  delete node;
+}
+
+// Destructors tear down quiescent trees.
+Tree::~Tree() {
+  OlcNode* node = root_;
+  delete node;
+}
+
+}  // namespace cbtree

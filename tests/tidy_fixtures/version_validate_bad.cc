@@ -1,0 +1,44 @@
+// Positive fixture for cbtree-version-validate.
+#include <cstdint>
+
+namespace cbtree {
+
+struct OlcNode;
+bool ReadLockOrRestart(const OlcNode* node, uint64_t* version);
+bool Validate(const OlcNode* node, uint64_t version);
+bool UpgradeLockOrRestart(OlcNode* node, uint64_t version);
+int KeyAt(const OlcNode* node, int index);
+
+// The stamp is taken but never validated: stale data escapes.
+int ReadWithoutValidate(const OlcNode* node) {
+  uint64_t v = 0;
+  ReadLockOrRestart(node, &v);  // expect-diag: cbtree-version-validate
+  return KeyAt(node, 0);
+}
+
+// Validate called, result thrown away: proves nothing.
+int DiscardedValidate(const OlcNode* node) {
+  uint64_t v = 0;
+  if (!ReadLockOrRestart(node, &v)) return -1;
+  int k = KeyAt(node, 0);
+  Validate(node, v);  // expect-diag: cbtree-version-validate
+  return k;
+}
+
+struct RawNode {
+  struct Word {
+    void store(uint64_t value);
+    uint64_t fetch_add(uint64_t delta);
+  } version;
+};
+
+// Raw version-word mutation outside the named primitives.
+void SmashVersion(RawNode* node) {
+  node->version.store(0);  // expect-diag: cbtree-version-validate
+}
+
+void BumpVersionSideways(RawNode* node) {
+  node->version.fetch_add(4);  // expect-diag: cbtree-version-validate
+}
+
+}  // namespace cbtree

@@ -1,0 +1,174 @@
+//===--- EpochGuardCheck.cpp - cbtree-epoch-guard -------------------------===//
+
+#include "EpochGuardCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::cbtree {
+
+namespace {
+
+constexpr const char *kNodeFields[] = {"keys",     "children", "values",
+                                       "right",    "high_key", "count",
+                                       "level",    "version"};
+
+AST_MATCHER(FieldDecl, isOlcNodeField) {
+  const auto *Record = dyn_cast<CXXRecordDecl>(Node.getParent());
+  if (!Record || Record->getName() != "OlcNode")
+    return false;
+  for (const char *Field : kNodeFields)
+    if (Node.getName() == Field)
+      return true;
+  return false;
+}
+
+// True when the function declares (on any redeclaration) one of the epoch
+// contract markers: the annotate() markers the project macros expand to, or
+// a REQUIRES_SHARED capability naming `epoch_`.
+bool hasEpochContract(const FunctionDecl *FD) {
+  for (const FunctionDecl *Redecl : FD->redecls()) {
+    for (const auto *A : Redecl->specific_attrs<AnnotateAttr>()) {
+      if (A->getAnnotation() == "cbtree::requires_epoch" ||
+          A->getAnnotation() == "cbtree::epoch_quiescent")
+        return true;
+    }
+    for (const auto *A :
+         Redecl->specific_attrs<RequiresCapabilityAttr>()) {
+      for (const Expr *Arg : A->args()) {
+        if (const auto *ME = dyn_cast<MemberExpr>(Arg->IgnoreParenCasts()))
+          if (ME->getMemberDecl()->getName() == "epoch_")
+            return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool isRetireSelf(const FunctionDecl *FD) {
+  return FD->getName() == "Retire" || FD->getName() == "RetireObject";
+}
+
+} // namespace
+
+void EpochGuardCheck::registerMatchers(MatchFinder *Finder) {
+  // OLC node field accesses inside a function body.
+  Finder->addMatcher(
+      memberExpr(member(fieldDecl(isOlcNodeField())),
+                 forFunction(functionDecl(hasBody(compoundStmt()))
+                                 .bind("fn")))
+          .bind("access"),
+      this);
+  // Retirement calls.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("Retire", "RetireObject"))),
+               forFunction(functionDecl(hasBody(compoundStmt())).bind("fn")))
+          .bind("retire"),
+      this);
+  // Local guard declarations (automatic storage only; others diagnosed).
+  Finder->addMatcher(
+      varDecl(hasType(cxxRecordDecl(hasName("EpochGuard"))),
+              hasAutomaticStorageDuration(),
+              forFunction(functionDecl().bind("fn")))
+          .bind("guard"),
+      this);
+  // Escape rules.
+  Finder->addMatcher(
+      cxxNewExpr(has(cxxConstructExpr(
+                     hasType(cxxRecordDecl(hasName("EpochGuard"))))))
+          .bind("heap-guard"),
+      this);
+  Finder->addMatcher(
+      varDecl(hasType(cxxRecordDecl(hasName("EpochGuard"))),
+              hasStaticStorageDuration())
+          .bind("static-guard"),
+      this);
+  Finder->addMatcher(fieldDecl(hasType(cxxRecordDecl(hasName("EpochGuard"))),
+                               unless(hasParent(cxxRecordDecl(
+                                   hasName("EpochGuard")))))
+                         .bind("member-guard"),
+                     this);
+}
+
+void EpochGuardCheck::check(const MatchFinder::MatchResult &Result) {
+  if (const auto *New = Result.Nodes.getNodeAs<CXXNewExpr>("heap-guard")) {
+    diag(New->getBeginLoc(),
+         "EpochGuard must not be heap-allocated; its pin is only sound with "
+         "scoped lifetime");
+    return;
+  }
+  if (const auto *VD = Result.Nodes.getNodeAs<VarDecl>("static-guard")) {
+    diag(VD->getBeginLoc(),
+         "EpochGuard must not have static storage; it would pin an epoch "
+         "for the process lifetime");
+    return;
+  }
+  if (const auto *FD = Result.Nodes.getNodeAs<FieldDecl>("member-guard")) {
+    diag(FD->getBeginLoc(),
+         "EpochGuard must not escape a function scope (class member); "
+         "guards are strictly scoped");
+    return;
+  }
+
+  const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+  if (!Fn)
+    return;
+  Fn = Fn->getCanonicalDecl();
+
+  if (const auto *Guard = Result.Nodes.getNodeAs<VarDecl>("guard")) {
+    auto It = FirstGuard.find(Fn);
+    if (It == FirstGuard.end() ||
+        Result.SourceManager->isBeforeInTranslationUnit(Guard->getBeginLoc(),
+                                                        It->second))
+      FirstGuard[Fn] = Guard->getBeginLoc();
+    return;
+  }
+  if (const auto *ME = Result.Nodes.getNodeAs<MemberExpr>("access")) {
+    Accesses[Fn].push_back(
+        {ME->getBeginLoc(),
+         ("OLC node field '" +
+          ME->getMemberDecl()->getName().str() + "' accessed")});
+    return;
+  }
+  if (const auto *CE = Result.Nodes.getNodeAs<CallExpr>("retire")) {
+    if (isRetireSelf(Fn))
+      return; // the retire machinery itself
+    const auto *Callee = CE->getDirectCallee();
+    Accesses[Fn].push_back(
+        {CE->getBeginLoc(),
+         ("node retired via '" +
+          (Callee ? Callee->getName().str() : "Retire") + "'")});
+  }
+}
+
+void EpochGuardCheck::onEndOfTranslationUnit() {
+  for (auto &[Fn, List] : Accesses) {
+    if (hasEpochContract(Fn))
+      continue;
+    auto GuardIt = FirstGuard.find(Fn);
+    for (const Access &A : List) {
+      if (GuardIt != FirstGuard.end() &&
+          Fn->getASTContext().getSourceManager().isBeforeInTranslationUnit(
+              GuardIt->second, A.Loc))
+        continue; // dominated by a guard declared earlier
+      if (GuardIt != FirstGuard.end())
+        diag(A.Loc, "%0 before the EpochGuard is taken; hoist the guard "
+                    "above the first node access")
+            << A.What;
+      else
+        diag(A.Loc,
+             "%0 outside a live EpochGuard; take a guard, or mark the "
+             "function CBTREE_REQUIRES_EPOCH / "
+             "CBTREE_REQUIRES_SHARED(epoch_) / CBTREE_EPOCH_QUIESCENT")
+            << A.What;
+      break; // one report per function keeps the noise down
+    }
+  }
+  Accesses.clear();
+  FirstGuard.clear();
+}
+
+} // namespace clang::tidy::cbtree

@@ -1,0 +1,46 @@
+//===--- EpochGuardCheck.h - cbtree-epoch-guard ---------------------------===//
+//
+// OLC node field accesses and Retire/RetireObject calls must be dominated by
+// a live EpochGuard in the same function, or the function must carry one of
+// the epoch contract markers (CBTREE_REQUIRES_EPOCH,
+// CBTREE_REQUIRES_SHARED(epoch_), CBTREE_EPOCH_QUIESCENT). EpochGuard itself
+// must never be heap-allocated, static, or stored as a class member: its pin
+// is only sound with strictly scoped lifetime.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CBTREE_TIDY_EPOCH_GUARD_CHECK_H_
+#define CBTREE_TIDY_EPOCH_GUARD_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+#include <map>
+#include <vector>
+
+namespace clang::tidy::cbtree {
+
+class EpochGuardCheck : public ClangTidyCheck {
+public:
+  EpochGuardCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void onEndOfTranslationUnit() override;
+
+private:
+  struct Access {
+    SourceLocation Loc;
+    std::string What;
+  };
+  // Per-function first guard location and node accesses, paired at end of
+  // TU so match order does not matter.
+  std::map<const FunctionDecl *, SourceLocation> FirstGuard;
+  std::map<const FunctionDecl *, std::vector<Access>> Accesses;
+};
+
+} // namespace clang::tidy::cbtree
+
+#endif // CBTREE_TIDY_EPOCH_GUARD_CHECK_H_

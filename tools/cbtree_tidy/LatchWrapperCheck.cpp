@@ -1,0 +1,68 @@
+//===--- LatchWrapperCheck.cpp - cbtree-latch-wrapper ---------------------===//
+
+#include "LatchWrapperCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::cbtree {
+
+namespace {
+
+bool isWrapper(const FunctionDecl *FD) {
+  if (!FD)
+    return false;
+  StringRef Name = FD->getName();
+  if (Name == "LatchShared" || Name == "LatchExclusive" ||
+      Name == "UnlatchShared" || Name == "UnlatchExclusive")
+    return true;
+  if (const auto *Method = dyn_cast<CXXMethodDecl>(FD))
+    if (Method->getParent()->getName() == "NodeLatch")
+      return true;
+  return false;
+}
+
+} // namespace
+
+void LatchWrapperCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasAnyName(
+              "lock", "unlock", "try_lock", "lock_shared", "unlock_shared",
+              "try_lock_shared", "native_handle"))),
+          on(ignoringParenImpCasts(memberExpr(member(hasName("latch"))))),
+          forFunction(functionDecl().bind("fn")))
+          .bind("raw-call"),
+      this);
+  Finder->addMatcher(
+      varDecl(hasType(cxxRecordDecl(hasAnyName(
+                  "::std::lock_guard", "::std::unique_lock",
+                  "::std::shared_lock", "::std::scoped_lock"))),
+              hasDescendant(memberExpr(member(hasName("latch")))),
+              forFunction(functionDecl().bind("fn")))
+          .bind("adapter"),
+      this);
+}
+
+void LatchWrapperCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+  if (isWrapper(Fn))
+    return;
+  if (const auto *Call =
+          Result.Nodes.getNodeAs<CXXMemberCallExpr>("raw-call")) {
+    diag(Call->getBeginLoc(),
+         "raw latch call %0 outside the instrumented "
+         "LatchShared/LatchExclusive/Unlatch* wrappers")
+        << Call->getMethodDecl();
+    return;
+  }
+  if (const auto *Adapter = Result.Nodes.getNodeAs<VarDecl>("adapter")) {
+    diag(Adapter->getBeginLoc(),
+         "std lock adapter over a node latch bypasses the instrumented "
+         "wrappers (and the latch_check validator)");
+  }
+}
+
+} // namespace clang::tidy::cbtree

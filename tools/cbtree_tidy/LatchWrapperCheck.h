@@ -1,0 +1,31 @@
+//===--- LatchWrapperCheck.h - cbtree-latch-wrapper -----------------------===//
+//
+// Raw latch member calls on a cnode (node->latch.lock() and friends) and
+// std lock adapters constructed over a node latch are forbidden outside the
+// instrumented LatchShared/LatchExclusive/UnlatchShared/UnlatchExclusive
+// wrappers and NodeLatch's own methods: anything else bypasses the runtime
+// latch_check validator and the obs latch telemetry.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CBTREE_TIDY_LATCH_WRAPPER_CHECK_H_
+#define CBTREE_TIDY_LATCH_WRAPPER_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::cbtree {
+
+class LatchWrapperCheck : public ClangTidyCheck {
+public:
+  LatchWrapperCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace clang::tidy::cbtree
+
+#endif // CBTREE_TIDY_LATCH_WRAPPER_CHECK_H_

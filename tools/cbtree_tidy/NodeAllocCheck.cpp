@@ -1,0 +1,78 @@
+//===--- NodeAllocCheck.cpp - cbtree-node-alloc ---------------------------===//
+
+#include "NodeAllocCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::cbtree {
+
+namespace {
+
+bool isAllocatorPath(const FunctionDecl *FD) {
+  if (!FD)
+    return false;
+  StringRef Name = FD->getName();
+  if (Name == "AllocateNode" || Name == "Allocate")
+    return true;
+  // Node constructors may allocate their own backing arrays.
+  if (const auto *Ctor = dyn_cast<CXXConstructorDecl>(FD)) {
+    StringRef Parent = Ctor->getParent()->getName();
+    return Parent == "OlcNode" || Parent == "CNode";
+  }
+  return false;
+}
+
+bool isReclamationPath(const FunctionDecl *FD) {
+  if (!FD)
+    return false;
+  if (isa<CXXDestructorDecl>(FD))
+    return true;
+  for (const FunctionDecl *Redecl : FD->redecls())
+    for (const auto *A : Redecl->specific_attrs<AnnotateAttr>())
+      if (A->getAnnotation() == "cbtree::epoch_quiescent")
+        return true;
+  return false;
+}
+
+} // namespace
+
+void NodeAllocCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxNewExpr(hasType(pointsTo(cxxRecordDecl(
+                     hasAnyName("OlcNode", "CNode")))),
+                 forFunction(functionDecl().bind("fn")))
+          .bind("node-new"),
+      this);
+  Finder->addMatcher(
+      cxxDeleteExpr(has(ignoringParenImpCasts(expr(hasType(pointsTo(
+                        cxxRecordDecl(hasAnyName("OlcNode", "CNode"))))))),
+                    forFunction(functionDecl().bind("fn")))
+          .bind("node-delete"),
+      this);
+}
+
+void NodeAllocCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+  if (const auto *New = Result.Nodes.getNodeAs<CXXNewExpr>("node-new")) {
+    if (isAllocatorPath(Fn))
+      return;
+    diag(New->getBeginLoc(),
+         "naked 'new' of a node type outside the arena/AllocateNode paths; "
+         "nodes must come from their allocator");
+    return;
+  }
+  if (const auto *Del = Result.Nodes.getNodeAs<CXXDeleteExpr>("node-delete")) {
+    if (isReclamationPath(Fn))
+      return;
+    diag(Del->getBeginLoc(),
+         "naked 'delete' of a node pointer outside destructor/"
+         "epoch-reclamation paths; retire nodes to the epoch manager "
+         "instead");
+  }
+}
+
+} // namespace clang::tidy::cbtree

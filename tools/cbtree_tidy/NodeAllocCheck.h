@@ -1,0 +1,31 @@
+//===--- NodeAllocCheck.h - cbtree-node-alloc -----------------------------===//
+//
+// Tree nodes (OlcNode, CNode) must come from their allocator: naked `new`
+// is confined to the AllocateNode/Allocate arena paths, and naked `delete`
+// of a node pointer to destructors and CBTREE_EPOCH_QUIESCENT reclamation
+// paths. Anywhere else, a delete frees memory an optimistic reader may
+// still dereference — nodes are retired to the epoch manager instead.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CBTREE_TIDY_NODE_ALLOC_CHECK_H_
+#define CBTREE_TIDY_NODE_ALLOC_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::cbtree {
+
+class NodeAllocCheck : public ClangTidyCheck {
+public:
+  NodeAllocCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace clang::tidy::cbtree
+
+#endif // CBTREE_TIDY_NODE_ALLOC_CHECK_H_

@@ -1,0 +1,115 @@
+//===--- ObsCompileOutCheck.cpp - cbtree-obs-compile-out ------------------===//
+
+#include "ObsCompileOutCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Lex/PPCallbacks.h"
+#include "clang/Lex/Preprocessor.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::cbtree {
+
+namespace {
+
+constexpr llvm::StringLiteral kMacro("CBTREE_OBS_ENABLED");
+
+bool inObsDir(StringRef Path) {
+  return Path.contains("/obs/") || Path.starts_with("obs/");
+}
+
+class ObsPPCallbacks : public PPCallbacks {
+public:
+  ObsPPCallbacks(ObsCompileOutCheck *Check, const SourceManager &SM)
+      : Check(Check), SM(SM) {}
+
+  void Ifdef(SourceLocation Loc, const Token &MacroNameTok,
+             const MacroDefinition &MD) override {
+    if (MacroNameTok.getIdentifierInfo()->getName() != kMacro)
+      return;
+    Check->diag(Loc, "CBTREE_OBS_ENABLED is always defined (0 or 1); #ifdef "
+                     "is always-true — use '#if CBTREE_OBS_ENABLED'");
+  }
+
+  void Ifndef(SourceLocation Loc, const Token &MacroNameTok,
+              const MacroDefinition &MD) override {
+    if (MacroNameTok.getIdentifierInfo()->getName() != kMacro)
+      return;
+    // The default-define idiom (`#ifndef` immediately followed by
+    // `#define CBTREE_OBS_ENABLED <value>`) is the one legal shape; the
+    // MacroDefined callback below cancels this pending report.
+    PendingIfndef = Loc;
+    PendingLine = SM.getSpellingLineNumber(Loc);
+  }
+
+  void MacroDefined(const Token &MacroNameTok,
+                    const MacroDirective *MD) override {
+    if (MacroNameTok.getIdentifierInfo()->getName() != kMacro)
+      return;
+    if (PendingIfndef.isValid() &&
+        SM.getSpellingLineNumber(MacroNameTok.getLocation()) <=
+            PendingLine + 2)
+      PendingIfndef = SourceLocation();
+  }
+
+  void Defined(const Token &MacroNameTok, const MacroDefinition &MD,
+               SourceRange Range) override {
+    if (MacroNameTok.getIdentifierInfo()->getName() != kMacro)
+      return;
+    Check->diag(Range.getBegin(),
+                "CBTREE_OBS_ENABLED is always defined (0 or 1); defined() is "
+                "always true — test its value instead");
+  }
+
+  void EndOfMainFile() override { flushPending(); }
+
+private:
+  void flushPending() {
+    if (!PendingIfndef.isValid())
+      return;
+    Check->diag(PendingIfndef,
+                "CBTREE_OBS_ENABLED is always defined (0 or 1); #ifndef is "
+                "always-false — use '#if CBTREE_OBS_ENABLED'");
+    PendingIfndef = SourceLocation();
+  }
+
+  ObsCompileOutCheck *Check;
+  const SourceManager &SM;
+  SourceLocation PendingIfndef;
+  unsigned PendingLine = 0;
+};
+
+} // namespace
+
+void ObsCompileOutCheck::registerPPCallbacks(const SourceManager &SM,
+                                             Preprocessor *PP,
+                                             Preprocessor *) {
+  PP->addPPCallbacks(std::make_unique<ObsPPCallbacks>(this, SM));
+}
+
+void ObsCompileOutCheck::registerMatchers(MatchFinder *Finder) {
+  // Any reference to a declaration inside obs::internal from outside
+  // src/obs/.
+  Finder->addMatcher(
+      declRefExpr(to(decl(hasDeclContext(namespaceDecl(
+                      hasName("internal"),
+                      hasParent(namespaceDecl(hasName("obs"))))))))
+          .bind("internal-ref"),
+      this);
+}
+
+void ObsCompileOutCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Ref = Result.Nodes.getNodeAs<DeclRefExpr>("internal-ref");
+  if (!Ref)
+    return;
+  StringRef File = Result.SourceManager->getFilename(
+      Result.SourceManager->getSpellingLoc(Ref->getBeginLoc()));
+  if (inObsDir(File))
+    return;
+  diag(Ref->getBeginLoc(),
+       "obs::internal is private to src/obs/; go through the "
+       "compile-out-safe Counter/Gauge/Timer handles");
+}
+
+} // namespace clang::tidy::cbtree

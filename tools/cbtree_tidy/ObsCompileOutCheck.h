@@ -1,0 +1,31 @@
+//===--- ObsCompileOutCheck.h - cbtree-obs-compile-out --------------------===//
+//
+// CBTREE_OBS_ENABLED is always defined (to 0 or 1) by obs/registry.h's
+// default-define idiom, so `#ifdef`/`#ifndef`/`defined()` tests of it are
+// always-true (or always-false) bugs; only `#if CBTREE_OBS_ENABLED` is
+// meaningful, and only after a header establishing the default has been
+// included. obs::internal is private to src/obs/ — everything else goes
+// through the compile-out-safe Counter/Gauge/Timer handles.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CBTREE_TIDY_OBS_COMPILE_OUT_CHECK_H_
+#define CBTREE_TIDY_OBS_COMPILE_OUT_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::cbtree {
+
+class ObsCompileOutCheck : public ClangTidyCheck {
+public:
+  ObsCompileOutCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerPPCallbacks(const SourceManager &SM, Preprocessor *PP,
+                           Preprocessor *ModuleExpanderPP) override;
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace clang::tidy::cbtree
+
+#endif // CBTREE_TIDY_OBS_COMPILE_OUT_CHECK_H_

@@ -1,0 +1,113 @@
+//===--- VersionValidateCheck.cpp - cbtree-version-validate ---------------===//
+
+#include "VersionValidateCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::cbtree {
+
+namespace {
+
+constexpr const char *kPrimitives[] = {
+    "ReadLockOrRestart", "Validate",       "LockNode",
+    "TryLockNode",       "UpgradeLockOrRestart", "UnlockNode",
+    "UnlockObsolete",    "BumpVersionForTest"};
+
+bool isPrimitive(const FunctionDecl *FD) {
+  if (!FD)
+    return false;
+  for (const char *Name : kPrimitives)
+    if (FD->getName() == Name)
+      return true;
+  return false;
+}
+
+} // namespace
+
+void VersionValidateCheck::registerMatchers(MatchFinder *Finder) {
+  // Stamp creation: ReadLockOrRestart(node, &v).
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasName("ReadLockOrRestart"))),
+               hasArgument(1, unaryOperator(hasOperatorName("&"),
+                                            hasUnaryOperand(declRefExpr(
+                                                to(varDecl().bind("stamp")))))))
+          .bind("read"),
+      this);
+  // Stamp consumption: Validate(node, v) / UpgradeLockOrRestart(node, v).
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasAnyName("Validate", "UpgradeLockOrRestart"))),
+               hasArgument(1, ignoringParenImpCasts(declRefExpr(
+                                  to(varDecl().bind("used")))))),
+      this);
+  // Hand-off: the stamp flows into another variable (`v = cv`), which the
+  // next loop iteration validates — one hop at a time suffices.
+  Finder->addMatcher(
+      binaryOperator(isAssignmentOperator(),
+                     hasRHS(ignoringParenImpCasts(
+                         declRefExpr(to(varDecl().bind("handed")))))),
+      this);
+  // Discarded Validate: the full call expression is itself a statement.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasName("Validate"))),
+               hasParent(compoundStmt()))
+          .bind("discarded"),
+      this);
+  // Raw version-word mutation outside the primitives.
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasAnyName(
+              "store", "exchange", "compare_exchange_weak",
+              "compare_exchange_strong", "fetch_add", "fetch_sub", "fetch_or",
+              "fetch_and", "fetch_xor"))),
+          on(memberExpr(member(hasName("version")))),
+          forFunction(functionDecl().bind("mutator")))
+          .bind("mutation"),
+      this);
+}
+
+void VersionValidateCheck::check(const MatchFinder::MatchResult &Result) {
+  if (const auto *Stamp = Result.Nodes.getNodeAs<VarDecl>("stamp")) {
+    const auto *Read = Result.Nodes.getNodeAs<CallExpr>("read");
+    Stamps.emplace(Stamp->getCanonicalDecl(), Read->getBeginLoc());
+    return;
+  }
+  if (const auto *Used = Result.Nodes.getNodeAs<VarDecl>("used")) {
+    Consumed.insert(Used->getCanonicalDecl());
+    return;
+  }
+  if (const auto *Handed = Result.Nodes.getNodeAs<VarDecl>("handed")) {
+    Consumed.insert(Handed->getCanonicalDecl());
+    return;
+  }
+  if (const auto *CE = Result.Nodes.getNodeAs<CallExpr>("discarded")) {
+    diag(CE->getBeginLoc(),
+         "Validate result is discarded; an unchecked validate proves "
+         "nothing");
+    return;
+  }
+  if (const auto *CE = Result.Nodes.getNodeAs<CXXMemberCallExpr>("mutation")) {
+    const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("mutator");
+    if (isPrimitive(Fn))
+      return;
+    diag(CE->getBeginLoc(), "raw version-word mutation outside the "
+                            "version-lock primitives");
+  }
+}
+
+void VersionValidateCheck::onEndOfTranslationUnit() {
+  for (const auto &[Stamp, Loc] : Stamps) {
+    if (Consumed.count(Stamp))
+      continue;
+    diag(Loc, "version stamp %0 is never validated; data read under it must "
+              "not escape without Validate/UpgradeLockOrRestart")
+        << Stamp;
+  }
+  Stamps.clear();
+  Consumed.clear();
+}
+
+} // namespace clang::tidy::cbtree

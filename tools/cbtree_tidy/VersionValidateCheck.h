@@ -1,0 +1,40 @@
+//===--- VersionValidateCheck.h - cbtree-version-validate -----------------===//
+//
+// Every ReadLockOrRestart stamp must flow into a Validate or
+// UpgradeLockOrRestart before stamped data escapes — directly, or by
+// assignment into another stamp variable (the descent loops hand the child
+// stamp to the next iteration with `v = cv`). A Validate whose result is
+// discarded proves nothing and is diagnosed. Raw mutations of the version
+// word are confined to the named version-lock primitives.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CBTREE_TIDY_VERSION_VALIDATE_CHECK_H_
+#define CBTREE_TIDY_VERSION_VALIDATE_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+#include <map>
+#include <set>
+
+namespace clang::tidy::cbtree {
+
+class VersionValidateCheck : public ClangTidyCheck {
+public:
+  VersionValidateCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void onEndOfTranslationUnit() override;
+
+private:
+  std::map<const VarDecl *, SourceLocation> Stamps;
+  std::set<const VarDecl *> Consumed;
+};
+
+} // namespace clang::tidy::cbtree
+
+#endif // CBTREE_TIDY_VERSION_VALIDATE_CHECK_H_

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Runs the Clang static analyzer (scan-build) over the core library and CLI
+# targets. Any analyzer report fails the run: the tree is expected to stay
+# triaged to zero (false positives are suppressed at the source with
+# [[clang::suppress]] or an NOLINT-style comment plus a justification).
+#
+#   tools/run_scan_build.sh              # analyze the core targets
+#
+# Environment:
+#   SCAN_BUILD  scan-build binary (default: first of scan-build,
+#               scan-build-18..14 on PATH)
+#   BUILD_DIR   analysis build tree (default build-scan/; always
+#               reconfigured, scan-build must see the compiler wrappers)
+#   JOBS        parallel compile processes (default: nproc)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-scan}"
+JOBS="${JOBS:-$(nproc)}"
+
+if [[ -z "${SCAN_BUILD:-}" ]]; then
+  for candidate in scan-build scan-build-18 scan-build-17 scan-build-16 \
+                   scan-build-15 scan-build-14; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      SCAN_BUILD="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "${SCAN_BUILD:-}" ]]; then
+  echo "error: scan-build not found; install clang-tools or set SCAN_BUILD" >&2
+  exit 2
+fi
+
+REPORT_DIR="$BUILD_DIR/scan-reports"
+rm -rf "$BUILD_DIR"
+mkdir -p "$REPORT_DIR"
+
+# scan-build intercepts the compiler, so the configure must run under it
+# too. Tests/benchmarks/examples are off: the analyzer's value is in the
+# library and CLI; gtest's macro bodies drown the output in third-party
+# noise.
+echo "=== scan-build configure ==="
+"$SCAN_BUILD" --status-bugs -o "$REPORT_DIR" \
+  cmake -B "$BUILD_DIR" -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCBTREE_BUILD_TESTS=OFF \
+        -DCBTREE_BUILD_BENCHMARKS=OFF \
+        -DCBTREE_BUILD_EXAMPLES=OFF
+
+echo "=== scan-build analyze (core library + CLI, $JOBS jobs) ==="
+# --status-bugs: exit nonzero iff the analyzer produced any report.
+"$SCAN_BUILD" --status-bugs -o "$REPORT_DIR" \
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "scan-build: clean"
