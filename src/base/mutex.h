@@ -15,6 +15,7 @@
 #ifndef CBTREE_BASE_MUTEX_H_
 #define CBTREE_BASE_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -44,6 +45,16 @@ class CBTREE_CAPABILITY("mutex") Mutex {
   /// needs no NO_THREAD_SAFETY_ANALYSIS escape.
   void Wait(std::condition_variable_any* cv) CBTREE_REQUIRES(this) {
     cv->wait(*this);
+  }
+
+  /// Timed variant of Wait(): blocks at most `timeout`, with the same
+  /// hold-across-the-call contract towards the analysis. The WAL group-commit
+  /// writer uses this for its coalescing window.
+  template <class Rep, class Period>
+  std::cv_status WaitFor(std::condition_variable_any* cv,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      CBTREE_REQUIRES(this) {
+    return cv->wait_for(*this, timeout);
   }
 
  private:

@@ -134,6 +134,10 @@ bool BLinkTree::Insert(Key key, Value value) CBTREE_NO_THREAD_SAFETY_ANALYSIS {
   }
   bool inserted = cnode::LeafInsert(leaf, key, value);
   if (inserted) AdjustSize(1);
+  // B-link holds at most the leaf here (kLeafOnly == kNaive): log under the
+  // leaf latch and, when retaining, wait before the split loop sheds it.
+  const uint64_t lsn = WalLogInsert(key, value);
+  if (WalRetainLeaf()) WalWaitDurable(lsn);
 
   CNode* cur = leaf;
   while (Overflowed(*cur)) {
@@ -167,6 +171,8 @@ bool BLinkTree::Delete(Key key) CBTREE_NO_THREAD_SAFETY_ANALYSIS {
   // place even when emptied.
   bool removed = cnode::LeafDelete(leaf, key);
   if (removed) AdjustSize(-1);
+  const uint64_t lsn = removed ? WalLogDelete(key) : 0;
+  if (WalRetainLeaf()) WalWaitDurable(lsn);
   UnlatchExclusive(leaf);
   return removed;
 }

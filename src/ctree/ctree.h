@@ -19,11 +19,29 @@
 #include "base/thread_annotations.h"
 #include "btree/node.h"
 #include "core/analyzer.h"
+#include "core/optimistic_model.h"
 #include "ctree/cnode.h"
 #include "ctree/latch_check.h"
 #include "obs/registry.h"
 
 namespace cbtree {
+
+/// Durability hook a tree mutates through when a write-ahead log is bound
+/// (see BindWal). The tree calls Log* while the leaf latch / version lock is
+/// still held, so LSN order equals the per-key serialization order and redo
+/// replay is deterministic; WaitDurable blocks until the group-commit
+/// watermark covers `lsn`. Implemented by the server's adapter over
+/// wal::ShardLog — the tree layer stays ignorant of files and fsync.
+class WalBinding {
+ public:
+  virtual ~WalBinding() = default;
+  /// Logs an upsert (both insert-new and overwrite) and returns its LSN.
+  virtual uint64_t LogInsert(Key key, Value value) = 0;
+  /// Logs a removal and returns its LSN. Callers only log deletes that
+  /// actually removed a key.
+  virtual uint64_t LogDelete(Key key) = 0;
+  virtual void WaitDurable(uint64_t lsn) = 0;
+};
 
 /// Latch levels tracked per tree; deeper levels fold into the top slot.
 inline constexpr int kMaxLatchLevels = 24;
@@ -100,6 +118,28 @@ class ConcurrentBTree {
   /// Quiescent count of reachable keys (must equal size()).
   virtual size_t CountKeys() const;
 
+  /// Attaches a write-ahead log to the write path (null detaches). Every
+  /// subsequent Insert logs an upsert and every key-removing Delete logs a
+  /// removal, while the leaf is still write-latched. `retention` selects the
+  /// paper's §7 lock-retention policy, with commit = group-commit
+  /// durability of the operation's own LSN:
+  ///   kNone     release latches immediately; the caller (the server, before
+  ///             acknowledging) waits out durability off the latch path.
+  ///   kLeafOnly retain the leaf W latch until the LSN is durable, releasing
+  ///             ancestors first (Shasha's leaf-only retention).
+  ///   kNaive    retain every still-held W latch until the LSN is durable.
+  /// For protocols that hold at most the leaf at operation end (Optimistic
+  /// Descent's fast path, B-link, OLC) kLeafOnly and kNaive coincide; the
+  /// coupled paths (Naive lock coupling, Two-phase, Optimistic's restart
+  /// pass) retain the whole latched chain under kNaive.
+  /// Call quiescent (no concurrent mutators), before serving writes.
+  void BindWal(WalBinding* wal, RecoveryPolicy retention) {
+    wal_ = wal;
+    wal_retention_ = retention;
+  }
+  WalBinding* wal_binding() const { return wal_; }
+  RecoveryPolicy wal_retention() const { return wal_retention_; }
+
  protected:
   CNode* root() const { return root_; }
   CNodeArena* arena() { return &arena_; }
@@ -127,6 +167,27 @@ class ConcurrentBTree {
   void UnlatchShared(const CNode* node) const
       CBTREE_RELEASE_SHARED(node->latch);
   void UnlatchExclusive(CNode* node) const CBTREE_RELEASE(node->latch);
+
+  /// WAL helpers for the protocol write paths. All are no-ops (returning
+  /// LSN 0) when no log is bound, so the hot paths cost one predictable
+  /// branch in the common unlogged configuration.
+  uint64_t WalLogInsert(Key key, Value value) const {
+    return wal_ != nullptr ? wal_->LogInsert(key, value) : 0;
+  }
+  uint64_t WalLogDelete(Key key) const {
+    return wal_ != nullptr ? wal_->LogDelete(key) : 0;
+  }
+  void WalWaitDurable(uint64_t lsn) const {
+    if (lsn != 0 && wal_ != nullptr) wal_->WaitDurable(lsn);
+  }
+  /// True iff the leaf W latch must be held across the durability wait.
+  bool WalRetainLeaf() const {
+    return wal_ != nullptr && wal_retention_ != RecoveryPolicy::kNone;
+  }
+  /// True iff every still-held W latch must be held across the wait.
+  bool WalRetainAll() const {
+    return wal_ != nullptr && wal_retention_ == RecoveryPolicy::kNaive;
+  }
 
   bool IsFull(const CNode& node) const {
     return static_cast<int>(node.size()) >= max_node_size_;
@@ -163,6 +224,9 @@ class ConcurrentBTree {
   };
   obs::Registry obs_;
   LatchInstruments latch_[2][kMaxLatchLevels + 1];
+
+  WalBinding* wal_ = nullptr;
+  RecoveryPolicy wal_retention_ = RecoveryPolicy::kNone;
 };
 
 /// Factory over the three protocols.

@@ -55,6 +55,9 @@ bool LockCouplingTree::CoupledInsert(Key key, Value value)
   }
   bool inserted = cnode::LeafInsert(node, key, value);
   if (inserted) AdjustSize(1);
+  // Logged under the leaf latch: LSN order is the per-key serialization
+  // order (an overwrite is state-changing, so it logs too).
+  const uint64_t lsn = WalLogInsert(key, value);
   // Split upward through the retained (all-latched) chain.
   for (size_t i = chain.size(); i-- > 0;) {
     CNode* cur = chain[i];
@@ -70,7 +73,7 @@ bool LockCouplingTree::CoupledInsert(Key key, Value value)
     CNode* right = cnode::HalfSplit(cur, arena(), &separator);
     cnode::InsertSplitEntry(chain[i - 1], separator, right, right->high_key);
   }
-  for (CNode* held : chain) UnlatchExclusive(held);
+  ReleaseChainWithRetention(&chain, lsn);
   return inserted;
 }
 
@@ -93,9 +96,34 @@ bool LockCouplingTree::CoupledDelete(Key key)
   }
   bool removed = cnode::LeafDelete(node, key);
   if (removed) AdjustSize(-1);
+  // Delete-miss changes nothing, so only a real removal is logged.
+  const uint64_t lsn = removed ? WalLogDelete(key) : 0;
   // Lazy deletion: an emptied leaf stays linked in place.
-  for (CNode* held : chain) UnlatchExclusive(held);
+  ReleaseChainWithRetention(&chain, lsn);
   return removed;
+}
+
+void LockCouplingTree::ReleaseChainWithRetention(std::vector<CNode*>* chain,
+                                                 uint64_t lsn)
+    CBTREE_NO_THREAD_SAFETY_ANALYSIS {
+  // Paper §7 lock retention, with commit = group-commit durability of `lsn`:
+  // Naive retains the whole still-latched chain across the wait, Leaf-only
+  // sheds the ancestors first and retains just the leaf (chain->back()),
+  // None releases everything and leaves the wait to the server's ack path.
+  if (lsn != 0 && WalRetainAll()) {
+    WalWaitDurable(lsn);
+    for (CNode* held : *chain) UnlatchExclusive(held);
+    return;
+  }
+  if (lsn != 0 && WalRetainLeaf()) {
+    for (size_t i = 0; i + 1 < chain->size(); ++i) {
+      UnlatchExclusive((*chain)[i]);
+    }
+    WalWaitDurable(lsn);
+    UnlatchExclusive(chain->back());
+    return;
+  }
+  for (CNode* held : *chain) UnlatchExclusive(held);
 }
 
 std::optional<Value> TwoPhaseTree::Search(Key key) const

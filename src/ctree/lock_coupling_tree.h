@@ -7,6 +7,8 @@
 #ifndef CBTREE_CTREE_LOCK_COUPLING_TREE_H_
 #define CBTREE_CTREE_LOCK_COUPLING_TREE_H_
 
+#include <vector>
+
 #include "ctree/ctree.h"
 
 namespace cbtree {
@@ -26,6 +28,11 @@ class LockCouplingTree : public ConcurrentBTree {
   /// redo phase.
   bool CoupledInsert(Key key, Value value);
   bool CoupledDelete(Key key);
+
+  /// Releases the retained W-latch chain (root-side first, leaf =
+  /// chain->back()) under the bound WAL's lock-retention policy; `lsn` is
+  /// the operation's log record (0 = nothing logged, plain release).
+  void ReleaseChainWithRetention(std::vector<CNode*>* chain, uint64_t lsn);
 
   /// Two-Phase Locking reuses the machinery with no early releases.
   bool release_safe_ancestors_ = true;

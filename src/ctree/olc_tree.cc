@@ -507,6 +507,13 @@ int OlcTree::InsertAttempt(Key key, Value value,
   if (!UpgradeLockOrRestart(node, v)) return -1;
   bool inserted = LeafInsertLocked(node, key, value);
   if (inserted) AdjustSize(1);
+  // Logged while the leaf's version write-lock is held, so LSN order is the
+  // per-key serialization order. Retention (kLeafOnly == kNaive here: only
+  // the leaf lock is held) keeps the version lock across the durability
+  // wait — concurrent readers of this leaf restart, which is exactly the
+  // paper's retained-lock cost made visible live.
+  const uint64_t lsn = WalLogInsert(key, value);
+  if (WalRetainLeaf()) WalWaitDurable(lsn);
 
   OlcNode* cur = node;
   while (cur->count.load(std::memory_order_relaxed) > max_node_size()) {
@@ -623,6 +630,8 @@ int OlcTree::DeleteAttempt(Key key, OlcNode** emptied) {
   if (!UpgradeLockOrRestart(node, v)) return -1;
   bool removed = LeafDeleteLocked(node, key);
   if (removed) AdjustSize(-1);
+  const uint64_t lsn = removed ? WalLogDelete(key) : 0;
+  if (WalRetainLeaf()) WalWaitDurable(lsn);
   bool now_empty = removed &&
                    node->count.load(std::memory_order_relaxed) == 0 &&
                    node != olc_root_;

@@ -36,6 +36,10 @@ bool OptimisticDescentTree::Insert(Key key, Value value)
     if (leaf != nullptr && !IsFull(*leaf)) {
       bool inserted = cnode::LeafInsert(leaf, key, value);
       if (inserted) AdjustSize(1);
+      // Only the leaf is held on this fast path, so kLeafOnly and kNaive
+      // retention coincide: hold it across the durability wait.
+      const uint64_t lsn = WalLogInsert(key, value);
+      if (WalRetainLeaf()) WalWaitDurable(lsn);
       UnlatchExclusive(leaf);
       return inserted;
     }
@@ -56,6 +60,8 @@ bool OptimisticDescentTree::Delete(Key key) CBTREE_NO_THREAD_SAFETY_ANALYSIS {
     if (leaf != nullptr && !IsDeleteUnsafe(*leaf)) {
       bool removed = cnode::LeafDelete(leaf, key);
       if (removed) AdjustSize(-1);
+      const uint64_t lsn = removed ? WalLogDelete(key) : 0;
+      if (WalRetainLeaf()) WalWaitDurable(lsn);
       UnlatchExclusive(leaf);
       return removed;
     }

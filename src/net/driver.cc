@@ -59,6 +59,11 @@ struct ConnDriver {
   double last_event = 0.0;  ///< latest time fed to `active`
 
   void RecordActiveLocked(double now) CBTREE_REQUIRES(mu) {
+    // `now` is sampled before mu is acquired, so under contention the peer
+    // thread may have fed a later stamp while this one waited for the lock.
+    // Clamp instead of feeding time backwards (the accumulator checks
+    // monotonicity); the integral error is bounded by the lock wait.
+    if (now < last_event) now = last_event;
     active.Update(now, static_cast<double>(outstanding.size()));
     if (now > last_event) last_event = now;
   }

@@ -20,6 +20,7 @@
 #include "obs/expo.h"
 #include "stats/rng.h"
 #include "util/check.h"
+#include "wal/recovery.h"
 
 namespace cbtree {
 namespace net {
@@ -35,10 +36,11 @@ uint64_t ElapsedNs(Clock::time_point since) {
 }
 
 /// Cells the server's registry needs: the base service metrics plus seven
-/// stage timers per shard (a timer takes 3 + kTimerBuckets cells); the
-/// default Registry capacity would overflow past ~30 shards.
+/// stage timers and three WAL timers + one WAL counter per shard (a timer
+/// takes 3 + kTimerBuckets cells); the default Registry capacity would
+/// overflow past ~20 shards.
 uint32_t RegistryCellCapacity(int shards) {
-  const uint32_t per_shard = 7u * (3u + obs::kTimerBuckets);
+  const uint32_t per_shard = 10u * (3u + obs::kTimerBuckets) + 1u;
   return 2048u + per_shard * static_cast<uint32_t>(shards);
 }
 
@@ -177,11 +179,33 @@ struct Server::Loop {
   std::atomic<size_t> write_buffer_hwm{0};
 };
 
+/// Adapts one shard's wal::ShardLog onto the tree-layer durability hook:
+/// the trees log and wait through this without knowing about files, and the
+/// wal library never sees a tree (the layering stays acyclic).
+class ShardWalBinding : public WalBinding {
+ public:
+  explicit ShardWalBinding(wal::ShardLog* log) : log_(log) {}
+  uint64_t LogInsert(Key key, Value value) override {
+    return log_->AppendInsert(key, value);
+  }
+  uint64_t LogDelete(Key key) override { return log_->AppendDelete(key); }
+  void WaitDurable(uint64_t lsn) override { log_->WaitDurable(lsn); }
+
+ private:
+  wal::ShardLog* log_;
+};
+
 /// One key-space shard: its tree and the dedicated worker pool that gives
 /// the shard its thread affinity, plus per-shard batch accounting.
 struct Server::Shard {
   std::unique_ptr<ConcurrentBTree> tree;
   std::unique_ptr<ThreadPool> pool;
+  /// Write-ahead log + the binding the tree mutates through (null when
+  /// durability is off). The log outlives the pool (workers may be parked
+  /// in WaitDurable) and survives until the Server dies so the final report
+  /// can read its stats after Close().
+  std::unique_ptr<wal::ShardLog> log;
+  std::unique_ptr<WalBinding> wal_binding;
   std::atomic<uint64_t> executed{0};
   std::atomic<uint64_t> batches{0};
   std::atomic<uint64_t> batched_requests{0};
@@ -305,7 +329,62 @@ bool Server::Start(std::string* error) {
     shard->pool = std::make_unique<ThreadPool>(std::max(1, shard_workers));
     shards_.push_back(std::move(shard));
   }
-  if (options_.preload_items > 0) {
+  const bool wal_enabled = !options_.wal_dir.empty();
+  wal_replayed_records_ = 0;
+  wal_replayed_segments_ = 0;
+  wal_truncated_bytes_ = 0;
+  if (wal_enabled) {
+    for (int s = 0; s < shard_count; ++s) {
+      const std::string dir =
+          options_.wal_dir + "/shard-" + std::to_string(s);
+      ConcurrentBTree* tree = shards_[static_cast<size_t>(s)]->tree.get();
+      // Replay BEFORE the log is bound, so redo records are not re-logged.
+      const wal::RecoveryResult recovered = wal::RecoverShard(
+          dir, static_cast<uint32_t>(s), [tree](const wal::WalRecord& record) {
+            if (record.type == wal::RecordType::kInsert) {
+              tree->Insert(record.key, record.value);
+            } else {
+              tree->Delete(record.key);
+            }
+          });
+      if (!recovered.ok) {
+        if (error != nullptr) *error = recovered.error;
+        return false;
+      }
+      // A replayed tree must be structurally sound before it serves.
+      if (recovered.records > 0) tree->CheckInvariants();
+      wal_replayed_records_ += recovered.records;
+      wal_replayed_segments_ += recovered.segments;
+      wal_truncated_bytes_ += recovered.truncated_bytes;
+
+      wal::WalOptions wal_options;
+      wal_options.dir = dir;
+      wal_options.shard = static_cast<uint32_t>(s);
+      wal_options.fsync = options_.wal_fsync;
+      wal_options.group_commit_us = options_.wal_group_commit_us;
+      wal_options.segment_bytes = options_.wal_segment_bytes;
+      wal_options.start_lsn = recovered.max_lsn + 1;
+      wal_options.registry = &obs_;
+      std::string wal_error;
+      shards_[static_cast<size_t>(s)]->log =
+          wal::ShardLog::Open(wal_options, &wal_error);
+      if (shards_[static_cast<size_t>(s)]->log == nullptr) {
+        if (error != nullptr) *error = wal_error;
+        return false;
+      }
+      shards_[static_cast<size_t>(s)]->wal_binding =
+          std::make_unique<ShardWalBinding>(
+              shards_[static_cast<size_t>(s)]->log.get());
+      // Bound retention-free for the preload (one SyncAll beats 10^4
+      // per-insert waits); the configured policy is applied below, before
+      // the listeners open.
+      tree->BindWal(shards_[static_cast<size_t>(s)]->wal_binding.get(),
+                    RecoveryPolicy::kNone);
+    }
+  }
+  // A non-empty replay IS the preload (the log already contains the whole
+  // tree state, preloaded keys included); re-preloading would double-insert.
+  if (options_.preload_items > 0 && wal_replayed_records_ == 0) {
     // Same preload scheme as `cbtree stress`: uniform keys over twice the
     // item count, so drivers using the same --items value share the space.
     // Each key is routed to its owning shard, exactly like live requests.
@@ -315,6 +394,16 @@ bool Server::Start(std::string* error) {
       Key key = static_cast<Key>(rng.NextBounded(key_space) + 1);
       shards_[ShardOfKey(key, shard_count)]->tree->Insert(
           key, static_cast<Value>(i));
+    }
+    // The preload goes through the bound logs; make it durable before the
+    // listeners open so a crash at any serving instant can replay it.
+    for (auto& shard : shards_) {
+      if (shard->log != nullptr) shard->log->SyncAll();
+    }
+  }
+  if (wal_enabled) {
+    for (auto& shard : shards_) {
+      shard->tree->BindWal(shard->wal_binding.get(), options_.wal_retention);
     }
   }
 
@@ -386,6 +475,12 @@ void Server::Shutdown() {
   }
   // Shard pools drain any residual queued work, then join their workers.
   for (auto& shard : shards_) shard->pool.reset();
+  // Only after the workers are gone (none can be appending or parked in
+  // WaitDurable) do the logs flush their tails and join their writers. The
+  // ShardLog objects stay alive for the final report's WAL stats.
+  for (auto& shard : shards_) {
+    if (shard->log != nullptr) shard->log->Close();
+  }
 #if CBTREE_OBS_ENABLED
   // The exposition listener stops before the final snapshot so no scrape
   // can race it; the final interval is recorded only after every loop and
@@ -468,6 +563,22 @@ ServerStats Server::stats() const {
     }
     stats.loops.push_back(l);
   }
+  stats.wal.enabled = false;
+  for (const auto& shard : shards_) {
+    if (shard->log == nullptr) continue;
+    stats.wal.enabled = true;
+    const wal::WalStats& w = shard->log->stats();
+    stats.wal.appends += w.appends.load(std::memory_order_relaxed);
+    stats.wal.groups += w.groups.load(std::memory_order_relaxed);
+    stats.wal.fsyncs += w.fsyncs.load(std::memory_order_relaxed);
+    stats.wal.bytes += w.bytes.load(std::memory_order_relaxed);
+    stats.wal.segments += w.rotations.load(std::memory_order_relaxed);
+    const uint64_t max_group = w.max_group.load(std::memory_order_relaxed);
+    if (max_group > stats.wal.max_group) stats.wal.max_group = max_group;
+  }
+  stats.wal.replayed_records = wal_replayed_records_;
+  stats.wal.replayed_segments = wal_replayed_segments_;
+  stats.wal.truncated_bytes = wal_truncated_bytes_;
   return stats;
 }
 
@@ -526,6 +637,27 @@ obs::Snapshot Server::MergedSnapshot() const {
         static_cast<int64_t>(shards_[s]->tree->size());
     snapshot.gauges[prefix + ".in_flight"] = static_cast<int64_t>(
         shards_[s]->in_flight.load(std::memory_order_relaxed));
+  }
+  // Durability totals (summed across shard logs; absent when WAL is off).
+  {
+    uint64_t appends = 0, groups = 0, fsyncs = 0, bytes = 0;
+    bool wal_enabled = false;
+    for (const auto& shard : shards_) {
+      if (shard->log == nullptr) continue;
+      wal_enabled = true;
+      const wal::WalStats& w = shard->log->stats();
+      appends += w.appends.load(std::memory_order_relaxed);
+      groups += w.groups.load(std::memory_order_relaxed);
+      fsyncs += w.fsyncs.load(std::memory_order_relaxed);
+      bytes += w.bytes.load(std::memory_order_relaxed);
+    }
+    if (wal_enabled) {
+      snapshot.counters["srv.wal.appends"] = appends;
+      snapshot.counters["srv.wal.groups"] = groups;
+      snapshot.counters["srv.wal.fsyncs"] = fsyncs;
+      snapshot.counters["srv.wal.bytes"] = bytes;
+      snapshot.counters["srv.wal.replayed_records"] = wal_replayed_records_;
+    }
   }
   // Per-level latch telemetry folded across shards: each shard's tree keeps
   // its own registry, so level l's counters and contended-wait histograms
@@ -1223,6 +1355,14 @@ void Server::ExecuteBatch(std::shared_ptr<Conn> conn, int shard_index,
     span.requests.push_back(meta);
 #endif
     responses.push_back(response);
+  }
+  // Ack-after-durable: nothing this batch wrote may be answered until its
+  // last LSN is on disk. Under --recovery=leaf|naive the trees already
+  // waited latch-held (the wait below is then an O(1) watermark check);
+  // under --recovery=none this single wait covers the whole batch — the
+  // group-commit amortization point.
+  if (shard.log != nullptr) {
+    shard.log->WaitDurable(shard.log->ThreadLastLsn());
   }
   // Count completions BEFORE buffering the responses: the increments then
   // happen-before any client can have received a reply, so a kStats probe

@@ -57,6 +57,7 @@
 #include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "runner/thread_pool.h"
+#include "wal/log_writer.h"
 
 namespace cbtree {
 namespace net {
@@ -125,6 +126,21 @@ struct ServerOptions {
   /// Test-only: run in the worker before each tree operation (e.g. a sleep
   /// to saturate the admission budget deterministically).
   std::function<void(const Request&)> worker_delay_hook;
+
+  /// Durability. Non-empty enables the write-ahead log: on Start the server
+  /// recovers `wal_dir/shard-<s>/` into each shard's tree (validating CRCs,
+  /// truncating the torn tail), then logs every insert/delete through a
+  /// per-shard group-commit writer and acknowledges a write only once its
+  /// LSN is durable. Empty (default) = no WAL, identical to the pre-WAL
+  /// server.
+  std::string wal_dir;
+  wal::FsyncMode wal_fsync = wal::FsyncMode::kData;
+  /// Group-commit coalescing window, microseconds (see wal::WalOptions).
+  uint32_t wal_group_commit_us = 200;
+  uint64_t wal_segment_bytes = 64ull << 20;
+  /// Paper §7 lock-retention policy applied live by the trees (kNone: the
+  /// server waits out durability after the tree pass, before acking).
+  RecoveryPolicy wal_retention = RecoveryPolicy::kNone;
 };
 
 /// One shard's slice of the work (indexes match ShardOfKey).
@@ -142,6 +158,22 @@ struct LoopServerStats {
   uint64_t stats_requests = 0;       ///< kStats admin frames answered here
   uint64_t slow_consumer_drops = 0;  ///< slow-consumer conns owned by this loop
   size_t write_buffer_hwm = 0;  ///< max unflushed bytes on any conn here
+};
+
+/// Durability accounting, summed over the per-shard logs (all from
+/// wal::WalStats plain atomics plus the Start-time recovery results, so the
+/// serve report's amortization numbers survive CBTREE_OBS=OFF).
+struct WalServerStats {
+  bool enabled = false;
+  uint64_t appends = 0;  ///< records logged (== durable commits on drain)
+  uint64_t groups = 0;   ///< group flushes (one write(2) each)
+  uint64_t fsyncs = 0;   ///< fsync/fdatasync calls (0 under --fsync=off)
+  uint64_t bytes = 0;    ///< record bytes written
+  uint64_t max_group = 0;        ///< largest single group, in records
+  uint64_t segments = 0;         ///< segment files opened this run
+  uint64_t replayed_records = 0;     ///< recovered on Start
+  uint64_t replayed_segments = 0;    ///< segment files scanned on Start
+  uint64_t truncated_bytes = 0;      ///< torn-tail bytes cut on Start
 };
 
 /// Functional accounting (plain atomics, alive even with CBTREE_OBS=OFF).
@@ -167,6 +199,7 @@ struct ServerStats {
   uint64_t batches = 0;           ///< sum of ShardServerStats::batches
   uint64_t batched_requests = 0;  ///< sum of ShardServerStats::batched_requests
   bool reuseport = false;  ///< per-loop listen fds (vs accept round-robin)
+  WalServerStats wal;
   std::vector<ShardServerStats> shards;
   std::vector<LoopServerStats> loops;
 };
@@ -356,6 +389,11 @@ class Server {
 
   ServerOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Start-time recovery totals (written single-threaded in Start, read-only
+  // afterwards; surfaced through stats().wal).
+  uint64_t wal_replayed_records_ = 0;
+  uint64_t wal_replayed_segments_ = 0;
+  uint64_t wal_truncated_bytes_ = 0;
   std::vector<std::unique_ptr<Loop>> loops_;
   /// Serializes Shutdown against itself (signal-driven drain vs the
   /// destructor) and guards the final-snapshot state below.

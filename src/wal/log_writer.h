@@ -1,0 +1,165 @@
+// Per-shard append-only log with group commit.
+//
+// Appenders (the shard's worker threads) serialize records into an in-memory
+// buffer under the log mutex and return immediately with their LSN; a
+// dedicated log-writer thread wakes on the first pending record, sleeps out a
+// configurable coalescing window (`group_commit_us`) so concurrent appends
+// pile into the same group, then writes the whole group with one write(2)
+// and makes it durable with at most one fsync — this is where the server's
+// same-shard batching pays twice: K commits per fsync instead of one.
+//
+// Durability is a single monotone watermark per shard (`durable_lsn`).
+// WaitDurable(lsn) blocks until the watermark covers `lsn`; with
+// `--fsync=off` the watermark advances after write(2) (survives a process
+// SIGKILL via the page cache, not an OS crash), `data` after fdatasync,
+// `full` after fsync.
+//
+// All file I/O — open/write/fsync/close — happens on the writer thread and
+// in Open/Close; tree code must go through Append*/WaitDurable only (the
+// cbtree-wal-append tidy check enforces exactly this).
+
+#ifndef CBTREE_WAL_LOG_WRITER_H_
+#define CBTREE_WAL_LOG_WRITER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
+#include "btree/node.h"
+#include "obs/registry.h"
+#include "wal/wal_format.h"
+
+namespace cbtree {
+namespace wal {
+
+enum class FsyncMode : uint8_t {
+  kOff,   ///< no sync syscall; durable after write(2) reaches the page cache
+  kData,  ///< fdatasync(2) per group
+  kFull,  ///< fsync(2) per group
+};
+
+const char* FsyncModeName(FsyncMode mode);
+bool ParseFsyncMode(const std::string& text, FsyncMode* out);
+
+struct WalOptions {
+  std::string dir;  ///< shard log directory (created if absent)
+  uint32_t shard = 0;
+  FsyncMode fsync = FsyncMode::kData;
+  /// Coalescing window the writer sleeps after the first pending append
+  /// before flushing the group. 0 flushes as soon as the writer wakes.
+  uint32_t group_commit_us = 200;
+  /// Segment rotation threshold (bytes of records per segment file).
+  uint64_t segment_bytes = 64ull << 20;
+  /// First LSN this log assigns (recovery's max replayed LSN + 1).
+  uint64_t start_lsn = 1;
+  /// Optional instrumentation sink; may be null. Plain-atomic WalStats are
+  /// maintained regardless, so the serve report works under CBTREE_OBS=OFF.
+  obs::Registry* registry = nullptr;
+};
+
+/// Functional commit accounting (not obs — these survive -DCBTREE_OBS=OFF
+/// and feed the serve final report's amortization numbers).
+struct WalStats {
+  std::atomic<uint64_t> appends{0};        ///< records appended
+  std::atomic<uint64_t> groups{0};         ///< group flushes (write(2) calls)
+  std::atomic<uint64_t> fsyncs{0};         ///< fsync/fdatasync calls
+  std::atomic<uint64_t> bytes{0};          ///< record bytes written
+  std::atomic<uint64_t> max_group{0};      ///< largest group (records)
+  std::atomic<uint64_t> rotations{0};      ///< segment files opened
+};
+
+class ShardLog {
+ public:
+  /// Opens a fresh segment at `options.start_lsn` and starts the writer
+  /// thread. Returns null and fills `*error` on I/O failure.
+  static std::unique_ptr<ShardLog> Open(const WalOptions& options,
+                                        std::string* error);
+  ~ShardLog();
+
+  ShardLog(const ShardLog&) = delete;
+  ShardLog& operator=(const ShardLog&) = delete;
+
+  /// Appends one record and returns its LSN (never 0). The record is NOT
+  /// durable yet — pair with WaitDurable. Thread-safe.
+  uint64_t AppendInsert(Key key, Value value);
+  uint64_t AppendDelete(Key key);
+
+  /// Blocks until every record with LSN <= `lsn` is durable under the
+  /// configured fsync mode. `lsn == 0` returns immediately.
+  void WaitDurable(uint64_t lsn);
+
+  /// Blocks until everything appended so far (by any thread) is durable.
+  void SyncAll();
+
+  /// Durability watermark (relaxed read; exact after Close).
+  uint64_t DurableLsn() const {
+    return durable_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// Last LSN the *calling thread* appended to this log, or 0 if it never
+  /// appended here. Lets the server wait out one batch's durability with a
+  /// single call, without threading LSNs through the tree API.
+  uint64_t ThreadLastLsn() const;
+
+  const WalStats& stats() const { return stats_; }
+  uint32_t shard() const { return shard_; }
+
+  /// Flushes everything buffered, syncs, and joins the writer thread.
+  /// Idempotent; the destructor calls it.
+  void Close();
+
+ private:
+  ShardLog() = default;
+
+  uint64_t Append(RecordType type, Key key, Value value);
+  void WriterLoop();
+  /// One durability barrier on the current segment per the fsync mode
+  /// (no-op under kOff). Returns false on syscall failure.
+  bool SyncFd();
+  /// Writes `group` to the current segment (rotating first if it would
+  /// overflow), then syncs per `fsync_`. Returns false on I/O failure.
+  bool FlushGroup(const std::string& group, uint64_t first_lsn,
+                  uint64_t record_count);
+  bool OpenSegment(uint64_t start_lsn, std::string* error);
+
+  std::string dir_;
+  uint32_t shard_ = 0;
+  FsyncMode fsync_ = FsyncMode::kData;
+  uint32_t group_commit_us_ = 0;
+  uint64_t segment_bytes_ = 0;
+
+  Mutex mu_;
+  std::condition_variable_any pending_cv_;  // appender -> writer
+  std::condition_variable_any durable_cv_;  // writer -> waiters
+  std::string buffer_ CBTREE_GUARDED_BY(mu_);
+  uint64_t buffered_records_ CBTREE_GUARDED_BY(mu_) = 0;
+  uint64_t buffered_first_lsn_ CBTREE_GUARDED_BY(mu_) = 0;
+  uint64_t next_lsn_ CBTREE_GUARDED_BY(mu_) = 1;
+  bool stop_ CBTREE_GUARDED_BY(mu_) = false;
+  bool io_failed_ CBTREE_GUARDED_BY(mu_) = false;
+
+  std::atomic<uint64_t> durable_lsn_{0};
+
+  // Writer-thread-only state (no lock needed).
+  int fd_ = -1;
+  uint64_t segment_written_ = 0;
+
+  std::thread writer_;
+  bool closed_ = false;
+
+  WalStats stats_;
+  obs::Timer fsync_timer_;
+  obs::Timer group_size_timer_;
+  obs::Timer sync_wait_timer_;
+  obs::Counter append_counter_;
+};
+
+}  // namespace wal
+}  // namespace cbtree
+
+#endif  // CBTREE_WAL_LOG_WRITER_H_

@@ -1,0 +1,184 @@
+#include "wal/recovery.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace cbtree {
+namespace wal {
+namespace {
+
+struct SegmentRef {
+  uint64_t start_lsn = 0;
+  std::string path;
+};
+
+bool ListSegments(const std::string& dir, std::vector<SegmentRef>* out,
+                  std::string* error) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return true;  // nothing logged yet
+    *error = "wal: cannot open " + dir + ": " + std::strerror(errno);
+    return false;
+  }
+  while (dirent* entry = ::readdir(d)) {
+    uint64_t start_lsn = 0;
+    const std::string name = entry->d_name;
+    if (!ParseSegmentFileName(name, &start_lsn)) continue;
+    SegmentRef ref;
+    ref.start_lsn = start_lsn;
+    ref.path = dir + "/" + name;
+    out->push_back(std::move(ref));
+  }
+  ::closedir(d);
+  std::sort(out->begin(), out->end(),
+            [](const SegmentRef& a, const SegmentRef& b) {
+              return a.start_lsn < b.start_lsn;
+            });
+  return true;
+}
+
+bool ReadFileAll(const std::string& path, std::string* out,
+                 std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = "wal: cannot read " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) *error = "wal: read error on " + path;
+  return ok;
+}
+
+RecoveryResult Fail(std::string message) {
+  RecoveryResult result;
+  result.ok = false;
+  result.error = std::move(message);
+  return result;
+}
+
+}  // namespace
+
+RecoveryResult RecoverShard(
+    const std::string& dir, uint32_t shard,
+    const std::function<void(const WalRecord&)>& apply) {
+  RecoveryResult result;
+  std::vector<SegmentRef> segments;
+  std::string error;
+  if (!ListSegments(dir, &segments, &error)) return Fail(std::move(error));
+
+  uint64_t expected_lsn = 0;  // 0: not pinned yet (first segment sets it)
+  bool tail_torn = false;
+  size_t next_index = 0;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const SegmentRef& seg = segments[i];
+    std::string data;
+    if (!ReadFileAll(seg.path, &data, &error)) return Fail(std::move(error));
+    const bool last = (i + 1 == segments.size());
+    if (data.size() < kSegmentHeaderSize) {
+      // A header-short file can only come from a crash during segment
+      // creation, which is necessarily the newest file; anywhere else it is
+      // corruption, not crash damage.
+      if (!last) {
+        return Fail("wal: " + seg.path +
+                    " is shorter than a segment header mid-sequence");
+      }
+      result.truncated_bytes += data.size();
+      if (::unlink(seg.path.c_str()) != 0) {
+        return Fail("wal: cannot remove torn segment " + seg.path + ": " +
+                    std::strerror(errno));
+      }
+      next_index = i + 1;
+      tail_torn = true;
+      break;
+    }
+    SegmentHeader header;
+    if (DecodeSegmentHeader(reinterpret_cast<const uint8_t*>(data.data()),
+                            data.size(), &header) != DecodeStatus::kOk) {
+      return Fail("wal: " + seg.path + " has a corrupt segment header");
+    }
+    if (header.shard != shard) {
+      return Fail("wal: " + seg.path + " belongs to shard " +
+                  std::to_string(header.shard) + ", expected " +
+                  std::to_string(shard));
+    }
+    if (header.start_lsn != seg.start_lsn) {
+      return Fail("wal: " + seg.path + " header start LSN " +
+                  std::to_string(header.start_lsn) +
+                  " disagrees with its file name");
+    }
+    if (expected_lsn != 0 && header.start_lsn != expected_lsn) {
+      return Fail("wal: LSN gap before " + seg.path + ": expected " +
+                  std::to_string(expected_lsn) + ", header says " +
+                  std::to_string(header.start_lsn));
+    }
+    expected_lsn = header.start_lsn;
+    ++result.segments;
+
+    size_t offset = kSegmentHeaderSize;
+    while (offset < data.size()) {
+      WalRecord record;
+      size_t consumed = 0;
+      const DecodeStatus status =
+          DecodeRecord(reinterpret_cast<const uint8_t*>(data.data()) + offset,
+                       data.size() - offset, &record, &consumed);
+      if (status == DecodeStatus::kOk) {
+        if (record.lsn != expected_lsn) {
+          // CRC-valid but out-of-sequence: this is not torn-write damage.
+          return Fail("wal: " + seg.path + " record LSN " +
+                      std::to_string(record.lsn) + " breaks the sequence at " +
+                      std::to_string(expected_lsn));
+        }
+        apply(record);
+        ++result.records;
+        result.max_lsn = record.lsn;
+        ++expected_lsn;
+        offset += consumed;
+        continue;
+      }
+      // kNeedMore (file ends mid-record) and kError (CRC/length/type
+      // mismatch) are both the torn tail of the final crash: everything at
+      // and past this offset is unreachable garbage. Cut it off so the next
+      // writer appends to a clean tail.
+      if (::truncate(seg.path.c_str(),
+                     static_cast<off_t>(offset)) != 0) {
+        return Fail("wal: cannot truncate torn tail of " + seg.path + ": " +
+                    std::strerror(errno));
+      }
+      result.truncated_bytes += data.size() - offset;
+      tail_torn = true;
+      break;
+    }
+    next_index = i + 1;
+    if (tail_torn) break;
+  }
+
+  if (tail_torn) {
+    // Segments past a torn record are unreachable by LSN order and would
+    // poison the next recovery's continuity check; remove them.
+    for (size_t i = next_index; i < segments.size(); ++i) {
+      struct stat st;
+      if (::stat(segments[i].path.c_str(), &st) == 0) {
+        result.truncated_bytes += static_cast<uint64_t>(st.st_size);
+      }
+      if (::unlink(segments[i].path.c_str()) != 0) {
+        return Fail("wal: cannot remove orphaned segment " +
+                    segments[i].path + ": " + std::strerror(errno));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace wal
+}  // namespace cbtree

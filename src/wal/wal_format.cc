@@ -1,0 +1,165 @@
+#include "wal/wal_format.h"
+
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace cbtree {
+namespace wal {
+namespace {
+
+// Explicit little-endian (de)serialization so the on-disk format does not
+// depend on host byte order (same idiom as net/protocol.cc).
+void PutU32(uint32_t v, std::string* out) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(b, 4);
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(b, 8);
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+int64_t GetI64(const uint8_t* p) { return static_cast<int64_t>(GetU64(p)); }
+
+std::array<uint32_t, 256> MakeCrc32cTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ 0x82f63b78u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const uint8_t* data, size_t size, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = MakeCrc32cTable();
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+bool IsValidRecordType(uint8_t raw) {
+  return raw == static_cast<uint8_t>(RecordType::kInsert) ||
+         raw == static_cast<uint8_t>(RecordType::kDelete);
+}
+
+const char* RecordTypeName(RecordType type) {
+  switch (type) {
+    case RecordType::kInsert:
+      return "insert";
+    case RecordType::kDelete:
+      return "delete";
+  }
+  return "unknown";
+}
+
+void AppendSegmentHeader(const SegmentHeader& header, std::string* out) {
+  const size_t base = out->size();
+  out->append(kSegmentMagic, sizeof(kSegmentMagic));
+  PutU32(header.version, out);
+  PutU32(header.shard, out);
+  PutU64(header.start_lsn, out);
+  const uint32_t crc =
+      Crc32c(reinterpret_cast<const uint8_t*>(out->data() + base),
+             kSegmentHeaderSize - 4);
+  PutU32(crc, out);
+}
+
+void AppendRecord(const WalRecord& record, std::string* out) {
+  std::string payload;
+  payload.reserve(kRecordPayloadSize);
+  payload.push_back(static_cast<char>(record.type));
+  PutU64(record.lsn, &payload);
+  PutU64(static_cast<uint64_t>(record.key), &payload);
+  PutU64(static_cast<uint64_t>(record.value), &payload);
+  PutU32(kRecordPayloadSize, out);
+  PutU32(Crc32c(reinterpret_cast<const uint8_t*>(payload.data()),
+                payload.size()),
+         out);
+  out->append(payload);
+}
+
+DecodeStatus DecodeSegmentHeader(const uint8_t* data, size_t size,
+                                 SegmentHeader* out) {
+  if (size < kSegmentHeaderSize) return DecodeStatus::kNeedMore;
+  if (std::memcmp(data, kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    return DecodeStatus::kError;
+  }
+  // The header CRC is checked before any field is interpreted, so a torn or
+  // bit-flipped header can never smuggle in a bogus start LSN.
+  const uint32_t stored_crc = GetU32(data + kSegmentHeaderSize - 4);
+  if (Crc32c(data, kSegmentHeaderSize - 4) != stored_crc) {
+    return DecodeStatus::kError;
+  }
+  const uint32_t version = GetU32(data + 8);
+  if (version != kSegmentVersion) return DecodeStatus::kError;
+  out->version = version;
+  out->shard = GetU32(data + 12);
+  out->start_lsn = GetU64(data + 16);
+  return DecodeStatus::kOk;
+}
+
+DecodeStatus DecodeRecord(const uint8_t* data, size_t size, WalRecord* out,
+                          size_t* consumed) {
+  if (size < 4) return DecodeStatus::kNeedMore;
+  // Length first: a hostile or corrupt length field must be rejected before
+  // it can direct any further read.
+  if (GetU32(data) != kRecordPayloadSize) return DecodeStatus::kError;
+  if (size < kRecordFrameSize) return DecodeStatus::kNeedMore;
+  const uint32_t stored_crc = GetU32(data + 4);
+  if (Crc32c(data + 8, kRecordPayloadSize) != stored_crc) {
+    return DecodeStatus::kError;
+  }
+  if (!IsValidRecordType(data[8])) return DecodeStatus::kError;
+  out->type = static_cast<RecordType>(data[8]);
+  out->lsn = GetU64(data + 9);
+  out->key = GetI64(data + 17);
+  out->value = GetI64(data + 25);
+  *consumed = kRecordFrameSize;
+  return DecodeStatus::kOk;
+}
+
+std::string SegmentFileName(uint64_t start_lsn) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%020" PRIu64 ".seg", start_lsn);
+  return buf;
+}
+
+bool ParseSegmentFileName(const std::string& name, uint64_t* start_lsn) {
+  if (name.size() != 4 + 20 + 4) return false;
+  if (name.compare(0, 4, "wal-") != 0) return false;
+  if (name.compare(24, 4, ".seg") != 0) return false;
+  uint64_t lsn = 0;
+  for (size_t i = 4; i < 24; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    lsn = lsn * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *start_lsn = lsn;
+  return true;
+}
+
+}  // namespace wal
+}  // namespace cbtree

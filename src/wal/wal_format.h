@@ -1,0 +1,102 @@
+// On-disk format of the write-ahead log: little-endian, length-prefixed,
+// CRC32C-protected records in append-only segment files.
+//
+// Segment header:  [8B magic "CBWAL001"][u32 version][u32 shard]
+//                  [u64 start_lsn][u32 crc32c(bytes 0..23)]
+// Record frame:    [u32 payload_len][u32 crc32c(payload)]
+//                  [u8 type][u64 lsn][i64 key][i64 value]
+//
+// The discipline mirrors src/net/protocol.*: payload_len is fixed per record
+// type and validated before anything else, so a corrupt or torn length can
+// never make recovery read past the buffer or allocate unboundedly. The CRC
+// covers the payload only (the length is validated by equality), and decode
+// distinguishes "buffer ends mid-record" (kNeedMore — a torn tail, normal
+// after a crash) from "bytes are not a record" (kError — corruption), which
+// recovery maps to truncate-here semantics.
+//
+// LSNs are assigned densely per shard starting at 1; recovery additionally
+// checks that each record's LSN is exactly predecessor+1, so a misdirected
+// or replayed-out-of-place record is rejected even with a valid CRC.
+
+#ifndef CBTREE_WAL_WAL_FORMAT_H_
+#define CBTREE_WAL_WAL_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "btree/node.h"
+
+namespace cbtree {
+namespace wal {
+
+/// CRC32C (Castagnoli, poly 0x82F63B78), software table implementation.
+/// `seed` chains incremental computation; pass 0 for a fresh checksum.
+uint32_t Crc32c(const uint8_t* data, size_t size, uint32_t seed = 0);
+
+inline constexpr char kSegmentMagic[8] = {'C', 'B', 'W', 'A',
+                                          'L', '0', '0', '1'};
+inline constexpr uint32_t kSegmentVersion = 1;
+/// magic + version + shard + start_lsn + header crc.
+inline constexpr size_t kSegmentHeaderSize = 8 + 4 + 4 + 8 + 4;
+
+enum class RecordType : uint8_t {
+  kInsert = 1,  ///< key/value upsert (insert-new and overwrite both log this)
+  kDelete = 2,  ///< key removal (logged only when a key was actually removed)
+};
+
+bool IsValidRecordType(uint8_t raw);
+const char* RecordTypeName(RecordType type);
+
+struct WalRecord {
+  RecordType type = RecordType::kInsert;
+  uint64_t lsn = 0;
+  Key key = 0;
+  Value value = 0;
+};
+
+/// Fixed record payload: type + lsn + key + value.
+inline constexpr uint32_t kRecordPayloadSize = 1 + 8 + 8 + 8;
+/// Whole frame: length prefix + payload crc + payload.
+inline constexpr size_t kRecordFrameSize = 4 + 4 + kRecordPayloadSize;
+
+struct SegmentHeader {
+  uint32_t version = kSegmentVersion;
+  uint32_t shard = 0;
+  uint64_t start_lsn = 0;
+};
+
+/// Serializes onto `out` (append; never clears).
+void AppendSegmentHeader(const SegmentHeader& header, std::string* out);
+void AppendRecord(const WalRecord& record, std::string* out);
+
+enum class DecodeStatus {
+  kNeedMore,  ///< buffer holds only a prefix (a torn tail during recovery)
+  kOk,        ///< decoded; *consumed bytes were used
+  kError,     ///< bytes are not a valid record/header — corruption
+};
+
+/// Decodes the segment header at the start of `data`. On kOk fills `*out`;
+/// kNeedMore / kError leave it untouched.
+DecodeStatus DecodeSegmentHeader(const uint8_t* data, size_t size,
+                                 SegmentHeader* out);
+
+/// Decodes the first record frame of `data`. On kOk fills `*out` and sets
+/// `*consumed`; on kNeedMore/kError both outputs are untouched. The CRC and
+/// record type are checked here; LSN continuity is the caller's job.
+DecodeStatus DecodeRecord(const uint8_t* data, size_t size, WalRecord* out,
+                          size_t* consumed);
+
+/// Canonical file name of the segment whose first record is `start_lsn`:
+/// "wal-<start_lsn, 20 digits zero-padded>.seg". Zero padding makes the
+/// lexicographic directory order equal the LSN order.
+std::string SegmentFileName(uint64_t start_lsn);
+
+/// Inverse of SegmentFileName: true iff `name` parses, with the start LSN in
+/// `*start_lsn`.
+bool ParseSegmentFileName(const std::string& name, uint64_t* start_lsn);
+
+}  // namespace wal
+}  // namespace cbtree
+
+#endif  // CBTREE_WAL_WAL_FORMAT_H_

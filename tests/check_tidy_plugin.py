@@ -8,8 +8,9 @@ For every fixture pair under tests/tidy_fixtures/ this driver:
      markers EXACTLY — same file, same line, same check name; a missed
      seeded violation or an extra diagnostic both fail;
   2. runs the check over the negative fixture and asserts zero diagnostics;
-  3. finally runs all five checks over the real tree/epoch sources (and the
-     obs compile-out check over net/sim) and asserts they are clean.
+  3. finally runs all six checks over the real tree/epoch sources (and the
+     obs compile-out check over net/sim, the wal-append check over
+     wal/ctree/net) and asserts they are clean.
 
 The analyzer under test is tools/cbtree_tidy/cbtree_tidy.py. When
 --clang-tidy and --plugin point at a working clang-tidy and a built
@@ -31,6 +32,7 @@ FIXTURES = [
     ("cbtree-latch-wrapper", "latch_wrapper"),
     ("cbtree-obs-compile-out", "obs_compile_out"),
     ("cbtree-node-alloc", "node_alloc"),
+    ("cbtree-wal-append", "wal_append"),
 ]
 
 DIAG_RE = re.compile(r"^(.*):(\d+):(\d+): warning: .* \[([\w-]+)\]$")
@@ -150,10 +152,13 @@ def main():
         os.path.join(root, "src", "base", "epoch.cc"),
     ]
     obs_scope = glob_sources("src/ctree", "src/net", "src/sim", "src/obs")
+    wal_scope = glob_sources("src/wal", "src/ctree", "src/net")
 
     clean_suites = [("all checks over tree+epoch sources", "*", tree_files),
                     ("obs compile-out over ctree/net/sim/obs",
-                     "cbtree-obs-compile-out", obs_scope)]
+                     "cbtree-obs-compile-out", obs_scope),
+                    ("wal-append over wal/ctree/net",
+                     "cbtree-wal-append", wal_scope)]
     for label, checks, files in clean_suites:
         got = run_python_engine(python, script, checks, files)
         for f, line, name in sorted(got):

@@ -1,0 +1,46 @@
+// Positive fixture for cbtree-wal-append.
+#include <cstdio>
+
+namespace cbtree {
+
+using Key = long;
+using Value = long;
+
+namespace wal {
+
+class ShardLog {
+ public:
+  unsigned long AppendInsert(Key key, Value value);
+  unsigned long AppendDelete(Key key);
+  void WaitDurable(unsigned long lsn);
+};
+
+// Inside the wal namespace, raw write-side syscalls belong to the
+// writer-side I/O layer only; an appender-side helper must not write the
+// file by hand.
+void AppendRawFrame(int fd, const char* data, unsigned long size) {
+  ::write(fd, data, size);  // expect-diag: cbtree-wal-append
+}
+
+void HardenTail(int fd) {
+  ::fsync(fd);  // expect-diag: cbtree-wal-append
+}
+
+}  // namespace wal
+
+// A logged mutation path: it commits through the group-commit API, so a
+// raw syscall beside it is a second, unaccounted durability channel.
+void InsertDurable(wal::ShardLog* log, int fd, Key key, Value value) {
+  const unsigned long lsn = log->AppendInsert(key, value);
+  ::fdatasync(fd);  // expect-diag: cbtree-wal-append
+  log->WaitDurable(lsn);
+}
+
+void RemoveAndJournal(wal::ShardLog* log, std::FILE* side_channel, Key key) {
+  const unsigned long lsn = log->AppendDelete(key);
+  std::fwrite(&key, sizeof(key), 1,  // expect-diag: cbtree-wal-append
+              side_channel);
+  log->WaitDurable(lsn);
+}
+
+}  // namespace cbtree

@@ -4,6 +4,7 @@
 Usage:
     bench_baseline.py <cbtree-binary> [--out-dir=DIR] [--quick]
                       [--protocols=naive,optimistic,link,two-phase,olc]
+                      [--wal-protocols=olc]
 
 For each protocol this starts `cbtree serve` with the canonical sharded
 topology, drives it with the open-loop Poisson client at a rate chosen well
@@ -15,6 +16,13 @@ are machine-dependent by nature (bench_compare.py treats them as advisory).
 
 The baseline file records the full campaign config, so bench_compare.py can
 re-run the identical campaign without guessing flags.
+
+--wal-protocols adds a durability dimension: the same campaign with a
+write-ahead log behind the tree (--fsync=data, group commit on), written to
+BENCH_serve_<protocol>_wal.json. Its committed numbers are the standing
+evidence that (a) ack-after-durable throughput stays within tolerance of
+the no-WAL campaign at the canonical offered load and (b) group commit
+amortizes: fsyncs ≪ appends.
 """
 
 import json
@@ -22,10 +30,12 @@ import re
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 
 SCHEMA = "cbtree-bench-serve-v1"
 PROTOCOLS = ["naive", "optimistic", "link", "two-phase", "olc"]
+WAL_PROTOCOLS = ["olc"]
 
 # The canonical campaign: modest sizes so CI boxes finish in seconds, and an
 # offered load comfortably below a single-core saturation point.
@@ -41,6 +51,16 @@ CANONICAL = {
     "seed": 1,
 }
 QUICK_OVERRIDES = {"lambda": 800.0, "duration": "1s"}
+# The WAL dimension rides on the canonical campaign: durable acks under
+# group commit, one fdatasync per group. recovery=none is the serving
+# default (the batch-level durability wait); the Figure 15/16 retention
+# variants are EXPERIMENTS.md material, not baseline material.
+WAL_OVERLAY = {"wal": True, "fsync": "data", "group_commit_us": 200,
+               "recovery": "none"}
+
+WAL_REPORT_RE = re.compile(
+    r"wal\s+(\d+) appends in (\d+) groups \((\d+) fsyncs, max group (\d+)\), "
+    r"(\d+) bytes, (\d+) segments")
 
 
 def fail(message):
@@ -54,13 +74,24 @@ def run_campaign(binary, protocol, config, timeout=120):
 
     Raises RuntimeError on any accounting or lifecycle violation — those are
     correctness failures, never performance noise.
+
+    With config["wal"] the server runs write-ahead logged (fresh temp log
+    directory per campaign) and the returned report carries the serve-side
+    WAL accounting under "wal".
     """
-    serve = subprocess.Popen(
-        [binary, "serve", f"--protocol={protocol}", "--port=0",
-         f"--shards={config['shards']}", f"--loops={config['loops']}",
-         f"--workers={config['workers']}", f"--items={config['items']}",
-         f"--seed={config['seed']}"],
-        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    serve_args = [binary, "serve", f"--protocol={protocol}", "--port=0",
+                  f"--shards={config['shards']}", f"--loops={config['loops']}",
+                  f"--workers={config['workers']}",
+                  f"--items={config['items']}", f"--seed={config['seed']}"]
+    wal_dir = None
+    if config.get("wal"):
+        wal_dir = tempfile.TemporaryDirectory(prefix="cbtree_bench_wal_")
+        serve_args += [f"--wal_dir={wal_dir.name}",
+                       f"--fsync={config['fsync']}",
+                       f"--group_commit_us={config['group_commit_us']}",
+                       f"--recovery={config['recovery']}"]
+    serve = subprocess.Popen(serve_args, stdout=subprocess.PIPE,
+                             stderr=subprocess.STDOUT, text=True)
     try:
         port = None
         deadline = time.time() + 15
@@ -122,14 +153,30 @@ def run_campaign(binary, protocol, config, timeout=120):
         if not match or int(match.group(1)) != stats["completed"]:
             raise RuntimeError(
                 f"serve/drive disagree on completed:\n{tail}")
+        if config.get("wal"):
+            wal_match = WAL_REPORT_RE.search(tail)
+            if not wal_match:
+                raise RuntimeError(
+                    f"WAL campaign but serve printed no wal line:\n{tail}")
+            report["wal"] = {
+                "appends": int(wal_match.group(1)),
+                "groups": int(wal_match.group(2)),
+                "fsyncs": int(wal_match.group(3)),
+                "max_group": int(wal_match.group(4)),
+                "bytes": int(wal_match.group(5)),
+                "segments": int(wal_match.group(6)),
+            }
         return report
     finally:
         if serve.poll() is None:
             serve.kill()
+        if wal_dir is not None:
+            wal_dir.cleanup()
 
 
-def baseline_path(out_dir, protocol):
-    return f"{out_dir}/BENCH_serve_{protocol}.json"
+def baseline_path(out_dir, protocol, wal=False):
+    suffix = "_wal" if wal else ""
+    return f"{out_dir}/BENCH_serve_{protocol}{suffix}.json"
 
 
 def main():
@@ -141,13 +188,18 @@ def main():
     out_dir = "."
     quick = False
     protocols = PROTOCOLS
+    wal_protocols = WAL_PROTOCOLS
     for flag in args[1:]:
         if flag.startswith("--out-dir="):
             out_dir = flag.split("=", 1)[1]
         elif flag == "--quick":
             quick = True
         elif flag.startswith("--protocols="):
-            protocols = flag.split("=", 1)[1].split(",")
+            value = flag.split("=", 1)[1]
+            protocols = value.split(",") if value else []
+        elif flag.startswith("--wal-protocols="):
+            value = flag.split("=", 1)[1]
+            wal_protocols = value.split(",") if value else []
         else:
             fail(f"unknown flag {flag}")
 
@@ -155,41 +207,54 @@ def main():
     if quick:
         config.update(QUICK_OVERRIDES)
 
-    for protocol in protocols:
+    campaigns = [(protocol, False) for protocol in protocols]
+    campaigns += [(protocol, True) for protocol in wal_protocols]
+    for protocol, wal in campaigns:
+        campaign_config = dict(config)
+        if wal:
+            campaign_config.update(WAL_OVERLAY)
         try:
-            report = run_campaign(binary, protocol, config)
+            report = run_campaign(binary, protocol, campaign_config)
         except (RuntimeError, json.JSONDecodeError,
                 subprocess.TimeoutExpired) as err:
-            fail(f"{protocol}: {err}")
+            fail(f"{protocol}{'+wal' if wal else ''}: {err}")
         stats = report["stats"]
+        result = {
+            "sent": stats["sent"],
+            "completed": stats["completed"],
+            "rejected": stats["rejected"],
+            "errors": stats["errors"],
+            "unanswered": stats["unanswered"],
+            "achieved_throughput": stats["achieved_throughput"],
+            "resp_p50": stats["resp_p50"],
+            "resp_p95": stats["resp_p95"],
+            "resp_p99": stats["resp_p99"],
+            "shard_sent": stats["shard_sent"],
+            "shard_completed": stats["shard_completed"],
+        }
+        if wal:
+            result["wal"] = report["wal"]
         baseline = {
             "schema": SCHEMA,
             "protocol": protocol,
-            "config": config,
+            "config": campaign_config,
             # Provenance of the build that produced the committed numbers;
             # bench_compare.py prints committed-vs-current on a mismatch.
             "build": report.get("build", {}),
-            "result": {
-                "sent": stats["sent"],
-                "completed": stats["completed"],
-                "rejected": stats["rejected"],
-                "errors": stats["errors"],
-                "unanswered": stats["unanswered"],
-                "achieved_throughput": stats["achieved_throughput"],
-                "resp_p50": stats["resp_p50"],
-                "resp_p95": stats["resp_p95"],
-                "resp_p99": stats["resp_p99"],
-                "shard_sent": stats["shard_sent"],
-                "shard_completed": stats["shard_completed"],
-            },
+            "result": result,
         }
-        path = baseline_path(out_dir, protocol)
+        path = baseline_path(out_dir, protocol, wal)
         with open(path, "w") as out:
             json.dump(baseline, out, indent=2, sort_keys=True)
             out.write("\n")
+        note = ""
+        if wal:
+            wal_stats = report["wal"]
+            note = (f" wal: {wal_stats['appends']} appends / "
+                    f"{wal_stats['fsyncs']} fsyncs")
         print(f"OK: {path} throughput="
               f"{stats['achieved_throughput']:.0f}/s "
-              f"p99={stats['resp_p99']:.6f}s")
+              f"p99={stats['resp_p99']:.6f}s{note}")
 
 
 if __name__ == "__main__":

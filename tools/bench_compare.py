@@ -5,6 +5,7 @@ Usage:
     bench_compare.py <cbtree-binary> [--baseline-dir=DIR]
                      [--tolerance=25%] [--quick] [--strict]
                      [--protocols=naive,optimistic,link,two-phase,olc]
+                     [--wal-protocols=olc]
 
 Each baseline file records its full campaign config; this script replays the
 identical campaign and compares two different classes of result:
@@ -21,6 +22,12 @@ identical campaign and compares two different classes of result:
 --quick shortens the replay the same way bench_baseline.py --quick does;
 throughput is still comparable because the offered load stays
 sub-saturation, where achieved throughput tracks lambda, not the machine.
+
+--wal-protocols replays the committed BENCH_serve_<protocol>_wal.json
+campaigns (write-ahead logged serving, --fsync=data) under the same rules,
+plus one WAL-specific hard invariant: group commit must actually amortize —
+a run where every append paid its own fsync is a durability-pipeline
+regression, not machine noise.
 """
 
 import json
@@ -28,7 +35,7 @@ import subprocess
 import sys
 
 from bench_baseline import (PROTOCOLS, QUICK_OVERRIDES, SCHEMA,
-                            baseline_path, run_campaign)
+                            WAL_PROTOCOLS, baseline_path, run_campaign)
 
 
 def fail(message):
@@ -77,6 +84,7 @@ def main():
     quick = False
     strict = False
     protocols = PROTOCOLS
+    wal_protocols = WAL_PROTOCOLS
     for flag in args[1:]:
         if flag.startswith("--baseline-dir="):
             baseline_dir = flag.split("=", 1)[1]
@@ -87,14 +95,21 @@ def main():
         elif flag == "--strict":
             strict = True
         elif flag.startswith("--protocols="):
-            protocols = flag.split("=", 1)[1].split(",")
+            value = flag.split("=", 1)[1]
+            protocols = value.split(",") if value else []
+        elif flag.startswith("--wal-protocols="):
+            value = flag.split("=", 1)[1]
+            wal_protocols = value.split(",") if value else []
         else:
             fail(f"unknown flag {flag}")
 
     hard_failures = []
     advisories = []
-    for protocol in protocols:
-        path = baseline_path(baseline_dir, protocol)
+    campaigns = [(protocol, False) for protocol in protocols]
+    campaigns += [(protocol, True) for protocol in wal_protocols]
+    for protocol, wal in campaigns:
+        label = f"{protocol}+wal" if wal else protocol
+        path = baseline_path(baseline_dir, protocol, wal)
         try:
             with open(path) as handle:
                 baseline = json.load(handle)
@@ -112,7 +127,7 @@ def main():
             report = run_campaign(binary, protocol, config)
         except (RuntimeError, json.JSONDecodeError,
                 subprocess.TimeoutExpired) as err:
-            hard_failures.append(f"{protocol}: {err}")
+            hard_failures.append(f"{label}: {err}")
             continue
         stats = report["stats"]
         current_build = report.get("build", {})
@@ -120,12 +135,26 @@ def main():
         throughput_delta = relative_delta(stats["achieved_throughput"],
                                           committed["achieved_throughput"])
         p99_delta = relative_delta(stats["resp_p99"], committed["resp_p99"])
-        line = (f"{protocol}: throughput "
+        line = (f"{label}: throughput "
                 f"{stats['achieved_throughput']:.0f}/s vs committed "
                 f"{committed['achieved_throughput']:.0f}/s "
                 f"({throughput_delta:+.1%}), p99 "
                 f"{stats['resp_p99']:.6f}s vs {committed['resp_p99']:.6f}s "
                 f"({p99_delta:+.1%})")
+        if wal:
+            wal_stats = report["wal"]
+            amortization = wal_stats["appends"] / max(wal_stats["fsyncs"], 1)
+            line += (f", wal {wal_stats['appends']} appends / "
+                     f"{wal_stats['fsyncs']} fsyncs ({amortization:.1f}x)")
+            # Group commit must amortize: near-1x on a sizeable run means
+            # every append paid its own durability barrier — a pipeline
+            # regression, not noise (slower disks coalesce MORE, not less).
+            if (config.get("fsync") != "off"
+                    and wal_stats["appends"] >= 1000 and amortization < 2.0):
+                hard_failures.append(
+                    f"{label}: group commit not amortizing: "
+                    f"{wal_stats['appends']} appends took "
+                    f"{wal_stats['fsyncs']} fsyncs")
         # Only a throughput SHORTFALL beyond tolerance is flagged; running
         # faster than the committed number is not a regression. When --quick
         # changes lambda, compare against the offered load instead of the

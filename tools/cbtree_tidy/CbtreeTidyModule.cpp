@@ -1,6 +1,6 @@
 //===--- CbtreeTidyModule.cpp - cbtree project checks for clang-tidy ------===//
 //
-// Out-of-tree clang-tidy module carrying the five project-specific checks.
+// Out-of-tree clang-tidy module carrying the six project-specific checks.
 // Build with -DCBTREE_TIDY_PLUGIN=ON (needs the clang-tidy development
 // headers) and load with `clang-tidy -load libCbtreeTidyModule.so
 // -checks=cbtree-*`. tools/run_clang_tidy.sh does both automatically when
@@ -21,6 +21,7 @@
 #include "NodeAllocCheck.h"
 #include "ObsCompileOutCheck.h"
 #include "VersionValidateCheck.h"
+#include "WalAppendCheck.h"
 
 namespace clang::tidy::cbtree {
 
@@ -32,6 +33,7 @@ public:
     Factories.registerCheck<LatchWrapperCheck>("cbtree-latch-wrapper");
     Factories.registerCheck<ObsCompileOutCheck>("cbtree-obs-compile-out");
     Factories.registerCheck<NodeAllocCheck>("cbtree-node-alloc");
+    Factories.registerCheck<WalAppendCheck>("cbtree-wal-append");
   }
 };
 

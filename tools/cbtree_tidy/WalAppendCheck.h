@@ -1,0 +1,49 @@
+//===--- WalAppendCheck.h - cbtree-wal-append -----------------------------===//
+//
+// Logged mutation paths — any function that calls the WAL group-commit API
+// (AppendInsert/AppendDelete/WaitDurable/SyncAll or the WalLog*/
+// WalWaitDurable tree hooks) — must never issue raw write-side file
+// syscalls (write, pwrite, fwrite, fsync, fdatasync, ...): a hand-rolled
+// write beside the log is a second durability channel the commit watermark
+// knows nothing about. Inside the wal layer itself those syscalls are
+// confined to the writer-side I/O functions
+// (WriteAll/FlushGroup/OpenSegment/SyncFd/WriterLoop/Open/Close).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CBTREE_TIDY_WAL_APPEND_CHECK_H_
+#define CBTREE_TIDY_WAL_APPEND_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace clang::tidy::cbtree {
+
+class WalAppendCheck : public ClangTidyCheck {
+public:
+  WalAppendCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void onEndOfTranslationUnit() override;
+
+private:
+  struct RawCall {
+    SourceLocation Loc;
+    std::string Callee;
+  };
+  // Raw syscalls and group-commit API calls are paired per function at end
+  // of TU so match order does not matter.
+  std::map<const FunctionDecl *, std::vector<RawCall>> RawCalls;
+  std::set<const FunctionDecl *> ApiCallers;
+};
+
+} // namespace clang::tidy::cbtree
+
+#endif // CBTREE_TIDY_WAL_APPEND_CHECK_H_

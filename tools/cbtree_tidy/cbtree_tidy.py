@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """cbtree-tidy: project-specific static checks for the concurrent B-trees.
 
-Implements the five cbtree-* checks as a dependency-free lexical analyzer
+Implements the six cbtree-* checks as a dependency-free lexical analyzer
 with the same names, semantics, and fixture behavior as the clang-tidy
 plugin in this directory (CbtreeTidyModule.cpp). The plugin needs clang-tidy
 development headers, which most toolchain images do not ship; this script is
@@ -38,6 +38,15 @@ Checks (see docs/STATIC_ANALYSIS.md, "Project-specific checks"):
                            AllocateNode paths; naked delete of a node-typed
                            pointer only in destructors and
                            CBTREE_EPOCH_QUIESCENT reclamation paths.
+  cbtree-wal-append        Logged mutation paths (anything calling the WAL
+                           group-commit API: Append*/WaitDurable/SyncAll or
+                           the WalLog*/WalWaitDurable tree hooks) must never
+                           issue raw write-side file syscalls
+                           (write/pwrite/fwrite/fsync/fdatasync/...); inside
+                           the wal namespace itself, those syscalls are
+                           confined to the writer-side I/O layer
+                           (WriteAll/FlushGroup/OpenSegment/SyncFd/
+                           WriterLoop/Open/Close).
 
 Diagnostics print in clang-tidy's format:
 
@@ -59,6 +68,7 @@ ALL_CHECKS = [
     "cbtree-latch-wrapper",
     "cbtree-obs-compile-out",
     "cbtree-node-alloc",
+    "cbtree-wal-append",
 ]
 
 NODE_TYPES = ("OlcNode", "CNode")
@@ -81,6 +91,24 @@ LATCH_WRAPPERS = {
 }
 # Functions allowed to `new` a node type.
 NODE_ALLOCATORS = {"AllocateNode", "Allocate"}
+# The WAL's writer-side I/O layer: the only functions (all on the dedicated
+# log-writer thread, plus Open/Close) allowed to issue raw write-side
+# syscalls against the log.
+WAL_WRITER_SIDE = {
+    "WriteAll", "FlushGroup", "OpenSegment", "SyncFd", "WriterLoop",
+    "Open", "Close",
+}
+# The group-commit API: a function calling any of these is on a logged
+# mutation path and must not also write files by hand.
+WAL_APPEND_API = (
+    "AppendInsert", "AppendDelete", "WaitDurable", "SyncAll",
+    "LogInsert", "LogDelete", "WalLogInsert", "WalLogDelete",
+    "WalWaitDurable",
+)
+# Raw write-side file syscalls. Read-side and crash-repair I/O (fread,
+# truncate, unlink) are recovery's business and stay unconstrained.
+WAL_RAW_IO = ("write", "pwrite", "writev", "pwritev", "fwrite",
+              "fsync", "fdatasync", "sync_file_range")
 # Functions exempt from the epoch-guard rule by their own name: the retire
 # machinery itself (EpochManager::Retire/RetireObject).
 RETIRE_SELF = {"Retire", "RetireObject"}
@@ -666,12 +694,60 @@ def check_node_alloc(src, diags):
                 % m.group(1), "cbtree-node-alloc"))
 
 
+# ---------------------------------------------------------------------------
+# cbtree-wal-append
+# ---------------------------------------------------------------------------
+
+def check_wal_append(src, diags):
+    raw_re = re.compile(r"(::\s*)?\b(%s)\s*\(" % "|".join(WAL_RAW_IO))
+    api_re = re.compile(r"\b(?:%s)\s*\(" % "|".join(WAL_APPEND_API))
+
+    for fn in src.functions:
+        if fn.name in WAL_WRITER_SIDE:
+            continue  # the log's own I/O layer
+        body = src.code[fn.body_start:fn.body_end]
+        raw_calls = []
+        for m in raw_re.finditer(body):
+            # A plain `x.write(...)` / `s->write(...)` is a member call on
+            # some other abstraction, not the file syscall; `::write` and
+            # bare `write(fd, ...)` are.
+            if m.group(1) is None:
+                before = body[:m.start()].rstrip()
+                if before.endswith(".") or before.endswith("->"):
+                    continue
+            raw_calls.append(m)
+        if not raw_calls:
+            continue
+        on_mutation_path = api_re.search(body) is not None
+        in_wal_layer = ("wal" in fn.containers or
+                        "ShardLog" in fn.containers or
+                        fn.qualified.startswith("ShardLog::"))
+        for m in raw_calls:
+            off = fn.body_start + m.start()
+            line, col = src.line_col(off)
+            if on_mutation_path:
+                diags.append(Diagnostic(
+                    src.path, line, col,
+                    "raw '%s' on a logged mutation path; tree writes reach "
+                    "the log only through the group-commit API "
+                    "(Append*/WaitDurable)" % m.group(2),
+                    "cbtree-wal-append"))
+            elif in_wal_layer:
+                diags.append(Diagnostic(
+                    src.path, line, col,
+                    "raw '%s' in the WAL outside the writer-side I/O layer "
+                    "(WriteAll/FlushGroup/OpenSegment/SyncFd); appenders go "
+                    "through Append*/WaitDurable" % m.group(2),
+                    "cbtree-wal-append"))
+
+
 CHECK_FNS = {
     "cbtree-epoch-guard": check_epoch_guard,
     "cbtree-version-validate": check_version_validate,
     "cbtree-latch-wrapper": check_latch_wrapper,
     "cbtree-obs-compile-out": check_obs_compile_out,
     "cbtree-node-alloc": check_node_alloc,
+    "cbtree-wal-append": check_wal_append,
 }
 
 

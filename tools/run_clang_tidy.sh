@@ -7,7 +7,7 @@
 #   - tools/cbtree_tidy/cbtree_tidy.py (dependency-free, always runs);
 #   - the CbtreeTidyModule clang-tidy plugin, loaded with -load when a
 #     built module is found. A module that fails to load or does not
-#     register all five cbtree-* checks fails the run loudly — a silently
+#     register all six cbtree-* checks fails the run loudly — a silently
 #     dropped plugin (LLVM version skew) must not look like a clean lint.
 #
 #   tools/run_clang_tidy.sh                  # configure + lint everything
@@ -47,9 +47,12 @@ python3 tools/cbtree_tidy/cbtree_tidy.py --quiet \
 python3 tools/cbtree_tidy/cbtree_tidy.py --quiet \
   --checks=cbtree-obs-compile-out \
   src/net/*.cc src/net/*.h src/sim/*.cc src/sim/*.h src/obs/*.cc src/obs/*.h
+python3 tools/cbtree_tidy/cbtree_tidy.py --quiet \
+  --checks=cbtree-wal-append \
+  src/wal/*.cc src/wal/*.h src/net/*.cc src/net/*.h
 
 # Plugin leg: auto-detect a built module; verify it actually registers the
-# five checks before trusting any clean result from it.
+# six checks before trusting any clean result from it.
 TIDY_PLUGIN="${TIDY_PLUGIN:-}"
 if [[ -z "$TIDY_PLUGIN" ]]; then
   for candidate in "$BUILD_DIR"/tools/cbtree_tidy/CbtreeTidyModule.so \
@@ -71,7 +74,7 @@ if [[ -n "$TIDY_PLUGIN" ]]; then
   fi
   for check in cbtree-epoch-guard cbtree-version-validate \
                cbtree-latch-wrapper cbtree-obs-compile-out \
-               cbtree-node-alloc; do
+               cbtree-node-alloc cbtree-wal-append; do
     if ! grep -q "$check" <<< "$listed"; then
       echo "error: $TIDY_PLUGIN loaded but does not register $check" >&2
       exit 2

@@ -32,10 +32,16 @@ sanitizers=("${@:-thread}")
 # listener against concurrent client load. epoch_test and olc_tree_test are
 # the OLC battery: latch-free readers racing writers (TSAN's job) and
 # epoch-deferred frees (ASan's job — a premature free is a use-after-free
-# in the torture tests, a missed one is a leak at exit).
+# in the torture tests, a missed one is a leak at exit). The wal battery:
+# wal_test races concurrent appenders against the group-commit writer
+# thread and the durability waiters (TSAN), wal_fuzz_test decodes mutated
+# frames from exactly-sized heap buffers (ASan red-zones), and
+# wal_recovery_test replays logs into live trees — recovery must come up
+# LeakSanitizer-clean.
 test_targets=(ctree_test runner_test runner_experiment_test obs_test
               net_server_test net_shard_test net_proto_fuzz_test
-              net_stats_test epoch_test olc_tree_test)
+              net_stats_test epoch_test olc_tree_test
+              wal_test wal_recovery_test wal_fuzz_test)
 
 for sanitizer in "${sanitizers[@]}"; do
   case "$sanitizer" in
@@ -71,6 +77,13 @@ for sanitizer in "${sanitizers[@]}"; do
       python3 tools/check_serve_drive.py "$build/tools/cbtree" \
               --protocol=olc --lambda=1000 --shards=2 --loops=2 \
               --qs=0.2 --qi=0.4 --qd=0.4
+      # WAL replay leak check: SIGKILL mid-load leaves a live log; the
+      # restart replays it into a fresh tree and must exit (SIGINT drain)
+      # with LeakSanitizer finding nothing — recovery owns every node and
+      # buffer it allocates.
+      echo "--- crash-restart wal replay leak check ($sanitizer) ---"
+      python3 tools/check_crash_restart.py "$build/tools/cbtree" \
+              --protocol=olc --fsync=data --recovery=leaf
       ;;
   esac
 done
